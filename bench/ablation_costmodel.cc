@@ -1,0 +1,70 @@
+// Extension: cost-based choice of the I/O-performing operator — the
+// future-work item of Sec. 7. For each evaluation query, prints the cost
+// model's per-plan estimates, its choice, and the measured times of all
+// three plans so the choice can be judged.
+#include <cstdio>
+
+#include "benchlib/experiments.h"
+#include "xpath/parser.h"
+
+int main() {
+  using namespace navpath;
+  const double sf = FastBenchMode() ? 0.1 : 0.5;
+  std::printf("Extension — cost-model plan choice at scale %.2f\n", sf);
+  auto fixture = XMarkFixture::Create(sf);
+  if (!fixture.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n",
+                 fixture.status().ToString().c_str());
+    return 1;
+  }
+  Database* db = (*fixture)->db();
+
+  PrintTableHeader("estimated vs measured totals [s]",
+                   {"query", "est.Simple", "est.XSched", "est.XScan",
+                    "chosen", "meas.Simple", "meas.XSched", "meas.XScan"});
+  const struct {
+    const char* name;
+    const char* text;
+  } queries[] = {{"Q6'", kQ6Prime}, {"Q7", kQ7}, {"Q15", kQ15}};
+
+  int good_choices = 0;
+  for (const auto& query : queries) {
+    auto parsed = ParseQuery(query.text, db->tags());
+    parsed.status().AbortIfNotOk();
+    PlanCosts est;
+    for (const LocationPath& path : parsed->paths) {
+      const PlanCosts c = EstimatePlanCosts((*fixture)->stats(), path,
+                                            db->options().disk_model,
+                                            db->costs());
+      est.simple += c.simple;
+      est.xschedule += c.xschedule;
+      est.xscan += c.xscan;
+    }
+    const PlanKind chosen = est.Best();
+
+    double measured[3];
+    int i = 0;
+    double best_measured = 1e300;
+    PlanKind best_kind = PlanKind::kSimple;
+    for (const PlanKind kind :
+         {PlanKind::kSimple, PlanKind::kXSchedule, PlanKind::kXScan}) {
+      auto result = (*fixture)->Run(query.text, PaperPlan(kind));
+      result.status().AbortIfNotOk();
+      measured[i] = result->total_seconds();
+      if (measured[i] < best_measured) {
+        best_measured = measured[i];
+        best_kind = kind;
+      }
+      ++i;
+    }
+    if (best_kind == chosen) ++good_choices;
+    PrintTableRow({query.name, FormatSeconds(est.simple * 1e-9),
+                   FormatSeconds(est.xschedule * 1e-9),
+                   FormatSeconds(est.xscan * 1e-9), PlanKindName(chosen),
+                   FormatSeconds(measured[0]), FormatSeconds(measured[1]),
+                   FormatSeconds(measured[2])});
+  }
+  std::printf("\noptimizer picked the measured-best plan for %d/3 queries\n",
+              good_choices);
+  return 0;
+}

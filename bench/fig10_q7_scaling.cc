@@ -1,0 +1,23 @@
+// Figure 10: XMark Q7 = count(/site//description) + count(/site//annotation)
+// + count(/site//email). The query touches a large part of the document,
+// so the sequential XScan plan wins (paper: up to 4x over Simple, up to 3x
+// over XSchedule).
+#include <cstdio>
+
+#include "benchlib/experiments.h"
+
+int main() {
+  using namespace navpath;
+  std::printf("Figure 10 reproduction — Q7: %s\n", kQ7);
+  auto result = RunScalingExperiment("Fig. 10: Q7 total time vs scale", kQ7,
+                                     ActiveScaleFactors());
+  if (!result.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const auto& last = result->back();
+  std::printf("\nshape at largest scale: Simple/XScan = %.1fx, "
+              "XSchedule/XScan = %.1fx (paper: ~4x and ~3x)\n",
+              last[0] / last[2], last[1] / last[2]);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 11: XMark Q15, a long and very selective child path. The
+// full-document XScan plan is far slower here (paper: the scan loads far
+// more pages than needed and pays heavy speculative bookkeeping), while
+// XSchedule still beats Simple.
+#include <cstdio>
+
+#include "benchlib/experiments.h"
+
+int main() {
+  using namespace navpath;
+  std::printf("Figure 11 reproduction — Q15: %s\n", kQ15);
+  auto result = RunScalingExperiment("Fig. 11: Q15 total time vs scale",
+                                     kQ15, ActiveScaleFactors());
+  if (!result.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const auto& last = result->back();
+  std::printf("\nshape at largest scale: XScan/XSchedule = %.1fx slower "
+              "(paper: ~8x), XSchedule <= Simple: %s\n",
+              last[2] / last[1], last[1] <= last[0] ? "yes" : "NO");
+  return 0;
+}

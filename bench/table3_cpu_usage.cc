@@ -1,0 +1,44 @@
+// Table 3: total execution time and CPU usage (absolute and as a fraction
+// of total time) for Q6', Q7 and Q15 at XMark scale factor 1.
+//
+// Paper's profile: the Simple plan is I/O bound (CPU 8-23%), XSchedule
+// overlaps I/O with work (12-33%), XScan is CPU heavy because of the
+// speculative instance processing (62-77%).
+#include <cstdio>
+
+#include "benchlib/experiments.h"
+
+int main() {
+  using namespace navpath;
+  const double sf = FastBenchMode() ? 0.25 : 1.0;
+  std::printf("Table 3 reproduction — CPU usage at XMark scale factor %.2f\n",
+              sf);
+  auto fixture = XMarkFixture::Create(sf);
+  if (!fixture.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n",
+                 fixture.status().ToString().c_str());
+    return 1;
+  }
+  PrintTableHeader("Tab. 3: total[s] / CPU[s] / CPU fraction",
+                   {"query", "plan", "total[s]", "CPU[s]", "CPU%"});
+  const struct {
+    const char* name;
+    const char* text;
+  } queries[] = {{"Q6'", kQ6Prime}, {"Q7", kQ7}, {"Q15", kQ15}};
+  for (const auto& query : queries) {
+    for (const PlanKind kind :
+         {PlanKind::kSimple, PlanKind::kXSchedule, PlanKind::kXScan}) {
+      auto result = (*fixture)->Run(query.text, PaperPlan(kind));
+      if (!result.ok()) {
+        std::fprintf(stderr, "FAILED: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      PrintTableRow({query.name, PlanKindName(kind),
+                     FormatSeconds(result->total_seconds()),
+                     FormatSeconds(result->cpu_seconds()),
+                     FormatPercent(result->cpu_fraction())});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// XMark tour: generates an XMark-shaped auction document, runs the
+// paper's evaluation queries (Tab. 2) with every plan, and explains the
+// outcome with execution metrics.
+//
+//   ./build/examples/xmark_tour [scale_factor]   (default 0.1)
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchlib/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace navpath;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+
+  std::printf("generating XMark document at scale factor %.2f ...\n", scale);
+  auto fixture = XMarkFixture::Create(scale);
+  fixture.status().AbortIfNotOk();
+  const ImportedDocument& doc = (*fixture)->doc();
+  std::printf("document: %u pages, %llu elements, %llu border pairs\n\n",
+              doc.page_count(),
+              static_cast<unsigned long long>(doc.core_records),
+              static_cast<unsigned long long>(doc.border_pairs));
+
+  const struct {
+    const char* name;
+    const char* text;
+    const char* story;
+  } queries[] = {
+      {"Q6'", kQ6Prime, "medium selectivity: every item, nothing else"},
+      {"Q7", kQ7, "low selectivity: most of the document is prose"},
+      {"Q15", kQ15, "high selectivity: one deep path into parlists"},
+  };
+
+  for (const auto& query : queries) {
+    std::printf("%s (%s)\n  %s\n", query.name, query.story, query.text);
+    for (const PlanKind kind :
+         {PlanKind::kSimple, PlanKind::kXSchedule, PlanKind::kXScan}) {
+      auto result = (*fixture)->Run(query.text, PaperPlan(kind));
+      result.status().AbortIfNotOk();
+      std::printf(
+          "  %-9s  result=%-6llu total=%7.2fs cpu=%5.2fs (%3.0f%%) "
+          "reads=%-6llu seq=%-6llu seeks=%llu pages\n",
+          PlanKindName(kind),
+          static_cast<unsigned long long>(result->count),
+          result->total_seconds(), result->cpu_seconds(),
+          100.0 * result->cpu_fraction(),
+          static_cast<unsigned long long>(result->metrics.disk_reads),
+          static_cast<unsigned long long>(result->metrics.disk_seq_reads),
+          static_cast<unsigned long long>(result->metrics.disk_seek_pages));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "reading the numbers: XSchedule turns the Simple plan's scattered\n"
+      "synchronous reads into elevator-ordered asynchronous ones; XScan\n"
+      "replaces them with one sequential sweep plus speculative CPU work,\n"
+      "which pays off exactly when the query touches most of the document\n"
+      "(Q7) and backfires when it touches little of it (Q15).\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Leaf operator producing the context nodes of a location path as
+// non-full, complete path instances with S_L = S_R = 0 (Sec. 5.1/5.3.4).
+#ifndef NAVPATH_ALGEBRA_CONTEXT_SCAN_H_
+#define NAVPATH_ALGEBRA_CONTEXT_SCAN_H_
+
+#include <vector>
+
+#include "algebra/operator.h"
+#include "store/cross_cursor.h"
+
+namespace navpath {
+
+class ContextScan : public PathOperator {
+ public:
+  explicit ContextScan(std::vector<LogicalNode> contexts)
+      : contexts_(std::move(contexts)) {}
+
+  Status Open() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(PathInstance* out) override {
+    if (pos_ >= contexts_.size()) return false;
+    const LogicalNode& n = contexts_[pos_++];
+    *out = PathInstance::Context(n.id, n.order);
+    return true;
+  }
+
+  Status Close() override { return Status::OK(); }
+
+ private:
+  std::vector<LogicalNode> contexts_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace navpath
+
+#endif  // NAVPATH_ALGEBRA_CONTEXT_SCAN_H_

@@ -1,0 +1,82 @@
+// Physical operator interface (iterators, [Graefe 93]) and the shared
+// execution state of one path plan.
+#ifndef NAVPATH_ALGEBRA_OPERATOR_H_
+#define NAVPATH_ALGEBRA_OPERATOR_H_
+
+#include <optional>
+#include <unordered_set>
+
+#include "algebra/path_instance.h"
+#include "common/status.h"
+#include "store/cluster_view.h"
+#include "store/database.h"
+
+namespace navpath {
+
+/// Open/Next/Close iterator over partial path instances.
+class PathOperator {
+ public:
+  virtual ~PathOperator() = default;
+
+  virtual Status Open() = 0;
+  /// Produces the next instance; ok(false) signals exhaustion.
+  virtual Result<bool> Next(PathInstance* out) = 0;
+  virtual Status Close() = 0;
+};
+
+/// The cluster currently pinned by the plan's I/O-performing operator.
+/// XStep operators navigate it; XAssembly resolves border partners through
+/// it. Exactly one cluster is current at any time in XSchedule/XScan plans
+/// (the core idea of the paper: all right ends in flight live there).
+class ClusterContext {
+ public:
+  explicit ClusterContext(Database* db) : db_(db) {}
+
+  bool valid() const { return view_.has_value(); }
+  PageId page() const { return valid() ? guard_.page_id() : kInvalidPageId; }
+  const ClusterView& view() const {
+    NAVPATH_DCHECK(valid());
+    return *view_;
+  }
+
+  /// Pins `page` as the current cluster (entering a cluster swizzles).
+  Status Switch(PageId page) {
+    NAVPATH_ASSIGN_OR_RETURN(PageGuard guard,
+                             db_->buffer()->FixSwizzle(page));
+    guard_ = std::move(guard);
+    view_.emplace(db_->MakeView(guard_));
+    ++db_->metrics()->clusters_visited;
+    return Status::OK();
+  }
+
+  void Clear() {
+    view_.reset();
+    guard_.Release();
+  }
+
+ private:
+  Database* db_;
+  PageGuard guard_;
+  std::optional<ClusterView> view_;
+};
+
+/// State shared across the operators of one plan.
+struct PlanSharedState {
+  explicit PlanSharedState(Database* db) : cluster(db) {}
+
+  ClusterContext cluster;
+
+  /// Fallback mode (Sec. 5.4.6): set by XAssembly when the speculative
+  /// structure S exceeds its memory budget; XStep then navigates across
+  /// cluster borders like a plain Unnest-Map and the I/O operators stop
+  /// producing seeds.
+  bool fallback = false;
+
+  /// Clusters already visited by the I/O operator (used by speculative
+  /// XSchedule to avoid scheduling visits whose answers are already in S).
+  std::unordered_set<PageId> visited_clusters;
+};
+
+}  // namespace navpath
+
+#endif  // NAVPATH_ALGEBRA_OPERATOR_H_

@@ -1,0 +1,14 @@
+#include "algebra/path_instance.h"
+
+namespace navpath {
+
+std::string PathEnd::ToString() const {
+  return "[" + std::to_string(step) + (border ? "@B" : "@C") +
+         node.ToString() + "]";
+}
+
+std::string PathInstance::ToString() const {
+  return left.ToString() + ".." + right.ToString();
+}
+
+}  // namespace navpath

@@ -1,0 +1,77 @@
+// Partial path instances (Sec. 4).
+//
+// A partial path instance represents an incomplete computation about a
+// location path: a consecutive run of steps mapped to document nodes,
+// whose two ends may be unfinished navigations stuck at border nodes. Per
+// Sec. 4.4 only the two ends are materialized: the 4-attribute tuple
+// (S_L, N_L, S_R, N_R), here augmented with order keys so that document
+// order can be re-established without extra I/O (Sec. 5.5).
+//
+// Conventions (paper's, Sec. 4.4):
+//  * right.step == S_R is r-1 when the right end is a border node: the
+//    final step has not been fully evaluated yet, so XStep_{S_R + 1}
+//    resumes it.
+//  * An instance is left-complete iff its left end is a core node;
+//    left-incomplete instances arise from speculative evaluation
+//    (XScan / speculative XSchedule seeds, Sec. 5.4).
+#ifndef NAVPATH_ALGEBRA_PATH_INSTANCE_H_
+#define NAVPATH_ALGEBRA_PATH_INSTANCE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "store/node_id.h"
+
+namespace navpath {
+
+/// One end of a partial path instance.
+struct PathEnd {
+  std::int32_t step = 0;
+  NodeID node;
+  /// Document-order key; meaningful for core ends only.
+  std::uint64_t order = 0;
+  /// True when `node` names a border record (unfinished navigation).
+  bool border = false;
+
+  /// Key identifying this end in the R/S structures: (step, node).
+  std::uint64_t Key() const {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(step))
+            << 48) ^
+           node.Pack();
+  }
+
+  std::string ToString() const;
+};
+
+struct PathInstance {
+  PathEnd left;
+  PathEnd right;
+
+  bool left_complete() const { return !left.border; }
+  bool right_complete() const { return !right.border; }
+  bool complete() const { return left_complete() && right_complete(); }
+  /// Full for a path of `length` steps (Sec. 4.2).
+  bool full(std::size_t length) const {
+    return complete() && left.step == 0 &&
+           right.step == static_cast<std::int32_t>(length);
+  }
+
+  /// A fresh context instance: both ends at step 0 on the context node.
+  static PathInstance Context(NodeID node, std::uint64_t order) {
+    PathEnd end{0, node, order, false};
+    return PathInstance{end, end};
+  }
+
+  /// A speculative seed l_{b,i} (Sec. 5.4.3): both ends at border b with
+  /// step i; XStep_{i+1} tries to extend it.
+  static PathInstance Seed(NodeID border, std::int32_t step) {
+    PathEnd end{step, border, 0, true};
+    return PathInstance{end, end};
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace navpath
+
+#endif  // NAVPATH_ALGEBRA_PATH_INSTANCE_H_

@@ -1,0 +1,46 @@
+// Unnest-Map: the Simple method's step operator (Sec. 5.1).
+//
+// For every input instance with S_R == i-1 it enumerates all nodes
+// reachable via step i over the *logical* tree, traversing inter-cluster
+// edges immediately (synchronous random I/O on buffer misses). Instances
+// it is not applicable to are forwarded unchanged.
+#ifndef NAVPATH_ALGEBRA_UNNEST_MAP_H_
+#define NAVPATH_ALGEBRA_UNNEST_MAP_H_
+
+#include <memory>
+
+#include "algebra/operator.h"
+#include "store/cross_cursor.h"
+#include "xpath/location_path.h"
+
+namespace navpath {
+
+class UnnestMap : public PathOperator {
+ public:
+  /// `step_number` is i (1-based); consumes instances with S_R == i-1.
+  UnnestMap(Database* db, PathOperator* producer, int step_number,
+            LocationStep step)
+      : db_(db),
+        producer_(producer),
+        step_number_(step_number),
+        step_(std::move(step)),
+        cursor_(db) {}
+
+  Status Open() override;
+  Result<bool> Next(PathInstance* out) override;
+  Status Close() override;
+
+ private:
+  Database* db_;
+  PathOperator* producer_;
+  int step_number_;
+  LocationStep step_;
+
+  bool active_ = false;       // cursor_ is enumerating current_
+  PathInstance current_;
+  CrossClusterCursor cursor_;
+};
+
+}  // namespace navpath
+
+#endif  // NAVPATH_ALGEBRA_UNNEST_MAP_H_

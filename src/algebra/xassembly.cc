@@ -1,0 +1,146 @@
+#include "algebra/xassembly.h"
+
+#include "algebra/xschedule.h"
+
+namespace navpath {
+
+Status XAssembly::Open() {
+  r_.clear();
+  s_.clear();
+  s_size_ = 0;
+  pending_.clear();
+  return producer_->Open();
+}
+
+Status XAssembly::Close() { return producer_->Close(); }
+
+PathEnd XAssembly::TargetOf(const PathEnd& right) const {
+  NAVPATH_DCHECK(right.border);
+  NAVPATH_DCHECK(shared_->cluster.valid());
+  NAVPATH_DCHECK(right.node.page == shared_->cluster.page());
+  const NodeID partner = shared_->cluster.view().PartnerOf(right.node.slot);
+  // Storing a node reference outside the pinned cluster unswizzles it.
+  db_->clock()->ChargeCpu(db_->costs().unswizzle);
+  ++db_->metrics()->unswizzle_ops;
+  return PathEnd{right.step, partner, 0, true};
+}
+
+void XAssembly::TriggerFallback() {
+  shared_->fallback = true;
+  s_.clear();
+  s_size_ = 0;
+  ++db_->metrics()->fallback_activations;
+}
+
+Status XAssembly::Reach(const PathInstance& inst) {
+  // Iterative closure; each work item carries the provenance left end.
+  std::vector<PathInstance> worklist;
+  worklist.push_back(inst);
+  while (!worklist.empty()) {
+    const PathInstance item = worklist.back();
+    worklist.pop_back();
+    const PathEnd& e = item.right;
+
+    if (options_.first_step_reaches_all && e.step == 0 && e.border) {
+      // Implicitly reachable; nothing is ever stored under step-0 ends.
+      continue;
+    }
+    db_->clock()->ChargeCpu(db_->costs().set_op);
+    ++db_->metrics()->r_set_probes;
+    if (!r_.insert(e.Key()).second) continue;  // already known
+
+    if (!e.border) {
+      if (e.step == static_cast<std::int32_t>(options_.path_length)) {
+        ++db_->metrics()->instances_full;
+        pending_.push_back(item);
+      }
+      // Core ends below full length never carry closure info: XStep
+      // chains extend them inline, so nothing is stored under them.
+      continue;
+    }
+
+    // A border end became reachable: consult speculative knowledge...
+    auto it = s_.find(e.Key());
+    if (it != s_.end()) {
+      db_->clock()->ChargeCpu(db_->costs().set_op);
+      ++db_->metrics()->s_set_probes;
+      for (const PathInstance& x : it->second) {
+        // x: "if e is reachable, x.right is reachable".
+        worklist.push_back(x);
+      }
+      s_size_ -= it->second.size();
+      s_.erase(it);
+    }
+    // ...and/or schedule a visit of the target cluster.
+    if (schedule_ != nullptr) {
+      const bool covered_by_seeds =
+          options_.speculative && !shared_->fallback &&
+          shared_->visited_clusters.count(e.node.page) > 0;
+      if (!covered_by_seeds) {
+        NAVPATH_RETURN_NOT_OK(schedule_->AddWork(PathInstance{item.left, e}));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status XAssembly::HandleArrival(const PathInstance& y) {
+  if (y.left_complete()) {
+    if (y.right_complete()) {
+      // The XStep chain only releases left-complete instances when they
+      // are full or stuck at a border.
+      NAVPATH_DCHECK(y.right.step ==
+                     static_cast<std::int32_t>(options_.path_length));
+      return Reach(y);
+    }
+    // Right-incomplete: resolve target() and register/schedule.
+    return Reach(PathInstance{y.left, TargetOf(y.right)});
+  }
+
+  // Left-incomplete (speculative) instance.
+  PathInstance x = y;
+  if (!x.right_complete()) {
+    x.right = TargetOf(x.right);  // resolve now, while the cluster is pinned
+  }
+  const std::uint64_t key = x.left.Key();
+  const bool left_known =
+      (options_.first_step_reaches_all && x.left.step == 0) ||
+      r_.count(key) > 0;
+  db_->clock()->ChargeCpu(db_->costs().set_op);
+  ++db_->metrics()->r_set_probes;
+  if (left_known) {
+    // The hypothesis already holds — this includes results of scheduled
+    // work items whose left end is a previously reached border, which
+    // must be delivered even in fallback mode.
+    return Reach(x);
+  }
+  if (shared_->fallback) {
+    // Unreached speculation is redundant in fallback mode: future
+    // crossings are always scheduled and evaluated in full.
+    return Status::OK();
+  }
+  db_->clock()->ChargeCpu(db_->costs().set_op);
+  ++db_->metrics()->s_set_probes;
+  s_[key].push_back(x);
+  ++s_size_;
+  if (options_.s_budget > 0 && s_size_ > options_.s_budget) {
+    TriggerFallback();
+  }
+  return Status::OK();
+}
+
+Result<bool> XAssembly::Next(PathInstance* out) {
+  for (;;) {
+    if (!pending_.empty()) {
+      *out = pending_.front();
+      pending_.pop_front();
+      return true;
+    }
+    PathInstance y;
+    NAVPATH_ASSIGN_OR_RETURN(const bool have, producer_->Next(&y));
+    if (!have) return false;
+    NAVPATH_RETURN_NOT_OK(HandleArrival(y));
+  }
+}
+
+}  // namespace navpath

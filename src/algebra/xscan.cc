@@ -1,0 +1,103 @@
+#include "algebra/xscan.h"
+
+#include <algorithm>
+
+namespace navpath {
+
+Status XScan::Open() {
+  NAVPATH_RETURN_NOT_OK(producer_->Open());
+  contexts_.clear();
+  ctx_pos_ = 0;
+  page_open_ = false;
+  next_page_ = options_.first_page;
+  fallback_started_ = false;
+  fallback_pos_ = 0;
+  clusters_scanned_ = 0;
+
+  // The specification requires the context input sorted by cluster id;
+  // materialize and sort it here.
+  PathInstance inst;
+  for (;;) {
+    NAVPATH_ASSIGN_OR_RETURN(const bool have, producer_->Next(&inst));
+    if (!have) break;
+    contexts_.push_back(inst);
+  }
+  std::sort(contexts_.begin(), contexts_.end(),
+            [](const PathInstance& a, const PathInstance& b) {
+              return a.right.node < b.right.node;
+            });
+  db_->clock()->ChargeCpu(contexts_.size() * db_->costs().sort_op);
+  return Status::OK();
+}
+
+Status XScan::Close() {
+  shared_->cluster.Clear();
+  return producer_->Close();
+}
+
+bool XScan::EmitSeed(PathInstance* out) {
+  const ClusterView& view = shared_->cluster.view();
+  while (seed_slot_ < view.slot_count()) {
+    if (view.IsLive(seed_slot_) && view.IsBorder(seed_slot_) &&
+        seed_step_ < options_.path_length) {
+      *out = PathInstance::Seed(view.IdOf(seed_slot_), seed_step_);
+      ++seed_step_;
+      db_->clock()->ChargeCpu(db_->costs().instance_op);
+      ++db_->metrics()->speculative_instances;
+      ++db_->metrics()->instances_created;
+      return true;
+    }
+    view.ChargeHop();
+    seed_step_ = 0;
+    ++seed_slot_;
+  }
+  return false;
+}
+
+Result<bool> XScan::Next(PathInstance* out) {
+  for (;;) {
+    if (shared_->fallback) {
+      // Restart-as-identity: re-deliver every context; the XStep chain
+      // (now in Unnest-Map mode) re-evaluates the whole path.
+      if (!fallback_started_) {
+        fallback_started_ = true;
+        fallback_pos_ = 0;
+        page_open_ = false;
+        shared_->cluster.Clear();
+      }
+      if (fallback_pos_ < contexts_.size()) {
+        *out = contexts_[fallback_pos_++];
+        return true;
+      }
+      return false;
+    }
+
+    if (page_open_) {
+      const PageId current = shared_->cluster.page();
+      if (ctx_pos_ < contexts_.size() &&
+          contexts_[ctx_pos_].right.node.page == current) {
+        *out = contexts_[ctx_pos_++];
+        db_->clock()->ChargeCpu(db_->costs().instance_op);
+        return true;
+      }
+      if (EmitSeed(out)) return true;
+      page_open_ = false;
+    }
+
+    if (next_page_ == kInvalidPageId || next_page_ > options_.last_page) {
+      shared_->cluster.Clear();
+      return false;
+    }
+    // Sequential access: the previous page of the scan is the disk head's
+    // position, so this fix costs transfer time only.
+    NAVPATH_RETURN_NOT_OK(shared_->cluster.Switch(next_page_));
+    shared_->visited_clusters.insert(next_page_);
+    ++next_page_;
+    ++clusters_scanned_;
+    page_open_ = true;
+    seed_slot_ = 0;
+    seed_step_ = 0;
+  }
+}
+
+}  // namespace navpath

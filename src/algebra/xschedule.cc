@@ -1,0 +1,149 @@
+#include "algebra/xschedule.h"
+
+namespace navpath {
+
+Status XSchedule::Open() {
+  q_.clear();
+  q_size_ = 0;
+  producer_done_ = false;
+  ready_.clear();
+  ready_set_.clear();
+  seeding_ = false;
+  clusters_entered_ = 0;
+  NAVPATH_CHECK(options_.k >= 1);
+  return producer_->Open();
+}
+
+Status XSchedule::Close() {
+  shared_->cluster.Clear();
+  return producer_->Close();
+}
+
+void XSchedule::MarkReady(PageId page) {
+  if (ready_set_.insert(page).second) ready_.push_back(page);
+}
+
+Status XSchedule::Enqueue(const PathInstance& inst) {
+  const PageId cluster = inst.right.node.page;
+  db_->clock()->ChargeCpu(db_->costs().set_op);
+  q_[cluster].push_back(inst);
+  ++q_size_;
+  NAVPATH_ASSIGN_OR_RETURN(const BufferManager::PrefetchOutcome outcome,
+                           db_->buffer()->Prefetch(cluster));
+  if (outcome == BufferManager::PrefetchOutcome::kResident) {
+    MarkReady(cluster);
+  }
+  return Status::OK();
+}
+
+Status XSchedule::AddWork(const PathInstance& inst) {
+  // Unswizzled NodeIDs enter the queue; the cluster is re-entered later.
+  return Enqueue(inst);
+}
+
+Status XSchedule::Replenish() {
+  while (!producer_done_ && q_size_ < options_.k) {
+    PathInstance inst;
+    NAVPATH_ASSIGN_OR_RETURN(const bool have, producer_->Next(&inst));
+    if (!have) {
+      producer_done_ = true;
+      break;
+    }
+    NAVPATH_RETURN_NOT_OK(Enqueue(inst));
+  }
+  return Status::OK();
+}
+
+Result<bool> XSchedule::SwitchToNextCluster() {
+  for (;;) {
+    // Prefer clusters whose I/O already completed (or that are resident).
+    while (!ready_.empty()) {
+      const PageId page = ready_.front();
+      ready_.pop_front();
+      ready_set_.erase(page);
+      auto it = q_.find(page);
+      if (it == q_.end() || it->second.empty()) continue;  // stale marker
+      NAVPATH_RETURN_NOT_OK(shared_->cluster.Switch(page));
+      shared_->visited_clusters.insert(page);
+      ++clusters_entered_;
+      seeding_ = options_.speculative && !shared_->fallback;
+      seed_slot_ = 0;
+      seed_step_ = 0;
+      return true;
+    }
+    if (db_->buffer()->HasPrefetchInFlight()) {
+      // Block until the I/O subsystem completes *some* request; the disk
+      // chooses which (shortest seek first).
+      NAVPATH_ASSIGN_OR_RETURN(const PageId page,
+                               db_->buffer()->WaitAnyPrefetch());
+      MarkReady(page);
+      continue;
+    }
+    // Safety net: queued clusters whose ready marker was consumed early
+    // (e.g. after eviction). Serve the first one synchronously.
+    for (auto& [page, entries] : q_) {
+      if (entries.empty()) continue;
+      NAVPATH_RETURN_NOT_OK(shared_->cluster.Switch(page));
+      shared_->visited_clusters.insert(page);
+      ++clusters_entered_;
+      seeding_ = options_.speculative && !shared_->fallback;
+      seed_slot_ = 0;
+      seed_step_ = 0;
+      return true;
+    }
+    return false;
+  }
+}
+
+bool XSchedule::EmitSeed(PathInstance* out) {
+  if (!seeding_ || shared_->fallback) return false;
+  const ClusterView& view = shared_->cluster.view();
+  while (seed_slot_ < view.slot_count()) {
+    if (view.IsLive(seed_slot_) && view.IsBorder(seed_slot_) &&
+        seed_step_ < options_.path_length) {
+      *out = PathInstance::Seed(view.IdOf(seed_slot_), seed_step_);
+      ++seed_step_;
+      db_->clock()->ChargeCpu(db_->costs().instance_op);
+      ++db_->metrics()->speculative_instances;
+      ++db_->metrics()->instances_created;
+      return true;
+    }
+    view.ChargeHop();
+    seed_step_ = 0;
+    ++seed_slot_;
+  }
+  seeding_ = false;
+  return false;
+}
+
+Result<bool> XSchedule::Next(PathInstance* out) {
+  for (;;) {
+    NAVPATH_RETURN_NOT_OK(Replenish());
+    if (shared_->cluster.valid()) {
+      auto it = q_.find(shared_->cluster.page());
+      if (it != q_.end()) {
+        if (!it->second.empty()) {
+          *out = it->second.front();
+          it->second.pop_front();
+          --q_size_;
+          db_->clock()->ChargeCpu(db_->costs().instance_op);
+          return true;
+        }
+        q_.erase(it);
+      }
+      if (EmitSeed(out)) return true;
+    }
+    if (q_size_ == 0) {
+      // Replenish drained the producer, Q is empty, seeds are done.
+      shared_->cluster.Clear();
+      return false;
+    }
+    NAVPATH_ASSIGN_OR_RETURN(const bool switched, SwitchToNextCluster());
+    if (!switched) {
+      shared_->cluster.Clear();
+      return false;
+    }
+  }
+}
+
+}  // namespace navpath

@@ -1,0 +1,92 @@
+#include "algebra/xstep.h"
+
+namespace navpath {
+
+Status XStep::Open() {
+  active_ = false;
+  fallback_active_ = false;
+  return producer_->Open();
+}
+
+Status XStep::Close() { return producer_->Close(); }
+
+Result<bool> XStep::Next(PathInstance* out) {
+  for (;;) {
+    if (active_) {
+      NAVPATH_ASSIGN_OR_RETURN(const bool produced, NextIntra(out));
+      if (produced) return true;
+      active_ = false;
+    }
+    if (fallback_active_) {
+      NAVPATH_ASSIGN_OR_RETURN(const bool produced, NextFallback(out));
+      if (produced) return true;
+      fallback_active_ = false;
+    }
+    NAVPATH_ASSIGN_OR_RETURN(const bool have, producer_->Next(&current_));
+    if (!have) return false;
+    if (current_.right.step != step_number_ - 1) {
+      *out = current_;  // not applicable: forward unchanged
+      return true;
+    }
+    if (shared_->fallback) {
+      // Unnest-Map behaviour: evaluate the step fully, crossing borders.
+      NAVPATH_RETURN_NOT_OK(
+          fallback_cursor_.Start(step_.axis, current_.right.node));
+      fallback_active_ = true;
+      continue;
+    }
+    // The right end must live in the plan's current cluster.
+    NAVPATH_DCHECK(shared_->cluster.valid());
+    NAVPATH_DCHECK(current_.right.node.page == shared_->cluster.page());
+    cursor_ = AxisCursor(shared_->cluster.view(), step_.axis,
+                         current_.right.node.slot);
+    active_ = true;
+  }
+}
+
+Result<bool> XStep::NextIntra(PathInstance* out) {
+  const ClusterView& view = shared_->cluster.view();
+  NavEntry entry;
+  while (cursor_.Next(&entry)) {
+    if (entry.crossing) {
+      // Inter-cluster edge: do not traverse; emit a right-incomplete
+      // instance (S_R stays i-1) and keep enumerating locally.
+      db_->clock()->ChargeCpu(db_->costs().instance_op);
+      ++db_->metrics()->instances_created;
+      *out = current_;
+      out->right =
+          PathEnd{step_number_ - 1, view.IdOf(entry.slot), 0, true};
+      return true;
+    }
+    if (step_.test.kind == NodeTest::Kind::kName) {
+      if (!view.TagEquals(entry.slot, step_.test.tag)) continue;
+    } else {
+      view.ChargeTest();  // wildcard / node() match every element
+    }
+    db_->clock()->ChargeCpu(db_->costs().instance_op);
+    ++db_->metrics()->instances_created;
+    *out = current_;
+    out->right = PathEnd{step_number_, view.IdOf(entry.slot),
+                         view.OrderOf(entry.slot), false};
+    return true;
+  }
+  return false;
+}
+
+Result<bool> XStep::NextFallback(PathInstance* out) {
+  LogicalNode node;
+  for (;;) {
+    NAVPATH_ASSIGN_OR_RETURN(const bool found, fallback_cursor_.Next(&node));
+    if (!found) return false;
+    db_->clock()->ChargeCpu(db_->costs().node_test);
+    ++db_->metrics()->node_tests;
+    if (!step_.test.Matches(node.tag)) continue;
+    db_->clock()->ChargeCpu(db_->costs().instance_op);
+    ++db_->metrics()->instances_created;
+    *out = current_;
+    out->right = PathEnd{step_number_, node.id, node.order, false};
+    return true;
+  }
+}
+
+}  // namespace navpath

@@ -1,0 +1,50 @@
+#include "benchlib/experiments.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace navpath {
+
+std::vector<double> PaperScaleFactors() {
+  return {0.1, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0};
+}
+
+bool FastBenchMode() {
+  const char* env = std::getenv("NAVPATH_BENCH_FAST");
+  return env != nullptr && env[0] == '1';
+}
+
+std::vector<double> ActiveScaleFactors() {
+  if (FastBenchMode()) return {0.1, 0.25, 0.5};
+  return PaperScaleFactors();
+}
+
+Result<std::vector<std::vector<double>>> RunScalingExperiment(
+    const std::string& title, const std::string& query,
+    const std::vector<double>& scale_factors,
+    const FixtureOptions& options) {
+  PrintTableHeader(title, {"scale", "pages", "results", "Simple[s]",
+                           "XSchedule[s]", "XScan[s]"});
+  std::vector<std::vector<double>> times;
+  for (const double sf : scale_factors) {
+    NAVPATH_ASSIGN_OR_RETURN(auto fixture, XMarkFixture::Create(sf, options));
+    std::vector<double> row;
+    std::uint64_t result_count = 0;
+    for (const PlanKind kind :
+         {PlanKind::kSimple, PlanKind::kXSchedule, PlanKind::kXScan}) {
+      NAVPATH_ASSIGN_OR_RETURN(const QueryRunResult result,
+                               fixture->Run(query, PaperPlan(kind)));
+      row.push_back(result.total_seconds());
+      result_count = result.count;
+    }
+    char sf_buf[16];
+    std::snprintf(sf_buf, sizeof(sf_buf), "%.2f", sf);
+    PrintTableRow({sf_buf, std::to_string(fixture->doc().page_count()),
+                   std::to_string(result_count), FormatSeconds(row[0]),
+                   FormatSeconds(row[1]), FormatSeconds(row[2])});
+    times.push_back(row);
+  }
+  return times;
+}
+
+}  // namespace navpath

@@ -1,0 +1,32 @@
+// Reusable experiment drivers for the paper's figures and ablations.
+#ifndef NAVPATH_BENCHLIB_EXPERIMENTS_H_
+#define NAVPATH_BENCHLIB_EXPERIMENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "benchlib/harness.h"
+
+namespace navpath {
+
+/// The paper's scale-factor sweep (Sec. 6.2).
+std::vector<double> PaperScaleFactors();
+
+/// Reduced sweep for quick smoke runs (honors NAVPATH_BENCH_FAST=1).
+std::vector<double> ActiveScaleFactors();
+
+/// True when the environment asks for a reduced benchmark run.
+bool FastBenchMode();
+
+/// Runs `query` at every scale factor with the three paper plans and
+/// prints one row per scale factor:
+///   SF  pages  |result|  Simple[s]  XSchedule[s]  XScan[s]
+/// Returns the per-plan times for further analysis, indexed [sf][plan].
+Result<std::vector<std::vector<double>>> RunScalingExperiment(
+    const std::string& title, const std::string& query,
+    const std::vector<double>& scale_factors,
+    const FixtureOptions& options = {});
+
+}  // namespace navpath
+
+#endif  // NAVPATH_BENCHLIB_EXPERIMENTS_H_

@@ -1,0 +1,94 @@
+#include "benchlib/harness.h"
+
+#include <cstdio>
+
+#include "xpath/parser.h"
+
+namespace navpath {
+
+Result<std::unique_ptr<XMarkFixture>> XMarkFixture::Create(
+    double scale, FixtureOptions options) {
+  options.xmark.scale = scale;
+  auto fixture = std::unique_ptr<XMarkFixture>(new XMarkFixture(options));
+  const DomTree tree = GenerateXMark(options.xmark, fixture->db_.tags());
+
+  const std::size_t budget =
+      options.db.page_size - options.db.page_size / 8;  // keep slack
+  std::unique_ptr<ClusteringPolicy> policy;
+  if (options.clustering == "subtree") {
+    policy = std::make_unique<SubtreeClusteringPolicy>(budget);
+  } else if (options.clustering == "doc-order") {
+    policy = std::make_unique<DocOrderClusteringPolicy>(budget);
+  } else if (options.clustering == "round-robin") {
+    policy = std::make_unique<RoundRobinClusteringPolicy>(budget);
+  } else if (options.clustering == "random") {
+    policy = std::make_unique<RandomClusteringPolicy>(budget, 7);
+  } else {
+    return Status::InvalidArgument("unknown clustering policy: " +
+                                   options.clustering);
+  }
+  NAVPATH_ASSIGN_OR_RETURN(fixture->doc_,
+                           fixture->db_.Import(tree, policy.get()));
+  fixture->stats_ =
+      DocumentStats::Build(tree, fixture->doc_, options.db.page_size);
+  return fixture;
+}
+
+Result<QueryRunResult> XMarkFixture::RunOptimized(const std::string& query,
+                                                  PlanKind* chosen) {
+  NAVPATH_ASSIGN_OR_RETURN(const PathQuery parsed,
+                           ParseQuery(query, db_.tags()));
+  const PlanKind kind = ChoosePlanKind(stats_, parsed,
+                                       db_.options().disk_model, db_.costs());
+  if (chosen != nullptr) *chosen = kind;
+  return Run(query, PaperPlan(kind));
+}
+
+Result<QueryRunResult> XMarkFixture::Run(const std::string& query,
+                                         const PlanOptions& plan) {
+  NAVPATH_ASSIGN_OR_RETURN(const PathQuery parsed,
+                           ParseQuery(query, db_.tags()));
+  ExecuteOptions exec;
+  exec.plan = plan;
+  exec.collect_nodes = parsed.mode == PathQuery::Mode::kNodes;
+  exec.cold_start = true;
+  return ExecuteQuery(&db_, doc_, parsed, exec);
+}
+
+PlanOptions PaperPlan(PlanKind kind) {
+  PlanOptions options;
+  options.kind = kind;
+  options.speculative = false;  // Sec. 6.2: XSchedule, speculative off
+  options.queue_k = 100;        // Sec. 5.3.4 default
+  options.s_budget = 0;
+  return options;
+}
+
+void PrintTableHeader(const std::string& title,
+                      const std::vector<std::string>& columns) {
+  std::printf("\n== %s ==\n", title.c_str());
+  for (const auto& c : columns) std::printf("%16s", c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < columns.size(); ++i) std::printf("%16s", "----");
+  std::printf("\n");
+}
+
+void PrintTableRow(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) std::printf("%16s", c.c_str());
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", seconds);
+  return buf;
+}
+
+std::string FormatPercent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace navpath

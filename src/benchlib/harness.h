@@ -1,0 +1,80 @@
+// Shared benchmark harness: XMark fixtures and paper-style table output.
+#ifndef NAVPATH_BENCHLIB_HARNESS_H_
+#define NAVPATH_BENCHLIB_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/cost_model.h"
+#include "compiler/executor.h"
+#include "store/database.h"
+#include "xmark/generator.h"
+
+namespace navpath {
+
+// The paper's evaluated queries (Tab. 2).
+inline constexpr const char* kQ6Prime = "count(/site/regions//item)";
+inline constexpr const char* kQ7 =
+    "count(/site//description)+count(/site//annotation)+"
+    "count(/site//email)";
+inline constexpr const char* kQ15 =
+    "/site/closed_auctions/closed_auction/annotation/description/parlist/"
+    "listitem/parlist/listitem/text/emph/keyword/bold";
+
+struct FixtureOptions {
+  FixtureOptions() {
+    // Benchmarks run on a moderately aged physical layout (see
+    // ImportOptions::fragmentation); tests use pristine layouts.
+    db.import.fragmentation = 0.35;
+  }
+
+  DatabaseOptions db;
+  XMarkOptions xmark;
+  /// Clustering policy: "subtree" (default), "doc-order", "round-robin",
+  /// "random".
+  std::string clustering = "subtree";
+};
+
+/// A database with one imported XMark document at a given scale factor.
+class XMarkFixture {
+ public:
+  static Result<std::unique_ptr<XMarkFixture>> Create(
+      double scale, FixtureOptions options = {});
+
+  Database* db() { return &db_; }
+  const ImportedDocument& doc() const { return doc_; }
+  /// Cardinality statistics for cost-based plan choice.
+  const DocumentStats& stats() const { return stats_; }
+
+  /// Parses and runs `query` with `plan` (cold buffer).
+  Result<QueryRunResult> Run(const std::string& query,
+                             const PlanOptions& plan);
+
+  /// Lets the cost model pick the I/O operator, then runs the query.
+  Result<QueryRunResult> RunOptimized(const std::string& query,
+                                      PlanKind* chosen = nullptr);
+
+ private:
+  explicit XMarkFixture(const FixtureOptions& options) : db_(options.db) {}
+
+  Database db_;
+  ImportedDocument doc_;
+  DocumentStats stats_;
+};
+
+/// Makes a PlanOptions for one of the three paper plans. XSchedule runs
+/// with speculative=false, matching Sec. 6.2.
+PlanOptions PaperPlan(PlanKind kind);
+
+// --- Output helpers (aligned fixed-width tables) -------------------------
+
+void PrintTableHeader(const std::string& title,
+                      const std::vector<std::string>& columns);
+void PrintTableRow(const std::vector<std::string>& cells);
+std::string FormatSeconds(double seconds);
+std::string FormatPercent(double fraction);
+
+}  // namespace navpath
+
+#endif  // NAVPATH_BENCHLIB_HARNESS_H_

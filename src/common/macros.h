@@ -1,0 +1,59 @@
+// Core assertion and utility macros used across navpath.
+//
+// Invariant violations are programming errors and abort the process
+// (NAVPATH_CHECK / NAVPATH_DCHECK); environmental failures (I/O, parse
+// errors, resource exhaustion) are reported through Status/Result instead.
+#ifndef NAVPATH_COMMON_MACROS_H_
+#define NAVPATH_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define NAVPATH_CHECK(condition)                                            \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      ::std::fprintf(stderr, "NAVPATH_CHECK failed at %s:%d: %s\n",         \
+                     __FILE__, __LINE__, #condition);                       \
+      ::std::abort();                                                       \
+    }                                                                       \
+  } while (false)
+
+#define NAVPATH_CHECK_MSG(condition, msg)                                   \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      ::std::fprintf(stderr, "NAVPATH_CHECK failed at %s:%d: %s (%s)\n",    \
+                     __FILE__, __LINE__, #condition, msg);                  \
+      ::std::abort();                                                       \
+    }                                                                       \
+  } while (false)
+
+#ifdef NDEBUG
+#define NAVPATH_DCHECK(condition) \
+  do {                            \
+  } while (false)
+#else
+#define NAVPATH_DCHECK(condition) NAVPATH_CHECK(condition)
+#endif
+
+// Propagates a non-OK Status from an expression producing a Status.
+#define NAVPATH_RETURN_NOT_OK(expr)                  \
+  do {                                               \
+    ::navpath::Status _navpath_status = (expr);      \
+    if (!_navpath_status.ok()) return _navpath_status; \
+  } while (false)
+
+#define NAVPATH_CONCAT_IMPL(x, y) x##y
+#define NAVPATH_CONCAT(x, y) NAVPATH_CONCAT_IMPL(x, y)
+
+// Evaluates an expression producing Result<T>; on success binds the value
+// to `lhs`, on failure returns the error Status.
+#define NAVPATH_ASSIGN_OR_RETURN(lhs, expr)                       \
+  NAVPATH_ASSIGN_OR_RETURN_IMPL(                                  \
+      NAVPATH_CONCAT(_navpath_result_, __LINE__), lhs, expr)
+
+#define NAVPATH_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).ValueOrDie()
+
+#endif  // NAVPATH_COMMON_MACROS_H_

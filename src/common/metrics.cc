@@ -1,0 +1,42 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+
+namespace navpath {
+
+std::string Metrics::ToString() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "disk: reads=%llu (seq=%llu) writes=%llu seek_pages=%llu "
+      "async=%llu (reordered=%llu)\n"
+      "buffer: hits=%llu misses=%llu evictions=%llu swizzle=%llu "
+      "unswizzle=%llu\n"
+      "nav: clusters=%llu intra=%llu inter=%llu tests=%llu\n"
+      "algebra: instances=%llu full=%llu speculative=%llu r_probes=%llu "
+      "s_probes=%llu fallbacks=%llu",
+      static_cast<unsigned long long>(disk_reads),
+      static_cast<unsigned long long>(disk_seq_reads),
+      static_cast<unsigned long long>(disk_writes),
+      static_cast<unsigned long long>(disk_seek_pages),
+      static_cast<unsigned long long>(async_requests),
+      static_cast<unsigned long long>(async_reorderings),
+      static_cast<unsigned long long>(buffer_hits),
+      static_cast<unsigned long long>(buffer_misses),
+      static_cast<unsigned long long>(buffer_evictions),
+      static_cast<unsigned long long>(swizzle_ops),
+      static_cast<unsigned long long>(unswizzle_ops),
+      static_cast<unsigned long long>(clusters_visited),
+      static_cast<unsigned long long>(intra_cluster_hops),
+      static_cast<unsigned long long>(inter_cluster_hops),
+      static_cast<unsigned long long>(node_tests),
+      static_cast<unsigned long long>(instances_created),
+      static_cast<unsigned long long>(instances_full),
+      static_cast<unsigned long long>(speculative_instances),
+      static_cast<unsigned long long>(r_set_probes),
+      static_cast<unsigned long long>(s_set_probes),
+      static_cast<unsigned long long>(fallback_activations));
+  return buf;
+}
+
+}  // namespace navpath

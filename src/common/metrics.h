@@ -1,0 +1,52 @@
+// Execution metrics gathered during query evaluation.
+//
+// Every layer increments counters on the shared Metrics object owned by the
+// Database; benchmarks and tests read them to explain *why* one plan beats
+// another (I/O counts, seek distance, buffer hits, swizzle operations, ...).
+#ifndef NAVPATH_COMMON_METRICS_H_
+#define NAVPATH_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace navpath {
+
+struct Metrics {
+  // Disk level.
+  std::uint64_t disk_reads = 0;        // pages read (any mode)
+  std::uint64_t disk_seq_reads = 0;    // pages read at sequential cost
+  std::uint64_t disk_writes = 0;       // pages written back
+  std::uint64_t disk_seek_pages = 0;   // total seek distance in pages
+  std::uint64_t async_requests = 0;    // async read requests issued
+  std::uint64_t async_reorderings = 0; // async requests served out of order
+
+  // Buffer level.
+  std::uint64_t buffer_hits = 0;
+  std::uint64_t buffer_misses = 0;
+  std::uint64_t buffer_evictions = 0;
+  std::uint64_t swizzle_ops = 0;    // NodeID -> pointer translations
+  std::uint64_t unswizzle_ops = 0;  // pointer -> NodeID translations
+
+  // Navigation level.
+  std::uint64_t clusters_visited = 0;  // cluster entries by I/O operators
+  std::uint64_t intra_cluster_hops = 0;
+  std::uint64_t inter_cluster_hops = 0;
+  std::uint64_t node_tests = 0;
+
+  // Algebra level.
+  std::uint64_t instances_created = 0;
+  std::uint64_t instances_full = 0;
+  std::uint64_t speculative_instances = 0;
+  std::uint64_t r_set_probes = 0;
+  std::uint64_t s_set_probes = 0;
+  std::uint64_t fallback_activations = 0;
+
+  void Reset() { *this = Metrics(); }
+
+  /// Multi-line human-readable dump (for examples and debugging).
+  std::string ToString() const;
+};
+
+}  // namespace navpath
+
+#endif  // NAVPATH_COMMON_METRICS_H_

@@ -1,0 +1,158 @@
+// Arrow-style Status/Result error model.
+//
+// Fallible operations return Status (no payload) or Result<T> (payload or
+// error). Hot paths that cannot fail use plain values plus NAVPATH_DCHECK.
+#ifndef NAVPATH_COMMON_STATUS_H_
+#define NAVPATH_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace navpath {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIOError = 2,
+  kOutOfMemory = 3,
+  kNotFound = 4,
+  kCorruption = 5,
+  kNotImplemented = 6,
+  kParseError = 7,
+  kResourceExhausted = 8,
+  kUnknown = 9,
+};
+
+/// Returns a human-readable name for a status code ("OK", "IOError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to pass around: the OK state carries no
+/// allocation; error states hold a code and message on the heap.
+class Status {
+ public:
+  Status() = default;
+
+  Status(StatusCode code, std::string msg)
+      : state_(std::make_unique<State>(State{code, std::move(msg)})) {}
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process if this status is not OK. Use only where failure
+  /// indicates a bug (e.g., in tests and examples).
+  void Abort() const;
+  void AbortIfNotOk() const {
+    if (!ok()) Abort();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+
+  void CopyFrom(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+
+  std::unique_ptr<State> state_;  // nullptr == OK
+};
+
+/// A value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status)                            // NOLINT implicit
+      : payload_(std::move(status)) {
+    NAVPATH_CHECK_MSG(!std::get<Status>(payload_).ok(),
+                      "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(payload_);
+  }
+
+  const T& ValueOrDie() const& {
+    NAVPATH_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(payload_);
+  }
+  T& ValueOrDie() & {
+    NAVPATH_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(payload_);
+  }
+  T ValueOrDie() && {
+    NAVPATH_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::move(std::get<T>(payload_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace navpath
+
+#endif  // NAVPATH_COMMON_STATUS_H_

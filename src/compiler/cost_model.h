@@ -1,0 +1,116 @@
+// Cost-based choice of the I/O-performing operator.
+//
+// The paper leaves this to future work ("Further research is needed to
+// create a cost model to support the choice of the I/O-performing
+// operator", Sec. 7). This module implements it: document statistics
+// gathered at import time estimate, per location path, how many nodes a
+// plan examines and how many clusters it must visit; plugging those into
+// the disk and CPU models yields estimated total costs per plan kind, and
+// the planner picks the cheapest. The Q7/Q15 selectivity contrast in the
+// evaluation is exactly the crossover this model captures.
+#ifndef NAVPATH_COMPILER_COST_MODEL_H_
+#define NAVPATH_COMPILER_COST_MODEL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "compiler/plan.h"
+#include "xml/dom.h"
+#include "xpath/location_path.h"
+
+namespace navpath {
+
+/// Per-document statistics for cardinality estimation. Built once from
+/// the DOM at import time; O(nodes) construction.
+class DocumentStats {
+ public:
+  /// Gathers statistics from `tree`. `borders_per_node` is the fraction
+  /// of logical edges that became inter-cluster edges at import (from
+  /// ImportedDocument::border_pairs / core_records).
+  static DocumentStats Build(const DomTree& tree, const ImportedDocument& doc,
+                             std::size_t page_size);
+
+  std::uint64_t node_count() const { return node_count_; }
+  std::uint64_t page_count() const { return page_count_; }
+  double nodes_per_page() const {
+    return page_count_ == 0 ? 1.0
+                            : static_cast<double>(node_count_) /
+                                  static_cast<double>(page_count_);
+  }
+  /// Probability that an edge traversal crosses clusters.
+  double crossing_probability() const { return crossing_probability_; }
+  TagId root_tag() const { return root_tag_; }
+  std::uint64_t border_records() const { return border_records_; }
+
+  std::uint64_t CountOfTag(TagId tag) const;
+  /// Total attributes named `attr` on elements with tag `parent`.
+  std::uint64_t AttributeCount(TagId parent, TagId attr) const;
+  std::uint64_t AttributeCountAny(TagId parent) const;
+  /// Total children with tag `child` under elements with tag `parent`.
+  std::uint64_t ChildCount(TagId parent, TagId child) const;
+  std::uint64_t ChildCountAny(TagId parent) const;
+  /// Total proper descendants with tag `desc` under elements of `parent`.
+  std::uint64_t DescendantCount(TagId parent, TagId desc) const;
+  std::uint64_t DescendantCountAny(TagId parent) const;
+
+ private:
+  using TagPairCounts =
+      std::unordered_map<std::uint64_t, std::uint64_t>;  // (a<<32|b) -> n
+
+  static std::uint64_t PairKey(TagId a, TagId b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  std::uint64_t node_count_ = 0;
+  std::uint64_t page_count_ = 0;
+  std::uint64_t border_records_ = 0;
+  double crossing_probability_ = 0.0;
+  TagId root_tag_ = 0;
+  std::unordered_map<TagId, std::uint64_t> tag_counts_;
+  std::unordered_map<TagId, std::uint64_t> child_any_;
+  std::unordered_map<TagId, std::uint64_t> desc_any_;
+  TagPairCounts child_pair_;
+  TagPairCounts desc_pair_;
+  TagPairCounts attr_pair_;
+  std::unordered_map<TagId, std::uint64_t> attr_any_;
+};
+
+/// Estimated evaluation profile of one location path.
+struct PathEstimate {
+  double result_cardinality = 0;  // nodes the path selects
+  double nodes_examined = 0;      // navigation work across all steps
+  double crossings = 0;           // expected inter-cluster traversals
+  double clusters_touched = 0;    // distinct clusters a navigational plan
+                                  // must load
+};
+
+/// Estimates `path` against the statistics.
+PathEstimate EstimatePath(const DocumentStats& stats,
+                          const LocationPath& path);
+
+/// Estimated total simulated cost of running `path` with each plan kind.
+struct PlanCosts {
+  double simple = 0;
+  double xschedule = 0;
+  double xscan = 0;
+
+  PlanKind Best() const {
+    if (xschedule <= simple && xschedule <= xscan) {
+      return PlanKind::kXSchedule;
+    }
+    return xscan <= simple ? PlanKind::kXScan : PlanKind::kSimple;
+  }
+};
+
+PlanCosts EstimatePlanCosts(const DocumentStats& stats,
+                            const LocationPath& path, const DiskModel& disk,
+                            const CpuCostModel& cpu);
+
+/// The optimizer: picks the cheapest I/O-performing operator for `query`
+/// (summing estimates over count() operands).
+PlanKind ChoosePlanKind(const DocumentStats& stats, const PathQuery& query,
+                        const DiskModel& disk, const CpuCostModel& cpu);
+
+}  // namespace navpath
+
+#endif  // NAVPATH_COMPILER_COST_MODEL_H_

@@ -1,0 +1,219 @@
+#include "compiler/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace navpath {
+namespace {
+
+/// Runs one prepared plan to exhaustion, deduplicating result nodes.
+Status DrainPlan(Database* db, PathPlan* plan, bool collect_nodes,
+                 std::uint64_t* count, std::vector<LogicalNode>* nodes) {
+  NAVPATH_RETURN_NOT_OK(plan->root()->Open());
+  std::unordered_set<std::uint64_t> seen;
+  PathInstance inst;
+  for (;;) {
+    NAVPATH_ASSIGN_OR_RETURN(const bool have, plan->root()->Next(&inst));
+    if (!have) break;
+    // Final duplicate elimination (required for the Simple method; a
+    // cheap re-check for XAssembly plans, whose R already deduplicates).
+    db->clock()->ChargeCpu(db->costs().set_op);
+    if (!seen.insert(inst.right.node.Pack()).second) continue;
+    ++*count;
+    if (collect_nodes) {
+      nodes->push_back(LogicalNode{inst.right.node, 0, inst.right.order});
+    }
+  }
+  return plan->root()->Close();
+}
+
+/// String value of a node (element text or attribute value).
+Result<std::string> NodeStringValue(Database* db, NodeID id) {
+  NAVPATH_ASSIGN_OR_RETURN(PageGuard guard, db->buffer()->Fix(id.page));
+  const ClusterView view = db->MakeView(guard);
+  return std::string(view.TextOf(id.slot));
+}
+
+/// Existence (or string-equality) check of a relative path from `context`,
+/// navigating the paged store directly. Nested predicates recurse.
+Result<bool> StorePredicateHolds(Database* db, NodeID context,
+                                 const Predicate& pred);
+
+Result<bool> StepSatisfiesPredicates(Database* db, const LogicalNode& node,
+                                     const LocationStep& step) {
+  for (const Predicate& pred : step.predicates) {
+    NAVPATH_ASSIGN_OR_RETURN(const bool holds,
+                             StorePredicateHolds(db, node.id, pred));
+    if (!holds) return false;
+  }
+  return true;
+}
+
+Result<bool> StorePredicateHolds(Database* db, NodeID context,
+                                 const Predicate& pred) {
+  std::vector<NodeID> frontier{context};
+  const LocationPath& path = *pred.path;
+  for (std::size_t i = 0; i < path.steps.size(); ++i) {
+    const LocationStep& step = path.steps[i];
+    const bool last = i + 1 == path.steps.size();
+    std::vector<NodeID> next;
+    std::unordered_set<std::uint64_t> seen;
+    CrossClusterCursor cursor(db);
+    for (const NodeID ctx : frontier) {
+      NAVPATH_RETURN_NOT_OK(cursor.Start(step.axis, ctx));
+      LogicalNode node;
+      for (;;) {
+        NAVPATH_ASSIGN_OR_RETURN(const bool more, cursor.Next(&node));
+        if (!more) break;
+        db->clock()->ChargeCpu(db->costs().node_test);
+        if (!step.test.Matches(node.tag)) continue;
+        if (!seen.insert(node.id.Pack()).second) continue;
+        NAVPATH_ASSIGN_OR_RETURN(const bool keep,
+                                 StepSatisfiesPredicates(db, node, step));
+        if (!keep) continue;
+        if (last && !pred.has_value) return true;  // existence: early out
+        if (last && pred.has_value) {
+          NAVPATH_ASSIGN_OR_RETURN(const std::string value,
+                                   NodeStringValue(db, node.id));
+          if (value == pred.value) return true;
+          continue;
+        }
+        next.push_back(node.id);
+      }
+    }
+    if (last) return false;
+    if (next.empty()) return false;
+    frontier = std::move(next);
+  }
+  // Zero-step relative path: the context itself exists.
+  return !pred.has_value;
+}
+
+/// Evaluates a predicated path by splitting it into predicate-free
+/// segments, each run through the chosen physical plan, with predicate
+/// filtering between segments (the "more expressive algebra" around the
+/// paper's operators).
+Result<std::vector<LogicalNode>> EvaluateWithPredicates(
+    Database* db, const ImportedDocument& doc, const LocationPath& path,
+    std::vector<LogicalNode> contexts, const PlanOptions& plan_options) {
+  if (path.absolute) {
+    contexts.assign(1, LogicalNode{doc.root, 0, doc.root_order});
+  }
+  std::size_t begin = 0;
+  bool first_segment = true;
+  while (begin < path.steps.size()) {
+    // Segment = maximal run ending at a predicated step (or path end).
+    std::size_t end = begin;
+    while (end < path.steps.size() &&
+           path.steps[end].predicates.empty()) {
+      ++end;
+    }
+    const bool segment_has_predicates = end < path.steps.size();
+    if (segment_has_predicates) ++end;  // include the predicated step
+
+    LocationPath segment;
+    segment.absolute = first_segment && path.absolute;
+    for (std::size_t i = begin; i < end; ++i) {
+      LocationStep step = path.steps[i];
+      step.predicates.clear();
+      segment.steps.push_back(std::move(step));
+    }
+    NAVPATH_ASSIGN_OR_RETURN(
+        PathPlan plan,
+        BuildPlan(db, doc, segment, contexts, plan_options));
+    NAVPATH_RETURN_NOT_OK(plan.root()->Open());
+    std::vector<LogicalNode> nodes;
+    std::unordered_set<std::uint64_t> seen;
+    PathInstance inst;
+    for (;;) {
+      NAVPATH_ASSIGN_OR_RETURN(const bool more, plan.root()->Next(&inst));
+      if (!more) break;
+      db->clock()->ChargeCpu(db->costs().set_op);
+      if (!seen.insert(inst.right.node.Pack()).second) continue;
+      nodes.push_back(LogicalNode{inst.right.node, 0, inst.right.order});
+    }
+    NAVPATH_RETURN_NOT_OK(plan.root()->Close());
+
+    if (segment_has_predicates) {
+      const LocationStep& predicated = path.steps[end - 1];
+      std::vector<LogicalNode> kept;
+      for (const LogicalNode& node : nodes) {
+        NAVPATH_ASSIGN_OR_RETURN(
+            const bool keep, StepSatisfiesPredicates(db, node, predicated));
+        if (keep) kept.push_back(node);
+      }
+      nodes = std::move(kept);
+    }
+    contexts = std::move(nodes);
+    begin = end;
+    first_segment = false;
+    if (contexts.empty()) break;
+  }
+  return contexts;
+}
+
+}  // namespace
+
+Result<QueryRunResult> ExecutePath(Database* db, const ImportedDocument& doc,
+                                   const LocationPath& path,
+                                   const ExecuteOptions& options) {
+  PathQuery query;
+  query.mode = options.collect_nodes ? PathQuery::Mode::kNodes
+                                     : PathQuery::Mode::kCount;
+  query.paths.push_back(path);
+  return ExecuteQuery(db, doc, query, options);
+}
+
+Result<QueryRunResult> ExecuteQuery(Database* db, const ImportedDocument& doc,
+                                    const PathQuery& query,
+                                    const ExecuteOptions& options) {
+  if (query.paths.empty()) {
+    return Status::InvalidArgument("query without paths");
+  }
+  const bool collect =
+      options.collect_nodes && query.mode == PathQuery::Mode::kNodes;
+  if (options.cold_start) {
+    NAVPATH_RETURN_NOT_OK(db->ResetMeasurement());
+  }
+
+  QueryRunResult result;
+  for (const LocationPath& path : query.paths) {
+    if (path.HasPredicates()) {
+      NAVPATH_ASSIGN_OR_RETURN(
+          const std::vector<LogicalNode> nodes,
+          EvaluateWithPredicates(db, doc, path, options.contexts,
+                                 options.plan));
+      result.count += nodes.size();
+      if (collect) {
+        result.nodes.insert(result.nodes.end(), nodes.begin(), nodes.end());
+      }
+      continue;
+    }
+    NAVPATH_ASSIGN_OR_RETURN(
+        PathPlan plan,
+        BuildPlan(db, doc, path, options.contexts, options.plan));
+    NAVPATH_RETURN_NOT_OK(
+        DrainPlan(db, &plan, collect, &result.count, &result.nodes));
+  }
+
+  if (collect && result.nodes.size() > 1) {
+    // Document-order sort (Sec. 5.5); order keys travel with instances so
+    // no I/O is needed.
+    const double n = static_cast<double>(result.nodes.size());
+    db->clock()->ChargeCpu(static_cast<SimTime>(
+        n * std::max(1.0, std::log2(n)) *
+        static_cast<double>(db->costs().sort_op)));
+    std::sort(result.nodes.begin(), result.nodes.end(),
+              [](const LogicalNode& a, const LogicalNode& b) {
+                return a.order < b.order;
+              });
+  }
+
+  result.total_time = db->clock()->now();
+  result.cpu_time = db->clock()->cpu_time();
+  result.metrics = *db->metrics();
+  return result;
+}
+
+}  // namespace navpath

@@ -1,0 +1,61 @@
+// Plan execution: drives a plan to exhaustion and post-processes results
+// (duplicate elimination, document-order sort, counting — Sec. 5.1, 5.5).
+#ifndef NAVPATH_COMPILER_EXECUTOR_H_
+#define NAVPATH_COMPILER_EXECUTOR_H_
+
+#include <vector>
+
+#include "compiler/plan.h"
+#include "xpath/location_path.h"
+
+namespace navpath {
+
+struct QueryRunResult {
+  /// Number of distinct result nodes (summed over count() operands).
+  std::uint64_t count = 0;
+  /// Node mode only: distinct result nodes in document order.
+  std::vector<LogicalNode> nodes;
+
+  // Simulated timing of this run (clock is reset at the start).
+  SimTime total_time = 0;
+  SimTime cpu_time = 0;
+  Metrics metrics;
+
+  double total_seconds() const { return SimClock::ToSeconds(total_time); }
+  double cpu_seconds() const { return SimClock::ToSeconds(cpu_time); }
+  double cpu_fraction() const {
+    return total_time == 0
+               ? 0.0
+               : static_cast<double>(cpu_time) /
+                     static_cast<double>(total_time);
+  }
+};
+
+struct ExecuteOptions {
+  PlanOptions plan;
+  /// Context nodes for relative paths (ignored by absolute paths, which
+  /// start at the document root).
+  std::vector<LogicalNode> contexts;
+  /// Collect result nodes (sorted, document order). count() queries skip
+  /// the sort — the paper notes order is irrelevant under aggregation
+  /// (Sec. 5.5).
+  bool collect_nodes = false;
+  /// Reset buffer/clock/metrics before running (cold start, the paper's
+  /// measurement discipline from Sec. 6.1).
+  bool cold_start = true;
+};
+
+/// Runs one location path and returns its (distinct) result nodes/count.
+Result<QueryRunResult> ExecutePath(Database* db, const ImportedDocument& doc,
+                                   const LocationPath& path,
+                                   const ExecuteOptions& options);
+
+/// Runs a PathQuery: a single node-mode path or a sum of counts evaluated
+/// sequentially (accumulating simulated time across the operand paths).
+Result<QueryRunResult> ExecuteQuery(Database* db, const ImportedDocument& doc,
+                                    const PathQuery& query,
+                                    const ExecuteOptions& options);
+
+}  // namespace navpath
+
+#endif  // NAVPATH_COMPILER_EXECUTOR_H_

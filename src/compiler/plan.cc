@@ -1,0 +1,98 @@
+#include "compiler/plan.h"
+
+#include "algebra/context_scan.h"
+#include "algebra/unnest_map.h"
+#include "algebra/xstep.h"
+
+namespace navpath {
+
+Result<PathPlan> BuildPlan(Database* db, const ImportedDocument& doc,
+                           const LocationPath& path,
+                           std::vector<LogicalNode> contexts,
+                           const PlanOptions& options) {
+  PathPlan plan;
+  plan.shared_ = std::make_unique<PlanSharedState>(db);
+
+  if (path.absolute) {
+    contexts.clear();
+    contexts.push_back(LogicalNode{doc.root, 0, doc.root_order});
+  } else if (contexts.empty()) {
+    return Status::InvalidArgument("relative path without context nodes");
+  }
+
+  auto add = [&plan](std::unique_ptr<PathOperator> op) {
+    plan.operators_.push_back(std::move(op));
+    return plan.operators_.back().get();
+  };
+
+  PathOperator* tip = add(std::make_unique<ContextScan>(std::move(contexts)));
+  const int length = static_cast<int>(path.length());
+
+  switch (options.kind) {
+    case PlanKind::kSimple: {
+      for (int i = 0; i < length; ++i) {
+        tip = add(std::make_unique<UnnestMap>(db, tip, i + 1,
+                                              path.steps[i]));
+      }
+      plan.root_ = tip;
+      return plan;
+    }
+    case PlanKind::kXSchedule: {
+      XScheduleOptions sched_options;
+      sched_options.k = options.queue_k;
+      sched_options.speculative = options.speculative;
+      sched_options.path_length = length;
+      auto* schedule = static_cast<XSchedule*>(add(
+          std::make_unique<XSchedule>(db, plan.shared_.get(), tip,
+                                      sched_options)));
+      tip = schedule;
+      for (int i = 0; i < length; ++i) {
+        tip = add(std::make_unique<XStep>(db, plan.shared_.get(), tip, i + 1,
+                                          path.steps[i]));
+      }
+      XAssemblyOptions asm_options;
+      asm_options.path_length = length;
+      asm_options.s_budget = options.s_budget;
+      asm_options.speculative = options.speculative;
+      asm_options.first_step_reaches_all = false;  // no full-visit guarantee
+      auto* assembly = static_cast<XAssembly*>(
+          add(std::make_unique<XAssembly>(db, plan.shared_.get(), tip,
+                                          schedule, asm_options)));
+      plan.root_ = assembly;
+      plan.assembly_ = assembly;
+      return plan;
+    }
+    case PlanKind::kXScan: {
+      XScanOptions scan_options;
+      scan_options.first_page = doc.first_page;
+      scan_options.last_page = doc.last_page;
+      scan_options.path_length = length;
+      tip = add(std::make_unique<XScan>(db, plan.shared_.get(), tip,
+                                        scan_options));
+      for (int i = 0; i < length; ++i) {
+        tip = add(std::make_unique<XStep>(db, plan.shared_.get(), tip, i + 1,
+                                          path.steps[i]));
+      }
+      XAssemblyOptions asm_options;
+      asm_options.path_length = length;
+      asm_options.s_budget = options.s_budget;
+      asm_options.speculative = true;
+      // Sec. 5.4.5.4: with a guaranteed full scan and a first step that
+      // reaches every node from the root, step-0 right ends are implicit.
+      asm_options.first_step_reaches_all =
+          path.absolute && length > 0 &&
+          (path.steps[0].axis == Axis::kDescendant ||
+           path.steps[0].axis == Axis::kDescendantOrSelf);
+      auto* assembly = static_cast<XAssembly*>(
+          add(std::make_unique<XAssembly>(db, plan.shared_.get(), tip,
+                                          /*schedule=*/nullptr,
+                                          asm_options)));
+      plan.root_ = assembly;
+      plan.assembly_ = assembly;
+      return plan;
+    }
+  }
+  return Status::InvalidArgument("unknown plan kind");
+}
+
+}  // namespace navpath

@@ -1,0 +1,79 @@
+// Physical plan construction for location paths.
+//
+// Three plan shapes, mirroring the paper's evaluation (Sec. 6.2):
+//   kSimple    — ContextScan -> UnnestMap chain            (Sec. 5.1)
+//   kXSchedule — ContextScan -> XSchedule -> XStep* -> XAssembly
+//   kXScan     — ContextScan -> XScan     -> XStep* -> XAssembly
+#ifndef NAVPATH_COMPILER_PLAN_H_
+#define NAVPATH_COMPILER_PLAN_H_
+
+#include <memory>
+#include <vector>
+
+#include "algebra/operator.h"
+#include "algebra/xassembly.h"
+#include "algebra/xschedule.h"
+#include "algebra/xscan.h"
+#include "store/cross_cursor.h"
+#include "store/import.h"
+#include "xpath/location_path.h"
+
+namespace navpath {
+
+enum class PlanKind { kSimple, kXSchedule, kXScan };
+
+inline const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kSimple:
+      return "Simple";
+    case PlanKind::kXSchedule:
+      return "XSchedule";
+    case PlanKind::kXScan:
+      return "XScan";
+  }
+  return "?";
+}
+
+struct PlanOptions {
+  PlanKind kind = PlanKind::kXSchedule;
+  /// XSchedule only: generate speculative seeds per visited cluster
+  /// (Sec. 5.4.4). The paper's experiments run XSchedule with
+  /// speculative = false (Sec. 6.2); XScan always speculates.
+  bool speculative = false;
+  /// XSchedule's desired minimum queue size (paper default: 100).
+  std::size_t queue_k = 100;
+  /// Memory budget for XAssembly's S (instances; 0 = unlimited). Exceeding
+  /// it reverts the plan to fallback mode (Sec. 5.4.6).
+  std::size_t s_budget = 0;
+};
+
+/// An executable operator tree. Movable; owns all operators and the shared
+/// plan state.
+class PathPlan {
+ public:
+  PathOperator* root() const { return root_; }
+  PlanSharedState* shared() const { return shared_.get(); }
+  const XAssembly* assembly() const { return assembly_; }
+
+ private:
+  friend Result<PathPlan> BuildPlan(Database*, const ImportedDocument&,
+                                    const LocationPath&,
+                                    std::vector<LogicalNode>,
+                                    const PlanOptions&);
+
+  std::unique_ptr<PlanSharedState> shared_;
+  std::vector<std::unique_ptr<PathOperator>> operators_;
+  PathOperator* root_ = nullptr;
+  XAssembly* assembly_ = nullptr;
+};
+
+/// Builds a plan for `path` over `doc`. `contexts` seeds relative paths;
+/// absolute paths use the document root (contexts may then be empty).
+Result<PathPlan> BuildPlan(Database* db, const ImportedDocument& doc,
+                           const LocationPath& path,
+                           std::vector<LogicalNode> contexts,
+                           const PlanOptions& options);
+
+}  // namespace navpath
+
+#endif  // NAVPATH_COMPILER_PLAN_H_

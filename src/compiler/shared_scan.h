@@ -1,0 +1,62 @@
+// Multi-path evaluation with a single I/O-performing operator.
+//
+// The paper's Sec. 7 outlook: "Our method can be easily extended to
+// evaluate multiple location paths with a single I/O-performing
+// operator." This module implements that extension for the scan case: one
+// sequential pass over the document drives any number of location paths
+// at once. Each path keeps its own XStep chain and XAssembly (R/S
+// structures), all sharing the plan-wide current cluster; the driver
+// feeds every path its context instances and speculative seeds per
+// visited cluster and drains full instances after each cluster.
+//
+// A query like Q7 — three count() paths — thus pays ONE document scan
+// instead of three.
+#ifndef NAVPATH_COMPILER_SHARED_SCAN_H_
+#define NAVPATH_COMPILER_SHARED_SCAN_H_
+
+#include <deque>
+
+#include "compiler/executor.h"
+
+namespace navpath {
+
+/// A PathOperator whose input is pushed by an external driver. Returning
+/// false only means "nothing buffered right now"; the driver may push
+/// more and pull again.
+class FeedOperator : public PathOperator {
+ public:
+  Status Open() override {
+    queue_.clear();
+    return Status::OK();
+  }
+  Result<bool> Next(PathInstance* out) override {
+    if (queue_.empty()) return false;
+    *out = queue_.front();
+    queue_.pop_front();
+    return true;
+  }
+  Status Close() override { return Status::OK(); }
+
+  void Push(const PathInstance& inst) { queue_.push_back(inst); }
+
+ private:
+  std::deque<PathInstance> queue_;
+};
+
+/// Per-path result breakdown of a shared scan.
+struct SharedScanResult {
+  QueryRunResult combined;                  // summed count, overall timing
+  std::vector<std::uint64_t> path_counts;   // one entry per query path
+};
+
+/// Evaluates all paths of `query` in one sequential scan.
+/// Limitation: fallback mode (Sec. 5.4.6) is not supported here — the
+/// speculative structures are bounded by the documents this executor is
+/// meant for; use ExecuteQuery with an s_budget otherwise.
+Result<SharedScanResult> ExecuteQuerySharedScan(
+    Database* db, const ImportedDocument& doc, const PathQuery& query,
+    bool cold_start = true);
+
+}  // namespace navpath
+
+#endif  // NAVPATH_COMPILER_SHARED_SCAN_H_

@@ -1,0 +1,227 @@
+#include "storage/buffer_manager.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace navpath {
+
+PageGuard::PageGuard(BufferManager* bm, std::size_t frame_idx)
+    : bm_(bm), frame_idx_(frame_idx) {}
+
+PageGuard::~PageGuard() { Release(); }
+
+PageGuard::PageGuard(PageGuard&& other) noexcept
+    : bm_(other.bm_), frame_idx_(other.frame_idx_) {
+  other.bm_ = nullptr;
+}
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    bm_ = other.bm_;
+    frame_idx_ = other.frame_idx_;
+    other.bm_ = nullptr;
+  }
+  return *this;
+}
+
+PageId PageGuard::page_id() const {
+  NAVPATH_DCHECK(valid());
+  return bm_->FramePage(frame_idx_);
+}
+
+std::byte* PageGuard::data() {
+  NAVPATH_DCHECK(valid());
+  return bm_->FrameData(frame_idx_);
+}
+
+const std::byte* PageGuard::data() const {
+  NAVPATH_DCHECK(valid());
+  return bm_->FrameData(frame_idx_);
+}
+
+void PageGuard::MarkDirty() {
+  NAVPATH_DCHECK(valid());
+  bm_->FrameMarkDirty(frame_idx_);
+}
+
+void PageGuard::Release() {
+  if (bm_ != nullptr) {
+    bm_->Unpin(frame_idx_);
+    bm_ = nullptr;
+  }
+}
+
+BufferManager::BufferManager(SimulatedDisk* disk, std::size_t capacity_pages,
+                             const CpuCostModel& costs, SimClock* clock,
+                             Metrics* metrics)
+    : disk_(disk),
+      capacity_(capacity_pages),
+      costs_(costs),
+      clock_(clock),
+      metrics_(metrics),
+      scratch_(std::make_unique<std::byte[]>(disk->page_size())) {
+  NAVPATH_CHECK(capacity_pages > 0);
+  frames_.resize(capacity_);
+  free_frames_.reserve(capacity_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    free_frames_.push_back(capacity_ - 1 - i);  // hand out frame 0 first
+  }
+}
+
+BufferManager::~BufferManager() { FlushAll().AbortIfNotOk(); }
+
+void BufferManager::Unpin(std::size_t frame_idx) {
+  Frame& f = frames_[frame_idx];
+  NAVPATH_DCHECK(f.pin_count > 0);
+  --f.pin_count;
+}
+
+Result<std::size_t> BufferManager::GetFreeFrame() {
+  if (!free_frames_.empty()) {
+    const std::size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  // Evict the least-recently-used unpinned frame.
+  std::size_t victim = capacity_;
+  std::uint64_t oldest = ~0ull;
+  for (std::size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& f = frames_[i];
+    if (f.pin_count == 0 && f.last_use < oldest) {
+      oldest = f.last_use;
+      victim = i;
+    }
+  }
+  if (victim == capacity_) {
+    return Status::ResourceExhausted("all buffer frames are pinned");
+  }
+  Frame& f = frames_[victim];
+  if (f.dirty) {
+    NAVPATH_RETURN_NOT_OK(disk_->WriteSync(f.page_id, f.data.get()));
+    f.dirty = false;
+  }
+  page_table_.erase(f.page_id);
+  ++metrics_->buffer_evictions;
+  f.page_id = kInvalidPageId;
+  return victim;
+}
+
+Result<std::size_t> BufferManager::InstallFromScratch(PageId id) {
+  NAVPATH_ASSIGN_OR_RETURN(const std::size_t idx, GetFreeFrame());
+  Frame& f = frames_[idx];
+  if (f.data == nullptr) {
+    f.data = std::make_unique<std::byte[]>(disk_->page_size());
+  }
+  std::memcpy(f.data.get(), scratch_.get(), disk_->page_size());
+  f.page_id = id;
+  f.pin_count = 0;
+  f.dirty = false;
+  f.last_use = ++use_counter_;
+  page_table_[id] = idx;
+  clock_->ChargeCpu(costs_.page_install);
+  return idx;
+}
+
+Result<std::size_t> BufferManager::FixInternal(PageId id, bool charge_swizzle) {
+  clock_->ChargeCpu(costs_.buffer_probe);
+  if (charge_swizzle) {
+    clock_->ChargeCpu(costs_.swizzle);
+    ++metrics_->swizzle_ops;
+  }
+  auto it = page_table_.find(id);
+  std::size_t idx;
+  if (it != page_table_.end()) {
+    ++metrics_->buffer_hits;
+    idx = it->second;
+  } else {
+    ++metrics_->buffer_misses;
+    NAVPATH_RETURN_NOT_OK(disk_->ReadSync(id, scratch_.get()));
+    NAVPATH_ASSIGN_OR_RETURN(idx, InstallFromScratch(id));
+  }
+  Frame& f = frames_[idx];
+  ++f.pin_count;
+  f.last_use = ++use_counter_;
+  return idx;
+}
+
+Result<PageGuard> BufferManager::Fix(PageId id) {
+  NAVPATH_ASSIGN_OR_RETURN(const std::size_t idx,
+                           FixInternal(id, /*charge_swizzle=*/false));
+  return PageGuard(this, idx);
+}
+
+Result<PageGuard> BufferManager::FixSwizzle(PageId id) {
+  NAVPATH_ASSIGN_OR_RETURN(const std::size_t idx,
+                           FixInternal(id, /*charge_swizzle=*/true));
+  return PageGuard(this, idx);
+}
+
+Result<PageGuard> BufferManager::NewPage() {
+  const PageId id = disk_->AllocatePage();
+  std::memset(scratch_.get(), 0, disk_->page_size());
+  NAVPATH_ASSIGN_OR_RETURN(const std::size_t idx, InstallFromScratch(id));
+  Frame& f = frames_[idx];
+  ++f.pin_count;
+  f.dirty = true;
+  return PageGuard(this, idx);
+}
+
+Result<BufferManager::PrefetchOutcome> BufferManager::Prefetch(PageId id) {
+  if (page_table_.count(id) > 0) return PrefetchOutcome::kResident;
+  if (in_flight_.count(id) > 0) return PrefetchOutcome::kInFlight;
+  NAVPATH_RETURN_NOT_OK(disk_->SubmitRead(id));
+  in_flight_.insert(id);
+  return PrefetchOutcome::kSubmitted;
+}
+
+Result<PageId> BufferManager::WaitAnyPrefetch() {
+  if (in_flight_.empty()) {
+    return Status::NotFound("no prefetch in flight");
+  }
+  NAVPATH_ASSIGN_OR_RETURN(const PageId id,
+                           disk_->WaitForCompletion(scratch_.get()));
+  in_flight_.erase(id);
+  if (page_table_.count(id) == 0) {
+    NAVPATH_RETURN_NOT_OK(InstallFromScratch(id).status());
+  }
+  return id;
+}
+
+Result<PageId> BufferManager::PollAnyPrefetch() {
+  if (in_flight_.empty()) return kInvalidPageId;
+  const std::optional<PageId> id = disk_->PollCompletion(scratch_.get());
+  if (!id.has_value()) return kInvalidPageId;
+  in_flight_.erase(*id);
+  if (page_table_.count(*id) == 0) {
+    NAVPATH_RETURN_NOT_OK(InstallFromScratch(*id).status());
+  }
+  return *id;
+}
+
+Status BufferManager::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.page_id != kInvalidPageId && f.dirty) {
+      NAVPATH_RETURN_NOT_OK(disk_->WriteSync(f.page_id, f.data.get()));
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferManager::InvalidateAll() {
+  NAVPATH_RETURN_NOT_OK(FlushAll());
+  for (std::size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (f.page_id == kInvalidPageId) continue;
+    if (f.pin_count > 0) {
+      return Status::InvalidArgument("cannot invalidate a pinned page");
+    }
+    page_table_.erase(f.page_id);
+    f.page_id = kInvalidPageId;
+    free_frames_.push_back(i);
+  }
+  return Status::OK();
+}
+
+}  // namespace navpath

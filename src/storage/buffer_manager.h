@@ -1,0 +1,157 @@
+// Buffer manager: fixed-size page cache over the simulated disk.
+//
+// Supports the operations the paper's operators rely on:
+//   * Fix/unfix with pin counting (PageGuard is the RAII handle),
+//   * LRU replacement with write-back of dirty pages,
+//   * asynchronous prefetch (XSchedule: submit many, consume any),
+//   * swizzle accounting (every NodeID -> frame translation is charged).
+#ifndef NAVPATH_STORAGE_BUFFER_MANAGER_H_
+#define NAVPATH_STORAGE_BUFFER_MANAGER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "storage/cpu_cost_model.h"
+#include "storage/disk.h"
+#include "storage/page.h"
+
+namespace navpath {
+
+class BufferManager;
+
+/// RAII pin on a buffer frame. While alive, the page cannot be evicted and
+/// `data()` stays valid. Movable, not copyable.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferManager* bm, std::size_t frame_idx);
+  ~PageGuard();
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept;
+  PageGuard& operator=(PageGuard&& other) noexcept;
+
+  bool valid() const { return bm_ != nullptr; }
+  PageId page_id() const;
+  std::byte* data();
+  const std::byte* data() const;
+
+  /// Marks the page dirty so eviction writes it back.
+  void MarkDirty();
+
+  /// Releases the pin early.
+  void Release();
+
+ private:
+  BufferManager* bm_ = nullptr;
+  std::size_t frame_idx_ = 0;
+};
+
+class BufferManager {
+ public:
+  BufferManager(SimulatedDisk* disk, std::size_t capacity_pages,
+                const CpuCostModel& costs, SimClock* clock, Metrics* metrics);
+  ~BufferManager();
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t pages_resident() const { return page_table_.size(); }
+
+  /// Fixes `id` in the buffer, reading it synchronously on a miss.
+  Result<PageGuard> Fix(PageId id);
+
+  /// Fix that charges swizzle cost on top of the probe: used when an
+  /// operator translates a stored NodeID back into a main-memory pointer.
+  Result<PageGuard> FixSwizzle(PageId id);
+
+  /// Allocates a fresh zeroed page on disk and fixes it (used at import).
+  Result<PageGuard> NewPage();
+
+  // --- Asynchronous prefetch (XSchedule's I/O interface) ----------------
+
+  enum class PrefetchOutcome {
+    kResident,   // already buffered; no I/O needed
+    kSubmitted,  // async read queued now
+    kInFlight,   // an earlier prefetch of this page is still pending
+  };
+
+  /// Submits an async read unless the page is resident or already in
+  /// flight. Never blocks.
+  Result<PrefetchOutcome> Prefetch(PageId id);
+
+  bool IsResident(PageId id) const { return page_table_.count(id) > 0; }
+
+  /// True if any prefetch has been submitted and not yet consumed.
+  bool HasPrefetchInFlight() const { return !in_flight_.empty(); }
+
+  /// Blocks until some prefetch completes, installs the page in a frame,
+  /// and returns its id. The page is NOT pinned; callers Fix() it next
+  /// (which will hit).
+  Result<PageId> WaitAnyPrefetch();
+
+  /// Non-blocking variant; returns kInvalidPageId if none completed yet.
+  Result<PageId> PollAnyPrefetch();
+
+  /// Writes back all dirty pages (used after import).
+  Status FlushAll();
+
+  /// Drops every unpinned page (used to cold-start each measured query).
+  Status InvalidateAll();
+
+  // Internal accessors used by PageGuard.
+  void Unpin(std::size_t frame_idx);
+  PageId FramePage(std::size_t frame_idx) const {
+    return frames_[frame_idx].page_id;
+  }
+  std::byte* FrameData(std::size_t frame_idx) {
+    return frames_[frame_idx].data.get();
+  }
+  void FrameMarkDirty(std::size_t frame_idx) {
+    frames_[frame_idx].dirty = true;
+  }
+
+ private:
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    std::unique_ptr<std::byte[]> data;
+    std::uint32_t pin_count = 0;
+    bool dirty = false;
+    std::uint64_t last_use = 0;  // LRU stamp
+  };
+
+  /// Finds a frame to (re)use, evicting the LRU unpinned page if needed.
+  Result<std::size_t> GetFreeFrame();
+
+  /// Installs disk data already placed in scratch_ as page `id`.
+  Result<std::size_t> InstallFromScratch(PageId id);
+
+  Result<std::size_t> FixInternal(PageId id, bool charge_swizzle);
+
+  SimulatedDisk* disk_;
+  std::size_t capacity_;
+  CpuCostModel costs_;
+  SimClock* clock_;
+  Metrics* metrics_;
+
+  std::vector<Frame> frames_;
+  std::vector<std::size_t> free_frames_;
+  std::unordered_map<PageId, std::size_t> page_table_;
+  std::unordered_set<PageId> in_flight_;
+  std::uint64_t use_counter_ = 0;
+  std::unique_ptr<std::byte[]> scratch_;  // staging buffer for disk I/O
+};
+
+}  // namespace navpath
+
+#endif  // NAVPATH_STORAGE_BUFFER_MANAGER_H_

@@ -1,0 +1,145 @@
+// Discrete-event simulated disk with synchronous and asynchronous reads.
+//
+// The paper's experiments depend on three physical access regimes:
+//   1. random synchronous reads       (the Simple plan),
+//   2. asynchronously scheduled reads (XSchedule; the drive may serve
+//      pending requests in an order that minimises head movement), and
+//   3. sequential scans               (XScan).
+// This class reproduces all three against a deterministic simulated clock.
+// Page data lives in main memory; only *latency* is simulated.
+//
+// Asynchronous requests are served shortest-seek-time-first (SSTF) among
+// the requests that had been submitted by the time the drive becomes idle,
+// which models the reordering freedom the paper attributes to OS schedulers
+// and on-disk tagged command queueing (Sec. 3.7).
+#ifndef NAVPATH_STORAGE_DISK_H_
+#define NAVPATH_STORAGE_DISK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "storage/disk_model.h"
+#include "storage/page.h"
+
+namespace navpath {
+
+class SimulatedDisk {
+ public:
+  /// `clock` and `metrics` must outlive the disk.
+  SimulatedDisk(const DiskModel& model, std::size_t page_size,
+                SimClock* clock, Metrics* metrics);
+
+  SimulatedDisk(const SimulatedDisk&) = delete;
+  SimulatedDisk& operator=(const SimulatedDisk&) = delete;
+
+  std::size_t page_size() const { return page_size_; }
+  PageId num_pages() const { return static_cast<PageId>(pages_.size()); }
+
+  /// Extends the segment by one zeroed page and returns its id.
+  PageId AllocatePage();
+
+  /// Synchronous read: blocks the simulation until the transfer completes,
+  /// then copies the page image into `out` (page_size bytes).
+  Status ReadSync(PageId id, std::byte* out);
+
+  /// Synchronous write of `data` (page_size bytes).
+  Status WriteSync(PageId id, const std::byte* data);
+
+  // --- Asynchronous interface (Sec. 3.7) -------------------------------
+
+  /// Queues an asynchronous read of `id` at the current simulated time.
+  Status SubmitRead(PageId id);
+
+  /// Number of submitted reads whose completion has not been consumed.
+  std::size_t pending_requests() const {
+    return pending_.size() + completed_.size();
+  }
+
+  /// Blocks (advances the clock) until some queued read completes, then
+  /// copies its data into `out` and returns its page id.
+  /// Fails with NotFound if nothing is queued.
+  Result<PageId> WaitForCompletion(std::byte* out);
+
+  /// Returns a read that has already completed at the current simulated
+  /// time, or nullopt. Never advances the clock.
+  std::optional<PageId> PollCompletion(std::byte* out);
+
+  /// Position of the head after the last access (for tests/inspection).
+  PageId head_position() const { return head_; }
+
+  // --- Persistence backdoor (no simulation cost) ------------------------
+
+  /// Direct read-only access to a page image (for saving to a file).
+  const std::byte* RawPage(PageId id) const {
+    NAVPATH_CHECK(id < pages_.size());
+    return pages_[id].get();
+  }
+
+  /// Appends a page image without charging time (for loading from a file).
+  PageId LoadRawPage(const std::byte* data) {
+    const PageId id = AllocatePage();
+    std::memcpy(pages_[id].get(), data, page_size_);
+    return id;
+  }
+
+  /// Records every page access (reads and writes, in service order) into
+  /// `trace` until called again with nullptr. For experiments that show
+  /// physical access orders (Example 1).
+  void SetTrace(std::vector<PageId>* trace) { trace_ = trace; }
+
+  /// Re-anchors the drive's timeline after the simulated clock was reset
+  /// (no request may be in flight). The head position is kept: the first
+  /// access of a fresh measurement still pays a real seek.
+  void ResetTimeline() {
+    NAVPATH_CHECK(pending_.empty() && completed_.empty());
+    drive_free_at_ = 0;
+  }
+
+ private:
+  struct PendingRequest {
+    PageId page;
+    SimTime submit_time;
+  };
+  struct CompletedRequest {
+    PageId page;
+    SimTime complete_time;
+    bool operator>(const CompletedRequest& other) const {
+      return complete_time > other.complete_time;
+    }
+  };
+
+  /// Serves exactly one pending request (SSTF among those submitted by the
+  /// time the drive is idle) and moves it to the completed queue.
+  void ServeOnePending();
+
+  SimTime ChargeAccess(PageId target);
+
+  DiskModel model_;
+  std::size_t page_size_;
+  SimClock* clock_;
+  Metrics* metrics_;
+
+  std::vector<std::unique_ptr<std::byte[]>> pages_;
+
+  PageId head_ = kInvalidPageId;
+  SimTime drive_free_at_ = 0;
+  std::uint64_t served_order_ = 0;  // requests served so far (for metrics)
+
+  std::vector<PageId>* trace_ = nullptr;
+  std::vector<PendingRequest> pending_;
+  std::priority_queue<CompletedRequest, std::vector<CompletedRequest>,
+                      std::greater<CompletedRequest>>
+      completed_;
+};
+
+}  // namespace navpath
+
+#endif  // NAVPATH_STORAGE_DISK_H_

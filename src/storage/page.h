@@ -1,0 +1,24 @@
+// Page primitives: page ids and the fixed page geometry.
+#ifndef NAVPATH_STORAGE_PAGE_H_
+#define NAVPATH_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace navpath {
+
+/// Physical page number within the (single) database segment. Page numbers
+/// double as physical positions: the simulated disk lays page i at track
+/// position i, so |a - b| is the seek distance between pages a and b.
+using PageId = std::uint32_t;
+
+constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
+
+/// Default page size. The unit of I/O and the unit of clustering
+/// (Sec. 3.3 of the paper: one cluster == one disk page).
+constexpr std::size_t kDefaultPageSize = 8192;
+
+}  // namespace navpath
+
+#endif  // NAVPATH_STORAGE_PAGE_H_

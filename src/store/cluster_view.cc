@@ -1,0 +1,229 @@
+#include "store/cluster_view.h"
+
+namespace navpath {
+
+AxisCursor::AxisCursor(const ClusterView& view, Axis axis, SlotId origin)
+    : view_(view), axis_(axis), origin_(origin) {
+  const RecordKind k = view_.KindOf(origin);
+  switch (axis) {
+    case Axis::kSelf:
+      if (k == RecordKind::kCore || k == RecordKind::kAttribute) {
+        mode_ = Mode::kEmitSelf;
+        after_self_ = Mode::kDone;
+      }
+      break;
+    case Axis::kAttribute:
+      if (k == RecordKind::kCore) {
+        mode_ = Mode::kAttrChain;
+        current_ = view_.FirstAttrOf(origin);
+      }
+      break;
+    case Axis::kChild:
+      if (k == RecordKind::kCore || k == RecordKind::kBorderUp) {
+        mode_ = Mode::kChainForward;
+        current_ = view_.FirstChildOf(origin);
+      }
+      break;
+    case Axis::kFollowingSibling:
+      if (k == RecordKind::kBorderUp) {
+        // A crossing along the sibling chain arrived here: the border's
+        // children are the chain's continuation.
+        mode_ = Mode::kChainForward;
+        current_ = view_.FirstChildOf(origin);
+      } else if (k != RecordKind::kAttribute) {
+        mode_ = Mode::kChainForward;
+        current_ = view_.NextSiblingOf(origin);
+      }
+      break;
+    case Axis::kPrecedingSibling:
+      if (k == RecordKind::kBorderUp) {
+        mode_ = Mode::kChainReverse;
+        current_ = view_.LastChildOf(origin);
+      } else if (k != RecordKind::kAttribute) {
+        mode_ = Mode::kChainReverse;
+        current_ = view_.PrevSiblingOf(origin);
+      }
+      break;
+    case Axis::kParent:
+      if (k == RecordKind::kCore || k == RecordKind::kBorderDown ||
+          k == RecordKind::kAttribute) {
+        mode_ = Mode::kUpSingle;
+        current_ = view_.ParentOf(origin);
+      }
+      break;
+    case Axis::kAncestor:
+      if (k == RecordKind::kCore || k == RecordKind::kBorderDown ||
+          k == RecordKind::kAttribute) {
+        mode_ = Mode::kUpWalk;
+        current_ = view_.ParentOf(origin);
+      }
+      break;
+    case Axis::kAncestorOrSelf:
+      if (k == RecordKind::kCore || k == RecordKind::kAttribute) {
+        mode_ = Mode::kEmitSelf;
+        after_self_ = Mode::kUpWalk;
+        current_ = view_.ParentOf(origin);
+      } else if (k == RecordKind::kBorderDown) {
+        // "self" was already produced in the cluster the step came from.
+        mode_ = Mode::kUpWalk;
+        current_ = view_.ParentOf(origin);
+      }
+      break;
+    case Axis::kDescendant:
+      if (k == RecordKind::kCore || k == RecordKind::kBorderUp) {
+        mode_ = Mode::kDfs;
+        current_ = origin;
+      }
+      break;
+    case Axis::kDescendantOrSelf:
+      if (k == RecordKind::kCore) {
+        mode_ = Mode::kEmitSelf;
+        after_self_ = Mode::kDfs;
+        current_ = origin;
+      } else if (k == RecordKind::kBorderUp) {
+        mode_ = Mode::kDfs;
+        current_ = origin;
+      } else if (k == RecordKind::kAttribute) {
+        mode_ = Mode::kEmitSelf;  // an attribute's only "descendant"
+        after_self_ = Mode::kDone;
+      }
+      break;
+  }
+}
+
+bool AxisCursor::Next(NavEntry* out) {
+  switch (mode_) {
+    case Mode::kDone:
+      return false;
+    case Mode::kEmitSelf:
+      mode_ = after_self_;
+      view_.ChargeHop();
+      out->slot = origin_;
+      out->crossing = false;
+      return true;
+    case Mode::kChainForward:
+      return StepChain(out, /*forward=*/true);
+    case Mode::kChainReverse:
+      return StepChain(out, /*forward=*/false);
+    case Mode::kUpSingle:
+      return StepUp(out, /*single=*/true);
+    case Mode::kUpWalk:
+      return StepUp(out, /*single=*/false);
+    case Mode::kDfs:
+      return StepDfs(out);
+    case Mode::kAttrChain:
+      return StepAttrChain(out);
+  }
+  return false;
+}
+
+bool AxisCursor::StepAttrChain(NavEntry* out) {
+  const SlotId s = current_;
+  if (s == kInvalidSlot) {
+    mode_ = Mode::kDone;
+    return false;
+  }
+  view_.ChargeHop();
+  NAVPATH_DCHECK(view_.KindOf(s) == RecordKind::kAttribute);
+  current_ = view_.NextSiblingOf(s);
+  out->slot = s;
+  out->crossing = false;
+  return true;
+}
+
+bool AxisCursor::StepChain(NavEntry* out, bool forward) {
+  const SlotId s = current_;
+  if (s == kInvalidSlot || s == origin_) {
+    mode_ = Mode::kDone;
+    return false;
+  }
+  view_.ChargeHop();
+  const RecordKind k = view_.KindOf(s);
+  switch (k) {
+    case RecordKind::kCore:
+    case RecordKind::kBorderDown:
+      current_ = forward ? view_.NextSiblingOf(s) : view_.PrevSiblingOf(s);
+      out->slot = s;
+      out->crossing = (k == RecordKind::kBorderDown);
+      return true;
+    case RecordKind::kBorderUp:
+      // Chain terminal. For sibling axes the chain logically continues in
+      // the partner cluster; for the child axis the parent border is not a
+      // child, so the enumeration simply ends.
+      mode_ = Mode::kDone;
+      if (axis_ == Axis::kFollowingSibling ||
+          axis_ == Axis::kPrecedingSibling) {
+        out->slot = s;
+        out->crossing = true;
+        return true;
+      }
+      return false;
+    case RecordKind::kAttribute:
+      // Attributes never appear in child chains.
+      NAVPATH_DCHECK(false);
+      mode_ = Mode::kDone;
+      return false;
+  }
+  return false;
+}
+
+bool AxisCursor::StepUp(NavEntry* out, bool single) {
+  const SlotId s = current_;
+  if (s == kInvalidSlot) {
+    mode_ = Mode::kDone;
+    return false;
+  }
+  view_.ChargeHop();
+  const RecordKind k = view_.KindOf(s);
+  if (k == RecordKind::kBorderUp) {
+    // The ancestor chain leaves the cluster here.
+    mode_ = Mode::kDone;
+    out->slot = s;
+    out->crossing = true;
+    return true;
+  }
+  NAVPATH_DCHECK(k == RecordKind::kCore);
+  out->slot = s;
+  out->crossing = false;
+  if (single) {
+    mode_ = Mode::kDone;
+  } else {
+    current_ = view_.ParentOf(s);
+  }
+  return true;
+}
+
+bool AxisCursor::StepDfs(NavEntry* out) {
+  SlotId cur = current_;
+  // Descend if possible; down-borders are leaves within this cluster.
+  SlotId next = view_.KindOf(cur) == RecordKind::kBorderDown
+                    ? kInvalidSlot
+                    : view_.FirstChildOf(cur);
+  if (next == kInvalidSlot) {
+    // Move to the next sibling, climbing when chains end. Chains of a
+    // fragment root's children terminate at the up-border (== origin_ when
+    // resuming); interior chains terminate with kInvalidSlot.
+    for (;;) {
+      if (cur == origin_) {
+        mode_ = Mode::kDone;
+        return false;
+      }
+      const SlotId ns = view_.NextSiblingOf(cur);
+      view_.ChargeHop();
+      if (ns == kInvalidSlot || ns == origin_ ||
+          view_.KindOf(ns) == RecordKind::kBorderUp) {
+        cur = view_.ParentOf(cur);
+        continue;
+      }
+      next = ns;
+      break;
+    }
+  }
+  view_.ChargeHop();
+  current_ = next;
+  out->slot = next;
+  out->crossing = view_.KindOf(next) == RecordKind::kBorderDown;
+  return true;
+}
+
+}  // namespace navpath

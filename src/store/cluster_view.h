@@ -1,0 +1,151 @@
+// Intra-cluster navigational primitives (Sec. 3.5).
+//
+// ClusterView is a cheap value view over one *pinned* page that charges
+// simulated CPU cost for every link followed and node inspected. Its
+// AxisCursor enumerates, one node at a time, the nodes reachable from an
+// origin record along an XPath axis *using intra-cluster navigation only*:
+// core nodes are yielded as results, border records are yielded as
+// crossings whose partner NodeID names the cluster where the step
+// continues.
+//
+// The origin record may itself be a border record, in which case the
+// cursor enumerates the continuation of a partially evaluated step that
+// crossed *into* this cluster at that record:
+//   * child / sibling axes arriving at an up-border continue through the
+//     border's child chain,
+//   * sibling axes arriving at a down-border continue along the chain the
+//     down-border interrupts,
+//   * descendant axes arriving at an up-border continue through the whole
+//     fragment below it,
+//   * parent / ancestor axes arriving at a down-border continue upwards
+//     from its physical parent.
+// Direction/record-kind combinations that cannot occur as real
+// continuations (e.g. child from a down-border) enumerate nothing, which
+// is what XScan's speculative seeds rely on (Sec. 5.4.3: seeds that fail
+// to extend are filtered).
+#ifndef NAVPATH_STORE_CLUSTER_VIEW_H_
+#define NAVPATH_STORE_CLUSTER_VIEW_H_
+
+#include <cstddef>
+
+#include "common/metrics.h"
+#include "common/sim_clock.h"
+#include "storage/cpu_cost_model.h"
+#include "store/axis.h"
+#include "store/node_id.h"
+#include "store/tree_page.h"
+
+namespace navpath {
+
+/// One enumeration result: either a core node in this cluster or a border
+/// crossing to another cluster.
+struct NavEntry {
+  SlotId slot = kInvalidSlot;
+  bool crossing = false;
+};
+
+class ClusterView {
+ public:
+  ClusterView(const std::byte* data, std::size_t page_size, PageId page_id,
+              SimClock* clock, const CpuCostModel* costs, Metrics* metrics)
+      : page_(const_cast<std::byte*>(data), page_size),
+        page_id_(page_id),
+        clock_(clock),
+        costs_(costs),
+        metrics_(metrics) {}
+
+  PageId page_id() const { return page_id_; }
+  std::uint16_t slot_count() const { return page_.slot_count(); }
+
+  RecordKind KindOf(SlotId slot) const { return page_.KindOf(slot); }
+  bool IsBorder(SlotId slot) const { return page_.IsBorder(slot); }
+  /// False for slots whose record was removed by an update.
+  bool IsLive(SlotId slot) const { return page_.IsLive(slot); }
+  TagId TagOf(SlotId slot) const { return page_.TagOf(slot); }
+  std::uint64_t OrderOf(SlotId slot) const { return page_.OrderOf(slot); }
+  std::string_view TextOf(SlotId slot) const { return page_.TextOf(slot); }
+
+  /// target(x) of the paper: the border record on the other side.
+  NodeID PartnerOf(SlotId slot) const { return page_.PartnerOf(slot); }
+
+  NodeID IdOf(SlotId slot) const { return NodeID{page_id_, slot}; }
+
+  /// Charged tag comparison (one node test).
+  bool TagEquals(SlotId slot, TagId tag) const {
+    ChargeTest();
+    return page_.TagOf(slot) == tag;
+  }
+
+  void ChargeHop() const {
+    clock_->ChargeCpu(costs_->record_hop);
+    ++metrics_->intra_cluster_hops;
+  }
+  void ChargeTest() const {
+    clock_->ChargeCpu(costs_->node_test);
+    ++metrics_->node_tests;
+  }
+
+  // Raw link accessors (uncharged; cursors charge per hop themselves).
+  SlotId ParentOf(SlotId slot) const { return page_.ParentOf(slot); }
+  SlotId FirstChildOf(SlotId slot) const { return page_.FirstChildOf(slot); }
+  SlotId NextSiblingOf(SlotId slot) const {
+    return page_.NextSiblingOf(slot);
+  }
+  SlotId PrevSiblingOf(SlotId slot) const {
+    return page_.PrevSiblingOf(slot);
+  }
+  SlotId LastChildOf(SlotId slot) const { return page_.LastChildOf(slot); }
+  SlotId FirstAttrOf(SlotId slot) const { return page_.FirstAttrOf(slot); }
+
+ private:
+  TreePage page_;
+  PageId page_id_;
+  SimClock* clock_;
+  const CpuCostModel* costs_;
+  Metrics* metrics_;
+};
+
+/// Streaming enumeration of one axis from one origin record. Holds the
+/// ClusterView by value; the underlying page must stay pinned while the
+/// cursor is in use.
+class AxisCursor {
+ public:
+  AxisCursor() = default;
+  AxisCursor(const ClusterView& view, Axis axis, SlotId origin);
+
+  /// Produces the next entry; false when the enumeration is exhausted.
+  bool Next(NavEntry* out);
+
+  /// Re-points the cursor at a fresh view of the *same* page after the
+  /// page was unfixed and fixed again (slot state stays valid; the buffer
+  /// frame may have moved).
+  void Rebind(const ClusterView& view) { view_ = view; }
+
+ private:
+  enum class Mode {
+    kDone,
+    kEmitSelf,      // pending self emission (self / *-or-self from core)
+    kChainForward,  // sibling-chain walk via next pointers
+    kChainReverse,  // sibling-chain walk via prev pointers
+    kUpSingle,      // parent
+    kUpWalk,        // ancestor(-or-self)
+    kDfs,           // descendant(-or-self) preorder
+    kAttrChain,     // attribute chain of a core element
+  };
+
+  bool StepChain(NavEntry* out, bool forward);
+  bool StepAttrChain(NavEntry* out);
+  bool StepUp(NavEntry* out, bool single);
+  bool StepDfs(NavEntry* out);
+
+  ClusterView view_{nullptr, 0, kInvalidPageId, nullptr, nullptr, nullptr};
+  Axis axis_ = Axis::kSelf;
+  Mode mode_ = Mode::kDone;
+  Mode after_self_ = Mode::kDone;  // mode entered after kEmitSelf
+  SlotId origin_ = kInvalidSlot;
+  SlotId current_ = kInvalidSlot;
+};
+
+}  // namespace navpath
+
+#endif  // NAVPATH_STORE_CLUSTER_VIEW_H_

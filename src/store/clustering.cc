@@ -1,0 +1,182 @@
+#include "store/clustering.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "store/tree_page.h"
+
+namespace navpath {
+
+std::size_t EstimateNodeBytes(const DomTree& tree, DomNodeId id) {
+  std::size_t bytes = TreePage::CoreRecordSpace(tree.node(id).text.size());
+  for (DomNodeId a = tree.node(id).first_attr; a != kNilDomNode;
+       a = tree.node(a).next_sibling) {
+    bytes += TreePage::CoreRecordSpace(tree.node(a).text.size());
+  }
+  return bytes;
+}
+
+namespace {
+
+/// Total estimated bytes of every subtree, bottom-up.
+std::vector<std::size_t> SubtreeBytes(const DomTree& tree) {
+  std::vector<std::size_t> bytes(tree.size(), 0);
+  // Children have larger DomNodeIds than parents (arena append order), so a
+  // reverse sweep sees children before parents.
+  for (DomNodeId id = static_cast<DomNodeId>(tree.size()); id-- > 0;) {
+    // Attribute bytes are already included in their element's estimate.
+    if (tree.node(id).kind == DomNodeKind::kAttribute) continue;
+    bytes[id] += EstimateNodeBytes(tree, id);
+    const DomNodeId parent = tree.node(id).parent;
+    if (parent != kNilDomNode) bytes[parent] += bytes[id];
+  }
+  return bytes;
+}
+
+}  // namespace
+
+SubtreeClusteringPolicy::SubtreeClusteringPolicy(std::size_t budget_bytes)
+    : budget_(budget_bytes) {
+  NAVPATH_CHECK(budget_bytes > 2 * TreePage::CoreRecordSpace(64));
+}
+
+ClusterAssignment SubtreeClusteringPolicy::Assign(const DomTree& tree) {
+  ClusterAssignment assignment(tree.size(), 0);
+  if (tree.empty()) return assignment;
+  const std::vector<std::size_t> subtree_bytes = SubtreeBytes(tree);
+
+  // remaining[c]: unspent byte budget of cluster c.
+  std::vector<std::size_t> remaining;
+  std::uint32_t next_cluster = 0;
+
+  struct Item {
+    DomNodeId node;
+    std::uint32_t cluster;
+    // When true the whole subtree was already charged against the cluster
+    // budget by the parent; descendants simply inherit the cluster.
+    bool inherited;
+  };
+  std::vector<Item> stack;
+
+  auto new_cluster = [&]() {
+    remaining.push_back(budget_);
+    return next_cluster++;
+  };
+
+  stack.push_back(Item{tree.root(), new_cluster(), /*inherited=*/false});
+  std::vector<Item> children;
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    const DomNodeId u = item.node;
+    std::uint32_t cluster = item.cluster;
+
+    children.clear();
+    if (item.inherited) {
+      assignment[u] = cluster;
+      for (DomNodeId c = tree.node(u).first_child; c != kNilDomNode;
+           c = tree.node(c).next_sibling) {
+        children.push_back(Item{c, cluster, /*inherited=*/true});
+      }
+    } else {
+      const std::size_t own = EstimateNodeBytes(tree, u);
+      if (remaining[cluster] < own) {
+        // The proposed cluster cannot even hold this node on its own:
+        // open a fresh cluster for it.
+        cluster = new_cluster();
+      }
+      assignment[u] = cluster;
+      remaining[cluster] -= std::min(remaining[cluster], own);
+
+      // Pack children whose whole subtree fits (reserving the bytes now)
+      // into the current attachment cluster; when it fills up, open a
+      // fresh cluster and keep packing consecutive siblings there, so
+      // pages stay dense. Children too large for any single cluster are
+      // recursed into with a cluster of their own.
+      std::uint32_t attach = cluster;
+      for (DomNodeId c = tree.node(u).first_child; c != kNilDomNode;
+           c = tree.node(c).next_sibling) {
+        if (subtree_bytes[c] <= remaining[attach]) {
+          remaining[attach] -= subtree_bytes[c];
+          children.push_back(Item{c, attach, /*inherited=*/true});
+        } else if (subtree_bytes[c] <= budget_) {
+          attach = new_cluster();
+          remaining[attach] -= subtree_bytes[c];
+          children.push_back(Item{c, attach, /*inherited=*/true});
+        } else {
+          children.push_back(Item{c, new_cluster(), /*inherited=*/false});
+        }
+      }
+    }
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return assignment;
+}
+
+DocOrderClusteringPolicy::DocOrderClusteringPolicy(std::size_t budget_bytes)
+    : budget_(budget_bytes) {
+  NAVPATH_CHECK(budget_bytes > 2 * TreePage::CoreRecordSpace(64));
+}
+
+ClusterAssignment DocOrderClusteringPolicy::Assign(const DomTree& tree) {
+  ClusterAssignment assignment(tree.size(), 0);
+  std::uint32_t cluster = 0;
+  std::size_t used = 0;
+  // DomNodeIds are assigned in document order by both the parser and the
+  // generator (parents before children, siblings left to right).
+  for (DomNodeId id = 0; id < tree.size(); ++id) {
+    const std::size_t bytes = EstimateNodeBytes(tree, id);
+    if (used + bytes > budget_ && used > 0) {
+      ++cluster;
+      used = 0;
+    }
+    assignment[id] = cluster;
+    used += bytes;
+  }
+  return assignment;
+}
+
+RoundRobinClusteringPolicy::RoundRobinClusteringPolicy(
+    std::size_t budget_bytes)
+    : budget_(budget_bytes) {
+  NAVPATH_CHECK(budget_bytes > 2 * TreePage::CoreRecordSpace(64));
+}
+
+ClusterAssignment RoundRobinClusteringPolicy::Assign(const DomTree& tree) {
+  ClusterAssignment assignment(tree.size(), 0);
+  std::size_t total = 0;
+  for (DomNodeId id = 0; id < tree.size(); ++id) {
+    total += EstimateNodeBytes(tree, id);
+  }
+  const std::uint32_t k = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(total / budget_ + 1));
+  for (DomNodeId id = 0; id < tree.size(); ++id) {
+    assignment[id] = id % k;
+  }
+  return assignment;
+}
+
+RandomClusteringPolicy::RandomClusteringPolicy(std::size_t budget_bytes,
+                                               std::uint64_t seed)
+    : budget_(budget_bytes), seed_(seed) {
+  NAVPATH_CHECK(budget_bytes > 2 * TreePage::CoreRecordSpace(64));
+}
+
+ClusterAssignment RandomClusteringPolicy::Assign(const DomTree& tree) {
+  ClusterAssignment assignment(tree.size(), 0);
+  std::size_t total = 0;
+  for (DomNodeId id = 0; id < tree.size(); ++id) {
+    total += EstimateNodeBytes(tree, id);
+  }
+  const std::uint32_t k = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(total / budget_ + 1));
+  Random rng(seed_);
+  for (DomNodeId id = 0; id < tree.size(); ++id) {
+    assignment[id] = static_cast<std::uint32_t>(rng.NextBounded(k));
+  }
+  return assignment;
+}
+
+}  // namespace navpath

@@ -1,0 +1,85 @@
+// Clustering policies for document import (Sec. 3.3).
+//
+// A policy proposes which cluster each DOM node should live in. The
+// materializer (import.cc) honors the proposal as far as page capacity
+// allows and splits overflowing clusters with continuation fragments.
+#ifndef NAVPATH_STORE_CLUSTERING_H_
+#define NAVPATH_STORE_CLUSTERING_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "xml/dom.h"
+
+namespace navpath {
+
+/// cluster assignment: one proposed cluster index per DOM node, indexed by
+/// DomNodeId. Cluster indices need not be dense or ordered.
+using ClusterAssignment = std::vector<std::uint32_t>;
+
+class ClusteringPolicy {
+ public:
+  virtual ~ClusteringPolicy() = default;
+  virtual ClusterAssignment Assign(const DomTree& tree) = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Natix-style subtree clustering: greedily keeps connected subtrees
+/// together, cutting off children whose subtrees do not fit into the
+/// remaining budget of the parent's cluster. Produces high intra-cluster
+/// locality; the default for all experiments.
+class SubtreeClusteringPolicy : public ClusteringPolicy {
+ public:
+  explicit SubtreeClusteringPolicy(std::size_t budget_bytes);
+  ClusterAssignment Assign(const DomTree& tree) override;
+  const char* name() const override { return "subtree"; }
+
+ private:
+  std::size_t budget_;
+};
+
+/// Document-order segmentation: fills clusters with nodes in document
+/// order, ignoring tree structure ("time-of-creation clustering" in the
+/// paper's terms). Decent locality for depth-first queries.
+class DocOrderClusteringPolicy : public ClusteringPolicy {
+ public:
+  explicit DocOrderClusteringPolicy(std::size_t budget_bytes);
+  ClusterAssignment Assign(const DomTree& tree) override;
+  const char* name() const override { return "doc-order"; }
+
+ private:
+  std::size_t budget_;
+};
+
+/// Round-robin scatter: node i goes to cluster i mod k. Adversarial:
+/// almost every edge is an inter-cluster edge.
+class RoundRobinClusteringPolicy : public ClusteringPolicy {
+ public:
+  /// `budget_bytes` determines k so that average fill matches the others.
+  explicit RoundRobinClusteringPolicy(std::size_t budget_bytes);
+  ClusterAssignment Assign(const DomTree& tree) override;
+  const char* name() const override { return "round-robin"; }
+
+ private:
+  std::size_t budget_;
+};
+
+/// Uniform random assignment (seeded, deterministic).
+class RandomClusteringPolicy : public ClusteringPolicy {
+ public:
+  RandomClusteringPolicy(std::size_t budget_bytes, std::uint64_t seed);
+  ClusterAssignment Assign(const DomTree& tree) override;
+  const char* name() const override { return "random"; }
+
+ private:
+  std::size_t budget_;
+  std::uint64_t seed_;
+};
+
+/// Approximate bytes node `id` will occupy as a core record.
+std::size_t EstimateNodeBytes(const DomTree& tree, DomNodeId id);
+
+}  // namespace navpath
+
+#endif  // NAVPATH_STORE_CLUSTERING_H_

@@ -1,0 +1,62 @@
+// Cross-cluster logical navigation.
+//
+// Enumerates an XPath axis over the *logical* tree, transparently
+// traversing inter-cluster edges: every crossing fixes the partner page in
+// the buffer (a swizzle plus, on a miss, a synchronous random read). This
+// is exactly the access pattern of the paper's Simple method (Sec. 5.1);
+// the whole point of the XStep/XSchedule algebra is to avoid it.
+#ifndef NAVPATH_STORE_CROSS_CURSOR_H_
+#define NAVPATH_STORE_CROSS_CURSOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "store/database.h"
+
+namespace navpath {
+
+/// A logical document node surfaced by navigation.
+struct LogicalNode {
+  NodeID id;
+  TagId tag = 0;
+  std::uint64_t order = 0;
+};
+
+class CrossClusterCursor {
+ public:
+  explicit CrossClusterCursor(Database* db) : db_(db) {}
+
+  CrossClusterCursor(const CrossClusterCursor&) = delete;
+  CrossClusterCursor& operator=(const CrossClusterCursor&) = delete;
+  CrossClusterCursor(CrossClusterCursor&&) = default;
+  CrossClusterCursor& operator=(CrossClusterCursor&&) = default;
+
+  /// Begins enumerating `axis` from the core node `origin`.
+  Status Start(Axis axis, NodeID origin);
+
+  /// Fetches the next logical result node into `out`; returns false when
+  /// the axis is exhausted.
+  Result<bool> Next(LogicalNode* out);
+
+  /// Convenience: reads one core node's identity fields (pins its page
+  /// for the duration of the call).
+  Result<LogicalNode> Describe(NodeID id);
+
+ private:
+  struct Level {
+    PageId page = kInvalidPageId;
+    PageGuard guard;  // valid only while this level is on top
+    AxisCursor cursor;
+  };
+
+  Status PushLevel(Axis axis, NodeID at);
+
+  Database* db_;
+  Axis axis_ = Axis::kSelf;
+  std::vector<std::unique_ptr<Level>> stack_;
+};
+
+}  // namespace navpath
+
+#endif  // NAVPATH_STORE_CROSS_CURSOR_H_

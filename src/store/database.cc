@@ -1,0 +1,34 @@
+#include "store/database.h"
+
+namespace navpath {
+
+Database::Database(const DatabaseOptions& options) : options_(options) {
+  disk_ = std::make_unique<SimulatedDisk>(options_.disk_model,
+                                          options_.page_size, &clock_,
+                                          &metrics_);
+  buffer_ = std::make_unique<BufferManager>(disk_.get(),
+                                            options_.buffer_pages,
+                                            options_.cpu_costs, &clock_,
+                                            &metrics_);
+}
+
+Result<ImportedDocument> Database::Import(const DomTree& tree,
+                                          ClusteringPolicy* policy) {
+  NAVPATH_CHECK(policy != nullptr);
+  if (tree.tags() != &tags_) {
+    return Status::InvalidArgument(
+        "document was built against a foreign tag registry");
+  }
+  const ClusterAssignment assignment = policy->Assign(tree);
+  return MaterializeDocument(tree, assignment, disk_.get(), options_.import);
+}
+
+Status Database::ResetMeasurement() {
+  NAVPATH_RETURN_NOT_OK(buffer_->InvalidateAll());
+  clock_.Reset();
+  disk_->ResetTimeline();
+  metrics_.Reset();
+  return Status::OK();
+}
+
+}  // namespace navpath

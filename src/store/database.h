@@ -1,0 +1,75 @@
+// Database: the environment every experiment runs in.
+//
+// Owns the simulated clock, metrics, tag registry, simulated disk and
+// buffer manager, and tracks imported documents. The algebra operators and
+// the baseline access it through thin accessors.
+#ifndef NAVPATH_STORE_DATABASE_H_
+#define NAVPATH_STORE_DATABASE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "storage/buffer_manager.h"
+#include "storage/cpu_cost_model.h"
+#include "storage/disk.h"
+#include "store/cluster_view.h"
+#include "store/clustering.h"
+#include "store/import.h"
+#include "xml/dom.h"
+#include "xml/tag_registry.h"
+
+namespace navpath {
+
+struct DatabaseOptions {
+  std::size_t page_size = kDefaultPageSize;
+  /// Page buffer capacity; the paper's setup uses 1000 pages (Sec. 6.1).
+  std::size_t buffer_pages = 1000;
+  DiskModel disk_model;
+  CpuCostModel cpu_costs;
+  ImportOptions import;
+};
+
+class Database {
+ public:
+  explicit Database(const DatabaseOptions& options = {});
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  TagRegistry* tags() { return &tags_; }
+  SimClock* clock() { return &clock_; }
+  Metrics* metrics() { return &metrics_; }
+  SimulatedDisk* disk() { return disk_.get(); }
+  BufferManager* buffer() { return buffer_.get(); }
+  const CpuCostModel& costs() const { return options_.cpu_costs; }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// Imports `tree` clustered by `policy`. The tree must have been built
+  /// against this database's tag registry and have order keys assigned.
+  Result<ImportedDocument> Import(const DomTree& tree,
+                                  ClusteringPolicy* policy);
+
+  /// Builds a cost-charging view over a pinned page.
+  ClusterView MakeView(const PageGuard& guard) {
+    return ClusterView(guard.data(), options_.page_size, guard.page_id(),
+                       &clock_, &options_.cpu_costs, &metrics_);
+  }
+
+  /// Cold-starts a measurement: drops the buffer, resets clock + metrics.
+  Status ResetMeasurement();
+
+ private:
+  DatabaseOptions options_;
+  SimClock clock_;
+  Metrics metrics_;
+  TagRegistry tags_;
+  std::unique_ptr<SimulatedDisk> disk_;
+  std::unique_ptr<BufferManager> buffer_;
+};
+
+}  // namespace navpath
+
+#endif  // NAVPATH_STORE_DATABASE_H_

@@ -1,0 +1,204 @@
+#include "store/export.h"
+
+#include <vector>
+
+#include "store/cluster_view.h"
+
+namespace navpath {
+
+void AppendEscapedXmlText(std::string_view text, bool escape,
+                          std::string* out) {
+  if (!escape) {
+    out->append(text);
+    return;
+  }
+  for (const char c : text) {
+    switch (c) {
+      case '&':
+        out->append("&amp;");
+        break;
+      case '<':
+        out->append("&lt;");
+        break;
+      case '>':
+        out->append("&gt;");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+void AppendEscapedXmlAttribute(std::string_view value, std::string* out) {
+  for (const char c : value) {
+    switch (c) {
+      case '&':
+        out->append("&amp;");
+        break;
+      case '<':
+        out->append("&lt;");
+        break;
+      case '"':
+        out->append("&quot;");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+void AppendAttributes(const ClusterView& view, TagRegistry* tags,
+                      SlotId element, std::string* out) {
+  for (SlotId a = view.FirstAttrOf(element); a != kInvalidSlot;
+       a = view.NextSiblingOf(a)) {
+    view.ChargeHop();
+    out->push_back(' ');
+    out->append(tags->Name(view.TagOf(a)));
+    out->append("=\"");
+    AppendEscapedXmlAttribute(view.TextOf(a), out);
+    out->push_back('"');
+  }
+}
+
+namespace {
+
+/// Iterative exporter. The stack holds open elements plus, per level, the
+/// (possibly cross-cluster) child enumeration state: a local AxisCursor
+/// and the page it runs on. Only the top level keeps its page pinned.
+class Exporter {
+ public:
+  Exporter(Database* db, const ExportOptions& options)
+      : db_(db), options_(options) {}
+
+  Result<std::string> Run(NodeID root) {
+    NAVPATH_RETURN_NOT_OK(OpenElement(root, 0));
+    while (!stack_.empty()) {
+      NAVPATH_RETURN_NOT_OK(Advance());
+    }
+    return std::move(out_);
+  }
+
+ private:
+  struct Level {
+    NodeID element;          // the open element
+    std::string tag_name;    // cached: closing tag after children
+    bool closes_tag = true;  // detour levels only continue a chain
+    bool has_children = false;
+    int depth = 0;
+    // Enumeration position within the current cluster's chain.
+    PageId chain_page = kInvalidPageId;
+    SlotId chain_slot = kInvalidSlot;    // next record to inspect
+    SlotId chain_origin = kInvalidSlot;  // stop marker within chain_page
+  };
+
+  void Indent(int depth) {
+    if (options_.indent) out_.append(static_cast<std::size_t>(depth) * 2, ' ');
+  }
+
+  Status OpenElement(NodeID id, int depth) {
+    NAVPATH_ASSIGN_OR_RETURN(PageGuard guard,
+                             db_->buffer()->FixSwizzle(id.page));
+    const ClusterView view = db_->MakeView(guard);
+    Level level;
+    level.element = id;
+    level.tag_name = db_->tags()->Name(view.TagOf(id.slot));
+    level.depth = depth;
+    level.chain_page = id.page;
+    level.chain_slot = view.FirstChildOf(id.slot);
+    level.chain_origin = id.slot;
+    const std::string_view text = view.TextOf(id.slot);
+    Indent(depth);
+    out_.push_back('<');
+    out_.append(level.tag_name);
+    AppendAttributes(view, db_->tags(), id.slot, &out_);
+    if (text.empty() && level.chain_slot == kInvalidSlot) {
+      out_.append("/>");
+      if (options_.indent) out_.push_back('\n');
+      return Status::OK();  // nothing to push
+    }
+    out_.push_back('>');
+    level.has_children = level.chain_slot != kInvalidSlot;
+    if (options_.indent && level.has_children) out_.push_back('\n');
+    AppendEscapedXmlText(text, options_.escape_text, &out_);
+    stack_.push_back(std::move(level));
+    return Status::OK();
+  }
+
+  void CloseElement(const Level& level) {
+    if (!level.closes_tag) return;
+    if (options_.indent && level.has_children) Indent(level.depth);
+    out_.append("</");
+    out_.append(level.tag_name);
+    out_.push_back('>');
+    if (options_.indent) out_.push_back('\n');
+  }
+
+  /// Processes one chain element of the top level (or closes it).
+  Status Advance() {
+    Level& top = stack_.back();
+    if (top.chain_slot == kInvalidSlot ||
+        top.chain_slot == top.chain_origin) {
+      CloseElement(top);
+      stack_.pop_back();
+      return Status::OK();
+    }
+    NAVPATH_ASSIGN_OR_RETURN(PageGuard guard,
+                             db_->buffer()->Fix(top.chain_page));
+    const ClusterView view = db_->MakeView(guard);
+    const SlotId slot = top.chain_slot;
+    view.ChargeHop();
+    switch (view.KindOf(slot)) {
+      case RecordKind::kCore: {
+        top.chain_slot = view.NextSiblingOf(slot);
+        const NodeID child{top.chain_page, slot};
+        const int depth = top.depth + 1;
+        guard.Release();
+        return OpenElement(child, depth);
+      }
+      case RecordKind::kBorderDown: {
+        // Continue this level's chain inside the partner fragment.
+        const NodeID partner = view.PartnerOf(slot);
+        ++db_->metrics()->inter_cluster_hops;
+        top.chain_slot = view.NextSiblingOf(slot);
+        // Remember where to resume after the partner fragment: the
+        // partner's children are enumerated first, then we return here.
+        Level detour = top;  // copy of the element level state
+        NAVPATH_ASSIGN_OR_RETURN(PageGuard pguard,
+                                 db_->buffer()->FixSwizzle(partner.page));
+        const ClusterView pview = db_->MakeView(pguard);
+        detour.chain_page = partner.page;
+        detour.chain_slot = pview.FirstChildOf(partner.slot);
+        detour.chain_origin = partner.slot;
+        detour.has_children = true;
+        detour.closes_tag = false;  // continues the element's child list
+        detour.tag_name.clear();
+        detour.depth = top.depth;
+        stack_.push_back(std::move(detour));
+        return Status::OK();
+      }
+      case RecordKind::kBorderUp:
+        // End of a fragment chain: fall back to the outer level.
+        top.chain_slot = kInvalidSlot;
+        return Status::OK();
+      case RecordKind::kAttribute:
+        return Status::Corruption("attribute in a child chain");
+    }
+    return Status::Corruption("unknown record kind during export");
+  }
+
+  Database* db_;
+  ExportOptions options_;
+  std::string out_;
+  std::vector<Level> stack_;
+};
+
+}  // namespace
+
+Result<std::string> ExportSubtree(Database* db, NodeID node,
+                                  const ExportOptions& options) {
+  NAVPATH_CHECK(db != nullptr);
+  Exporter exporter(db, options);
+  return exporter.Run(node);
+}
+
+}  // namespace navpath

@@ -1,0 +1,74 @@
+// Document import: materializes a DOM into clustered tree pages.
+//
+// The materializer honors a ClusteringPolicy's proposed assignment as far
+// as page capacity allows. Where a proposed cluster overflows its page, it
+// splits the node's child list with a *continuation* border pair: the
+// down-border ends the chain segment in the full page and its up-border
+// partner acts as the physical parent of the remaining children in a fresh
+// page. (This is the role Natix's helper/proxy nodes play; the paper's
+// per-edge border-node model is the special case of a fragment with one
+// child.) Space accounting is exact: every core record placed in a page
+// reserves room for one potential continuation down-border so a split is
+// always possible.
+#ifndef NAVPATH_STORE_IMPORT_H_
+#define NAVPATH_STORE_IMPORT_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/disk.h"
+#include "store/clustering.h"
+#include "store/node_id.h"
+#include "xml/dom.h"
+
+namespace navpath {
+
+struct ImportedDocument {
+  NodeID root;
+  std::uint64_t root_order = 0;
+  /// The document's pages occupy the contiguous disk range
+  /// [first_page, last_page] in materialization order.
+  PageId first_page = kInvalidPageId;
+  PageId last_page = kInvalidPageId;
+
+  std::uint64_t core_records = 0;
+  std::uint64_t attribute_records = 0;
+  std::uint64_t border_pairs = 0;         // total crossings (incl. below)
+  std::uint64_t continuation_pairs = 0;   // crossings from chain splits
+  std::uint64_t pages = 0;
+
+  PageId page_count() const {
+    return first_page == kInvalidPageId ? 0 : last_page - first_page + 1;
+  }
+};
+
+struct ImportOptions {
+  /// Character content is truncated to this many stored bytes per node.
+  std::size_t text_cap = 2048;
+  /// Run TreePage::Validate on every materialized page.
+  bool validate_pages = false;
+
+  /// Physical fragmentation of the layout: the fraction of pages that are
+  /// displaced from their creation-order position (swapped with a page up
+  /// to `fragmentation_window` slots ahead, deterministically).
+  ///
+  /// Our materializer writes pages in depth-first creation order, which
+  /// is an unrealistically perfect layout: real imports (Natix splits
+  /// overflowing pages to the end of the segment) and incremental updates
+  /// scatter logically adjacent pages (paper Sec. 1). Benchmarks run with
+  /// a fragmented layout; 0.0 keeps the pristine order.
+  double fragmentation = 0.0;
+  std::size_t fragmentation_window = 64;
+  std::uint64_t fragmentation_seed = 1;
+};
+
+/// Builds pages for `tree` under `assignment` and writes them to `disk`.
+/// The caller typically resets the simulated clock and metrics afterwards
+/// (import cost is not part of any measured query).
+Result<ImportedDocument> MaterializeDocument(
+    const DomTree& tree, const ClusterAssignment& assignment,
+    SimulatedDisk* disk, const ImportOptions& options = {});
+
+}  // namespace navpath
+
+#endif  // NAVPATH_STORE_IMPORT_H_

@@ -1,0 +1,135 @@
+#include "store/persistence.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace navpath {
+namespace {
+
+constexpr char kMagic[4] = {'N', 'V', 'P', 'H'};
+constexpr std::uint32_t kVersion = 1;
+
+void WriteU32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteU64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU32(std::istream& in, std::uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+bool ReadU64(std::istream& in, std::uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+}  // namespace
+
+Status SaveDatabase(Database* db, const ImportedDocument& doc,
+                    const std::string& path) {
+  NAVPATH_CHECK(db != nullptr);
+  // Everything buffered must reach the page images first.
+  NAVPATH_RETURN_NOT_OK(db->buffer()->FlushAll());
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+
+  out.write(kMagic, sizeof(kMagic));
+  WriteU32(out, kVersion);
+  WriteU32(out, static_cast<std::uint32_t>(db->options().page_size));
+  const PageId page_count = db->disk()->num_pages();
+  WriteU32(out, page_count);
+
+  const TagRegistry* tags = db->tags();
+  WriteU32(out, static_cast<std::uint32_t>(tags->size()));
+  for (TagId t = 0; t < tags->size(); ++t) {
+    const std::string& name = db->tags()->Name(t);
+    WriteU32(out, static_cast<std::uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+  }
+
+  WriteU32(out, doc.root.page);
+  WriteU32(out, doc.root.slot);
+  WriteU64(out, doc.root_order);
+  WriteU32(out, doc.first_page);
+  WriteU32(out, doc.last_page);
+  WriteU64(out, doc.core_records);
+  WriteU64(out, doc.attribute_records);
+  WriteU64(out, doc.border_pairs);
+  WriteU64(out, doc.continuation_pairs);
+  WriteU64(out, doc.pages);
+
+  for (PageId p = 0; p < page_count; ++p) {
+    out.write(reinterpret_cast<const char*>(db->disk()->RawPage(p)),
+              static_cast<std::streamsize>(db->options().page_size));
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<LoadedDatabase> LoadDatabase(const std::string& path,
+                                    DatabaseOptions options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not a navpath database: " + path);
+  }
+  std::uint32_t version = 0, page_size = 0, page_count = 0, tag_count = 0;
+  if (!ReadU32(in, &version) || version != kVersion) {
+    return Status::Corruption("unsupported database version");
+  }
+  if (!ReadU32(in, &page_size) || !ReadU32(in, &page_count) ||
+      !ReadU32(in, &tag_count)) {
+    return Status::Corruption("truncated header");
+  }
+  options.page_size = page_size;
+
+  LoadedDatabase loaded;
+  loaded.db = std::make_unique<Database>(options);
+  for (std::uint32_t t = 0; t < tag_count; ++t) {
+    std::uint32_t len = 0;
+    if (!ReadU32(in, &len) || len > 1 << 20) {
+      return Status::Corruption("bad tag entry");
+    }
+    std::string name(len, '\0');
+    in.read(name.data(), len);
+    if (!in) return Status::Corruption("truncated tag table");
+    const TagId assigned = loaded.db->tags()->Intern(name);
+    if (assigned != t) {
+      return Status::Corruption("tag table out of order");
+    }
+  }
+
+  ImportedDocument& doc = loaded.doc;
+  std::uint32_t root_page = 0, root_slot = 0;
+  if (!ReadU32(in, &root_page) || !ReadU32(in, &root_slot) ||
+      !ReadU64(in, &doc.root_order)) {
+    return Status::Corruption("truncated catalog");
+  }
+  doc.root = NodeID{root_page, static_cast<SlotId>(root_slot)};
+  if (!ReadU32(in, &doc.first_page) || !ReadU32(in, &doc.last_page) ||
+      !ReadU64(in, &doc.core_records) ||
+      !ReadU64(in, &doc.attribute_records) ||
+      !ReadU64(in, &doc.border_pairs) ||
+      !ReadU64(in, &doc.continuation_pairs) || !ReadU64(in, &doc.pages)) {
+    return Status::Corruption("truncated catalog");
+  }
+
+  std::vector<std::byte> buf(page_size);
+  for (std::uint32_t p = 0; p < page_count; ++p) {
+    in.read(reinterpret_cast<char*>(buf.data()), page_size);
+    if (!in) return Status::Corruption("truncated page data");
+    loaded.db->disk()->LoadRawPage(buf.data());
+  }
+  return loaded;
+}
+
+}  // namespace navpath

@@ -1,0 +1,42 @@
+// Database persistence: save/load the page image and catalog to a file.
+//
+// The simulated disk holds page images in memory; persistence writes them
+// (plus the tag registry and the document catalog entry) to an ordinary
+// file so that imported documents survive process restarts — the
+// "industrial-strength DBMS" framing of Sec. 1 without simulating
+// recovery. The file layout is:
+//
+//   [magic "NVPH"][u32 version][u32 page_size][u32 page_count]
+//   [u32 tag_count][tag_count x (u32 len, bytes)]      -- tag registry
+//   [catalog: root NodeID, root order, page range, record counts]
+//   [page_count x page_size bytes]                     -- raw pages
+#ifndef NAVPATH_STORE_PERSISTENCE_H_
+#define NAVPATH_STORE_PERSISTENCE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "store/database.h"
+#include "store/import.h"
+
+namespace navpath {
+
+/// Writes the database's pages, tags and `doc`'s catalog entry to `path`.
+Status SaveDatabase(Database* db, const ImportedDocument& doc,
+                    const std::string& path);
+
+struct LoadedDatabase {
+  std::unique_ptr<Database> db;
+  ImportedDocument doc;
+};
+
+/// Restores a database saved with SaveDatabase. `options` configures the
+/// simulation (buffer size, cost models); the page size is taken from the
+/// file and overrides options.page_size.
+Result<LoadedDatabase> LoadDatabase(const std::string& path,
+                                    DatabaseOptions options = {});
+
+}  // namespace navpath
+
+#endif  // NAVPATH_STORE_PERSISTENCE_H_

@@ -1,0 +1,31 @@
+// Scan-based document export (paper Sec. 7 outlook: "we also want to
+// investigate how our method can be used to speed up document export,
+// where our 'path instance' becomes the textual representation of a whole
+// document (or subtree)").
+//
+// One sequential scan visits every cluster exactly once. Each fragment
+// encountered is serialized into a *partial document instance*: its XML
+// text with a hole wherever a down-border interrupts the fragment. The
+// assembler keeps these keyed by the fragment's up-border and stitches
+// children into parents; when the scan completes, the root instance is a
+// complete serialization. This trades main memory (all fragment texts)
+// for strictly sequential I/O — the XScan trade applied to export.
+#ifndef NAVPATH_STORE_SCAN_EXPORT_H_
+#define NAVPATH_STORE_SCAN_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "store/database.h"
+#include "store/import.h"
+
+namespace navpath {
+
+/// Serializes the whole document with a single sequential scan.
+/// Output is byte-identical to ExportDocument (navigational export).
+Result<std::string> ScanExportDocument(Database* db,
+                                       const ImportedDocument& doc);
+
+}  // namespace navpath
+
+#endif  // NAVPATH_STORE_SCAN_EXPORT_H_

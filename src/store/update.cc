@@ -1,0 +1,520 @@
+#include "store/update.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "store/cross_cursor.h"
+#include "store/tree_page.h"
+#include "xml/dom.h"  // kOrderKeyGap
+
+namespace navpath {
+namespace {
+
+/// Collects `root` and all records of its subtree that live in the same
+/// page (down-borders are leaves), in depth-first order.
+std::vector<SlotId> CollectLocalSubtree(const TreePage& page, SlotId root) {
+  std::vector<SlotId> out;
+  std::vector<SlotId> stack{root};
+  while (!stack.empty()) {
+    const SlotId s = stack.back();
+    stack.pop_back();
+    out.push_back(s);
+    // A local subtree can never exceed the page's record count; more
+    // means a corrupted (cyclic) chain.
+    NAVPATH_CHECK_MSG(out.size() <= page.slot_count(),
+                      "cyclic sibling chain detected");
+    const RecordKind kind = page.KindOf(s);
+    if (kind == RecordKind::kBorderDown || kind == RecordKind::kAttribute) {
+      continue;
+    }
+    if (kind == RecordKind::kCore) {
+      for (SlotId a = page.FirstAttrOf(s); a != kInvalidSlot;
+           a = page.NextSiblingOf(a)) {
+        out.push_back(a);
+      }
+    }
+    // Children chains below interior cores terminate with kInvalidSlot;
+    // a fragment root's (up-border's) chain loops back to the root itself.
+    std::vector<SlotId> children;
+    for (SlotId c = page.FirstChildOf(s); c != kInvalidSlot && c != s;
+         c = page.NextSiblingOf(c)) {
+      children.push_back(c);
+    }
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<PageId> DocumentUpdater::AppendPage() {
+  NAVPATH_ASSIGN_OR_RETURN(PageGuard guard, db_->buffer()->NewPage());
+  TreePage::Initialize(guard.data(), db_->options().page_size);
+  guard.MarkDirty();
+  const PageId id = guard.page_id();
+  doc_->last_page = std::max(doc_->last_page, id);
+  ++doc_->pages;
+  return id;
+}
+
+Result<NodeID> DocumentUpdater::UnlinkChainElement(PageGuard* guard,
+                                                   SlotId slot) {
+  TreePage page(guard->data(), db_->options().page_size);
+  const SlotId ps = page.ParentOf(slot);
+  NAVPATH_CHECK(ps != kInvalidSlot);
+  const bool up = page.KindOf(ps) == RecordKind::kBorderUp;
+  const SlotId prev = page.PrevSiblingOf(slot);
+  const SlotId next = page.NextSiblingOf(slot);
+  const bool prev_is_sibling =
+      prev != kInvalidSlot && !(up && prev == ps);
+  const bool next_is_sibling =
+      next != kInvalidSlot && !(up && next == ps);
+
+  if (prev_is_sibling) {
+    page.SetNextSibling(prev, next);
+  } else {
+    page.SetFirstChild(ps, next_is_sibling ? next : kInvalidSlot);
+  }
+  if (next_is_sibling) {
+    page.SetPrevSibling(next, prev);
+  } else if (up) {
+    page.SetLastChild(ps, prev_is_sibling ? prev : kInvalidSlot);
+  }
+  guard->MarkDirty();
+  if (up && page.FirstChildOf(ps) == kInvalidSlot) {
+    return NodeID{guard->page_id(), ps};  // fragment emptied
+  }
+  return kInvalidNodeID;
+}
+
+Status DocumentUpdater::DeleteSubtree(NodeID node) {
+  if (node == doc_->root) {
+    return Status::InvalidArgument("cannot delete the document root");
+  }
+  std::unordered_set<PageId> touched;
+  {
+    NAVPATH_ASSIGN_OR_RETURN(PageGuard guard,
+                             db_->buffer()->Fix(node.page));
+    TreePage page(guard.data(), db_->options().page_size);
+    if (node.slot >= page.slot_count() || !page.IsLive(node.slot) ||
+        page.KindOf(node.slot) != RecordKind::kCore) {
+      return Status::InvalidArgument("not a live element: " +
+                                     node.ToString());
+    }
+    // Unlink from the sibling chain; collapse border pairs whose
+    // fragments become empty (possibly cascading across clusters).
+    NAVPATH_ASSIGN_OR_RETURN(NodeID emptied,
+                             UnlinkChainElement(&guard, node.slot));
+    touched.insert(node.page);
+    guard.Release();
+    while (emptied.valid()) {
+      NAVPATH_ASSIGN_OR_RETURN(PageGuard up_guard,
+                               db_->buffer()->Fix(emptied.page));
+      TreePage up_page(up_guard.data(), db_->options().page_size);
+      const NodeID partner = up_page.PartnerOf(emptied.slot);
+      up_page.RemoveRecord(emptied.slot);
+      up_guard.MarkDirty();
+      touched.insert(emptied.page);
+      up_guard.Release();
+
+      NAVPATH_ASSIGN_OR_RETURN(PageGuard down_guard,
+                               db_->buffer()->Fix(partner.page));
+      NAVPATH_ASSIGN_OR_RETURN(emptied,
+                               UnlinkChainElement(&down_guard, partner.slot));
+      TreePage down_page(down_guard.data(), db_->options().page_size);
+      down_page.RemoveRecord(partner.slot);
+      down_guard.MarkDirty();
+      touched.insert(partner.page);
+      --doc_->border_pairs;
+    }
+  }
+
+  // Remove the subtree's records across every cluster it spans.
+  std::vector<NodeID> work{node};
+  while (!work.empty()) {
+    const NodeID root = work.back();
+    work.pop_back();
+    NAVPATH_ASSIGN_OR_RETURN(PageGuard guard,
+                             db_->buffer()->Fix(root.page));
+    TreePage page(guard.data(), db_->options().page_size);
+    for (const SlotId s : CollectLocalSubtree(page, root.slot)) {
+      switch (page.KindOf(s)) {
+        case RecordKind::kCore:
+          --doc_->core_records;
+          break;
+        case RecordKind::kAttribute:
+          --doc_->attribute_records;
+          break;
+        case RecordKind::kBorderDown:
+          work.push_back(page.PartnerOf(s));
+          --doc_->border_pairs;
+          break;
+        case RecordKind::kBorderUp:
+          break;  // the fragment root itself (when root is an up-border)
+      }
+      page.RemoveRecord(s);
+    }
+    guard.MarkDirty();
+    touched.insert(root.page);
+  }
+
+  for (const PageId pid : touched) {
+    NAVPATH_ASSIGN_OR_RETURN(PageGuard guard, db_->buffer()->Fix(pid));
+    TreePage page(guard.data(), db_->options().page_size);
+    page.Compact();
+    guard.MarkDirty();
+  }
+  return Status::OK();
+}
+
+Result<std::uint64_t> DocumentUpdater::MaxOrderInSubtree(NodeID node) {
+  CrossClusterCursor cursor(db_);
+  NAVPATH_RETURN_NOT_OK(cursor.Start(Axis::kDescendantOrSelf, node));
+  std::uint64_t max_order = 0;
+  LogicalNode n;
+  for (;;) {
+    NAVPATH_ASSIGN_OR_RETURN(const bool more, cursor.Next(&n));
+    if (!more) break;
+    max_order = std::max(max_order, n.order);
+  }
+  return max_order;
+}
+
+Result<std::uint64_t> DocumentUpdater::DocOrderSuccessor(
+    NodeID node, std::uint64_t fallback) {
+  CrossClusterCursor cursor(db_);
+  NodeID cur = node;
+  for (;;) {
+    NAVPATH_RETURN_NOT_OK(cursor.Start(Axis::kFollowingSibling, cur));
+    LogicalNode n;
+    NAVPATH_ASSIGN_OR_RETURN(const bool has_sibling, cursor.Next(&n));
+    if (has_sibling) return n.order;
+    NAVPATH_RETURN_NOT_OK(cursor.Start(Axis::kParent, cur));
+    NAVPATH_ASSIGN_OR_RETURN(const bool has_parent, cursor.Next(&n));
+    if (!has_parent) return fallback;  // end of document
+    cur = n.id;
+  }
+}
+
+Status DocumentUpdater::EvacuateSubtree(PageId pid,
+                                        const std::vector<SlotId>& protect) {
+  NAVPATH_ASSIGN_OR_RETURN(PageGuard guard, db_->buffer()->Fix(pid));
+  const std::size_t page_size = db_->options().page_size;
+  TreePage page(guard.data(), page_size);
+  const std::unordered_set<SlotId> protected_slots(protect.begin(),
+                                                   protect.end());
+
+  // Victim: the live core with the largest local subtree that contains
+  // no protected slot and is not the document root.
+  SlotId victim = kInvalidSlot;
+  std::vector<SlotId> victim_subtree;
+  std::size_t victim_bytes = 0;
+  for (SlotId s = 0; s < page.slot_count(); ++s) {
+    if (!page.IsLive(s) || page.KindOf(s) != RecordKind::kCore) continue;
+    if (page.ParentOf(s) == kInvalidSlot) continue;  // document root
+    if (protected_slots.count(s) > 0) continue;
+    const std::vector<SlotId> subtree = CollectLocalSubtree(page, s);
+    bool eligible = true;
+    std::size_t bytes = 0;
+    for (const SlotId member : subtree) {
+      if (protected_slots.count(member) > 0) {
+        eligible = false;
+        break;
+      }
+      bytes += page.RecordBytes(member) + TreePage::kSlotEntryBytes;
+    }
+    if (eligible && bytes > victim_bytes) {
+      victim = s;
+      victim_bytes = bytes;
+      victim_subtree = subtree;
+    }
+  }
+  if (victim == kInvalidSlot) {
+    return Status::ResourceExhausted("page full and nothing evacuable: " +
+                                     std::to_string(pid));
+  }
+
+  // Chain context of the victim before removal.
+  const SlotId ps = page.ParentOf(victim);
+  const SlotId prev = page.PrevSiblingOf(victim);
+  const SlotId next = page.NextSiblingOf(victim);
+  const bool up = page.KindOf(ps) == RecordKind::kBorderUp;
+
+  // Build the new cluster.
+  NAVPATH_ASSIGN_OR_RETURN(const PageId new_pid, AppendPage());
+  NAVPATH_ASSIGN_OR_RETURN(PageGuard new_guard,
+                           db_->buffer()->Fix(new_pid));
+  TreePage new_page(new_guard.data(), page_size);
+  NAVPATH_ASSIGN_OR_RETURN(const SlotId up_slot,
+                           new_page.AddBorderRecord(RecordKind::kBorderUp));
+  std::unordered_map<SlotId, SlotId> remap;
+  for (const SlotId s : victim_subtree) {
+    SlotId ns;
+    switch (page.KindOf(s)) {
+      case RecordKind::kCore: {
+        NAVPATH_ASSIGN_OR_RETURN(
+            ns, new_page.AddCoreRecord(page.TagOf(s), page.OrderOf(s),
+                                       page.TextOf(s)));
+        break;
+      }
+      case RecordKind::kAttribute: {
+        NAVPATH_ASSIGN_OR_RETURN(
+            ns, new_page.AddAttributeRecord(page.TagOf(s), page.OrderOf(s),
+                                            page.TextOf(s)));
+        break;
+      }
+      default: {
+        NAVPATH_ASSIGN_OR_RETURN(
+            ns, new_page.AddBorderRecord(RecordKind::kBorderDown));
+        new_page.SetPartner(ns, page.PartnerOf(s));
+        break;
+      }
+    }
+    remap[s] = ns;
+  }
+  // Rewire the copied records; the victim's external links point at the
+  // new up-border (it becomes a plain fragment root child).
+  auto map_link = [&](SlotId old_link) {
+    if (old_link == kInvalidSlot) return kInvalidSlot;
+    auto it = remap.find(old_link);
+    return it == remap.end() ? up_slot : it->second;
+  };
+  for (const SlotId s : victim_subtree) {
+    const SlotId ns = remap.at(s);
+    new_page.SetParent(ns, map_link(page.ParentOf(s)));
+    new_page.SetFirstChild(ns, map_link(page.FirstChildOf(s)));
+    new_page.SetNextSibling(ns, map_link(page.NextSiblingOf(s)));
+    new_page.SetPrevSibling(ns, map_link(page.PrevSiblingOf(s)));
+    if (!page.IsBorder(s)) {
+      new_page.SetFirstAttr(ns, map_link(page.FirstAttrOf(s)));
+    }
+  }
+  const SlotId new_victim = remap.at(victim);
+  new_page.SetFirstChild(up_slot, new_victim);
+  new_page.SetLastChild(up_slot, new_victim);
+  new_page.SetParent(new_victim, up_slot);
+  new_page.SetPrevSibling(new_victim, up_slot);
+  new_page.SetNextSibling(new_victim, up_slot);
+  new_guard.MarkDirty();
+
+  // Moved down-borders changed address: retarget their partners.
+  for (const SlotId s : victim_subtree) {
+    if (page.KindOf(s) != RecordKind::kBorderDown) continue;
+    const NodeID target = page.PartnerOf(s);
+    NAVPATH_ASSIGN_OR_RETURN(PageGuard target_guard,
+                             db_->buffer()->Fix(target.page));
+    TreePage target_page(target_guard.data(), page_size);
+    target_page.SetPartner(target.slot, NodeID{new_pid, remap.at(s)});
+    target_guard.MarkDirty();
+  }
+
+  // Reclaim the space and leave a border pair at the victim's position.
+  for (const SlotId s : victim_subtree) page.RemoveRecord(s);
+  page.Compact();
+  NAVPATH_ASSIGN_OR_RETURN(const SlotId down_slot,
+                           page.AddBorderRecord(RecordKind::kBorderDown));
+  page.SetPartner(down_slot, NodeID{new_pid, up_slot});
+  new_page.SetPartner(up_slot, NodeID{pid, down_slot});
+  page.SetParent(down_slot, ps);
+  page.SetPrevSibling(down_slot, prev);
+  page.SetNextSibling(down_slot, next);
+  const bool prev_is_sibling = prev != kInvalidSlot && !(up && prev == ps);
+  const bool next_is_sibling = next != kInvalidSlot && !(up && next == ps);
+  if (prev_is_sibling) {
+    page.SetNextSibling(prev, down_slot);
+  } else {
+    page.SetFirstChild(ps, down_slot);
+  }
+  if (next_is_sibling) {
+    page.SetPrevSibling(next, down_slot);
+  } else if (up) {
+    page.SetLastChild(ps, down_slot);
+  }
+  guard.MarkDirty();
+  ++doc_->border_pairs;
+  return Status::OK();
+}
+
+Result<InsertedNode> DocumentUpdater::InsertElement(
+    NodeID parent, NodeID after, TagId tag, std::string_view text,
+    const std::vector<AttributeSpec>& attrs) {
+  const std::size_t page_size = db_->options().page_size;
+  CrossClusterCursor cursor(db_);
+
+  // Validate the anchors and find the document-order neighbors.
+  NAVPATH_ASSIGN_OR_RETURN(const LogicalNode parent_node,
+                           cursor.Describe(parent));
+  std::uint64_t pred_order;
+  std::uint64_t succ_order;
+  if (after.valid()) {
+    LogicalNode check;
+    NAVPATH_RETURN_NOT_OK(cursor.Start(Axis::kParent, after));
+    NAVPATH_ASSIGN_OR_RETURN(const bool has_parent, cursor.Next(&check));
+    if (!has_parent || check.id != parent) {
+      return Status::InvalidArgument("'after' is not a child of 'parent'");
+    }
+    NAVPATH_ASSIGN_OR_RETURN(pred_order, MaxOrderInSubtree(after));
+    // Successor: the next logical child, else the first node after the
+    // whole subtree of `after`.
+    NAVPATH_RETURN_NOT_OK(cursor.Start(Axis::kFollowingSibling, after));
+    LogicalNode sibling;
+    NAVPATH_ASSIGN_OR_RETURN(const bool has_sibling, cursor.Next(&sibling));
+    if (has_sibling) {
+      succ_order = sibling.order;
+    } else {
+      NAVPATH_ASSIGN_OR_RETURN(
+          succ_order,
+          DocOrderSuccessor(parent, pred_order + 2 * kOrderKeyGap));
+    }
+  } else {
+    pred_order = parent_node.order;
+    NAVPATH_RETURN_NOT_OK(cursor.Start(Axis::kChild, parent));
+    LogicalNode first_child;
+    NAVPATH_ASSIGN_OR_RETURN(const bool has_child, cursor.Next(&first_child));
+    if (has_child) {
+      succ_order = first_child.order;
+    } else {
+      NAVPATH_ASSIGN_OR_RETURN(
+          succ_order,
+          DocOrderSuccessor(parent, pred_order + 2 * kOrderKeyGap));
+    }
+  }
+  if (succ_order - pred_order < 2) {
+    return Status::ResourceExhausted(
+        "order keys exhausted between neighbors; re-import to renumber");
+  }
+  const std::uint64_t order = pred_order + (succ_order - pred_order) / 2;
+
+  // The chain position lives in `after`'s page (append) or the parent's
+  // page (prepend).
+  const PageId pid = after.valid() ? after.page : parent.page;
+  const std::size_t text_cap = db_->options().import.text_cap;
+  const std::string_view stored_text =
+      text.substr(0, std::min(text.size(), text_cap));
+  std::size_t attr_space = 0;
+  for (const AttributeSpec& attr : attrs) {
+    attr_space +=
+        TreePage::CoreRecordSpace(std::min(attr.value.size(), text_cap));
+  }
+
+  // Writes the attribute chain next to a freshly inserted element.
+  auto place_attrs = [&](TreePage page, SlotId element_slot,
+                         std::uint64_t element_order) -> Status {
+    SlotId prev = kInvalidSlot;
+    std::uint64_t attr_order = element_order;
+    for (const AttributeSpec& attr : attrs) {
+      NAVPATH_ASSIGN_OR_RETURN(
+          const SlotId slot,
+          page.AddAttributeRecord(
+              attr.name, ++attr_order,
+              std::string_view(attr.value)
+                  .substr(0, std::min(attr.value.size(), text_cap))));
+      page.SetParent(slot, element_slot);
+      if (prev == kInvalidSlot) {
+        page.SetFirstAttr(element_slot, slot);
+      } else {
+        page.SetNextSibling(prev, slot);
+      }
+      prev = slot;
+      ++doc_->attribute_records;
+    }
+    return Status::OK();
+  };
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    NAVPATH_ASSIGN_OR_RETURN(PageGuard guard, db_->buffer()->Fix(pid));
+    TreePage page(guard.data(), page_size);
+
+    // Chain context.
+    SlotId ps;
+    SlotId left;
+    SlotId right;
+    if (after.valid()) {
+      ps = page.ParentOf(after.slot);
+      left = after.slot;
+      right = page.NextSiblingOf(after.slot);
+    } else {
+      ps = parent.slot;
+      left = kInvalidSlot;
+      right = page.FirstChildOf(parent.slot);
+    }
+    const bool up = page.KindOf(ps) == RecordKind::kBorderUp;
+    const bool right_is_sibling =
+        right != kInvalidSlot && !(up && right == ps);
+
+    SlotId element_slot = kInvalidSlot;  // the chain element to link
+    InsertedNode result;
+    result.order = order;
+    if (page.FreeBytes() >=
+        TreePage::CoreRecordSpace(stored_text.size()) + attr_space) {
+      NAVPATH_ASSIGN_OR_RETURN(element_slot,
+                               page.AddCoreRecord(tag, order, stored_text));
+      NAVPATH_RETURN_NOT_OK(place_attrs(page, element_slot, order));
+      result.id = NodeID{pid, element_slot};
+      ++doc_->core_records;
+    } else if (page.FreeBytes() >= TreePage::BorderRecordSpace()) {
+      // New single-element fragment behind a border pair.
+      NAVPATH_ASSIGN_OR_RETURN(const PageId new_pid, AppendPage());
+      NAVPATH_ASSIGN_OR_RETURN(PageGuard new_guard,
+                               db_->buffer()->Fix(new_pid));
+      TreePage new_page(new_guard.data(), page_size);
+      NAVPATH_ASSIGN_OR_RETURN(
+          const SlotId up_slot,
+          new_page.AddBorderRecord(RecordKind::kBorderUp));
+      NAVPATH_ASSIGN_OR_RETURN(
+          const SlotId core_slot,
+          new_page.AddCoreRecord(tag, order, stored_text));
+      NAVPATH_RETURN_NOT_OK(place_attrs(new_page, core_slot, order));
+      new_page.SetFirstChild(up_slot, core_slot);
+      new_page.SetLastChild(up_slot, core_slot);
+      new_page.SetParent(core_slot, up_slot);
+      new_page.SetPrevSibling(core_slot, up_slot);
+      new_page.SetNextSibling(core_slot, up_slot);
+      NAVPATH_ASSIGN_OR_RETURN(
+          element_slot, page.AddBorderRecord(RecordKind::kBorderDown));
+      page.SetPartner(element_slot, NodeID{new_pid, up_slot});
+      new_page.SetPartner(up_slot, NodeID{pid, element_slot});
+      new_guard.MarkDirty();
+      result.id = NodeID{new_pid, core_slot};
+      ++doc_->core_records;
+      ++doc_->border_pairs;
+    } else {
+      // No room even for a down-border: split the page and retry once.
+      if (attempt > 0) {
+        return Status::ResourceExhausted("page split did not free space");
+      }
+      std::vector<SlotId> protect{ps};
+      if (after.valid()) protect.push_back(after.slot);
+      if (right != kInvalidSlot) protect.push_back(right);
+      guard.Release();
+      NAVPATH_RETURN_NOT_OK(EvacuateSubtree(pid, protect));
+      continue;
+    }
+
+    // Link the new chain element between left and right.
+    page.SetParent(element_slot, ps);
+    if (left != kInvalidSlot) {
+      page.SetNextSibling(left, element_slot);
+      page.SetPrevSibling(element_slot, left);
+    } else {
+      page.SetFirstChild(ps, element_slot);
+      page.SetPrevSibling(element_slot, up ? ps : kInvalidSlot);
+    }
+    if (right_is_sibling) {
+      page.SetNextSibling(element_slot, right);
+      page.SetPrevSibling(right, element_slot);
+    } else {
+      page.SetNextSibling(element_slot, up ? ps : kInvalidSlot);
+      if (up) page.SetLastChild(ps, element_slot);
+    }
+    guard.MarkDirty();
+    return result;
+  }
+  return Status::ResourceExhausted("insert failed after page split");
+}
+
+}  // namespace navpath

@@ -1,0 +1,98 @@
+// In-place updates of the clustered tree store.
+//
+// The paper's requirement #2 (Sec. 1) demands storage formats that remain
+// efficient *and updatable* — its critique of scan-optimized competitors
+// is precisely that preorder numbering and fixed physical orders are
+// "difficult to maintain during updates". This module demonstrates that
+// the border-node format is not: elements can be inserted and whole
+// subtrees deleted without touching unrelated pages.
+//
+//   * Document order keys are gap-based (kOrderKeyGap); an insert takes
+//     the midpoint of its neighbors' keys — the insert-friendliness
+//     ORDPATHs provide in the paper's setting.
+//   * An insert goes into the page holding its chain position when space
+//     allows; otherwise it becomes a fresh single-node fragment behind a
+//     new border pair. If even the 18-byte down-border does not fit, the
+//     page is split by evacuating its largest subtree into a new cluster
+//     (partner pointers are remapped).
+//   * Deleting a subtree removes its records from every cluster it spans,
+//     unlinks it from the sibling chain, and collapses border pairs whose
+//     fragments became empty.
+#ifndef NAVPATH_STORE_UPDATE_H_
+#define NAVPATH_STORE_UPDATE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "store/database.h"
+#include "store/import.h"
+
+namespace navpath {
+
+/// Result of an insertion: the new node's address and its document-order
+/// key. NodeIDs are *physical*: a later page split may relocate other
+/// records, so long-lived references should be re-resolved via order keys
+/// (or the system extended with logical NodeIDs, cf. Sec. 3.2).
+struct InsertedNode {
+  NodeID id;
+  std::uint64_t order = 0;
+};
+
+class DocumentUpdater {
+ public:
+  /// `db` and `doc` must outlive the updater; `doc`'s bookkeeping
+  /// (record counts, page range) is maintained across updates. The
+  /// database must contain only this document (new pages are appended to
+  /// the segment and become part of the document's scan range).
+  DocumentUpdater(Database* db, ImportedDocument* doc)
+      : db_(db), doc_(doc) {}
+
+  struct AttributeSpec {
+    TagId name;
+    std::string value;
+  };
+
+  /// Inserts a new element with `tag`, `text` and `attrs` as a child of
+  /// `parent`, positioned after the existing child `after` (pass
+  /// kInvalidNodeID to insert as the first child).
+  Result<InsertedNode> InsertElement(NodeID parent, NodeID after, TagId tag,
+                                     std::string_view text,
+                                     const std::vector<AttributeSpec>& attrs =
+                                         {});
+
+  /// Deletes `node` and its entire subtree (which may span clusters).
+  Status DeleteSubtree(NodeID node);
+
+ private:
+  /// Unlinks chain element `slot` (core or down-border) from its sibling
+  /// chain in `page`, fixing first/last-child pointers. If this empties
+  /// an up-border fragment, returns that up-border's id for cascading
+  /// removal (otherwise kInvalidNodeID).
+  Result<NodeID> UnlinkChainElement(PageGuard* guard, SlotId slot);
+
+  /// Largest document-order key within the subtree of `node`.
+  Result<std::uint64_t> MaxOrderInSubtree(NodeID node);
+
+  /// Order key of the first node following `node`'s subtree in document
+  /// order, or `fallback` if the subtree is the document's tail.
+  Result<std::uint64_t> DocOrderSuccessor(NodeID node,
+                                          std::uint64_t fallback);
+
+  /// Moves the largest eligible local subtree out of `page` into a fresh
+  /// cluster to free space, leaving a border pair behind. Slots listed in
+  /// `protect` (and records whose local subtree contains them) are not
+  /// moved.
+  Status EvacuateSubtree(PageId page, const std::vector<SlotId>& protect);
+
+  /// Appends a fresh page to the document and returns its id.
+  Result<PageId> AppendPage();
+
+  Database* db_;
+  ImportedDocument* doc_;
+};
+
+}  // namespace navpath
+
+#endif  // NAVPATH_STORE_UPDATE_H_

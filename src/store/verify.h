@@ -1,0 +1,32 @@
+// Store verification (fsck) for imported documents.
+#ifndef NAVPATH_STORE_VERIFY_H_
+#define NAVPATH_STORE_VERIFY_H_
+
+#include "common/status.h"
+#include "store/database.h"
+#include "store/import.h"
+
+namespace navpath {
+
+struct VerifyReport {
+  std::uint64_t pages = 0;
+  std::uint64_t core_records = 0;
+  std::uint64_t attribute_records = 0;
+  std::uint64_t border_records = 0;
+  std::uint64_t reachable_cores = 0;
+  std::uint64_t reachable_attributes = 0;
+};
+
+/// Checks physical and logical invariants of an imported document:
+///   * every page passes TreePage::Validate,
+///   * border partners are symmetric (target(target(x)) == x) and point
+///     at borders of the opposite direction,
+///   * every core record is reachable from the root via child navigation
+///     exactly once, with unique order keys,
+///   * record counts match the import metadata.
+/// Returns the first violation as a Corruption status.
+Result<VerifyReport> VerifyStore(Database* db, const ImportedDocument& doc);
+
+}  // namespace navpath
+
+#endif  // NAVPATH_STORE_VERIFY_H_

@@ -1,0 +1,24 @@
+// Minimal non-validating XML parser.
+//
+// Supports the XML subset the system queries: elements with character
+// content. Attributes, comments, processing instructions, CDATA sections
+// and the XML declaration are parsed and skipped (attributes are not
+// queryable in this reproduction — the paper excludes them, Sec. 3.1).
+// Entity references for the five predefined entities are decoded.
+#ifndef NAVPATH_XML_PARSER_H_
+#define NAVPATH_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/dom.h"
+
+namespace navpath {
+
+/// Parses `input` into a DomTree using `tags` for interning.
+/// Order keys are assigned before returning.
+Result<DomTree> ParseXml(std::string_view input, TagRegistry* tags);
+
+}  // namespace navpath
+
+#endif  // NAVPATH_XML_PARSER_H_

@@ -1,0 +1,24 @@
+// XML serializer for DomTree (round-tripping and examples).
+#ifndef NAVPATH_XML_SERIALIZER_H_
+#define NAVPATH_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/dom.h"
+
+namespace navpath {
+
+struct SerializeOptions {
+  bool indent = false;       // pretty-print with 2-space indentation
+  bool escape_text = true;   // escape &, <, > in character content
+};
+
+/// Serializes `tree` (or the subtree rooted at `root`) to XML text.
+std::string SerializeXml(const DomTree& tree,
+                         const SerializeOptions& options = {});
+std::string SerializeSubtree(const DomTree& tree, DomNodeId root,
+                             const SerializeOptions& options = {});
+
+}  // namespace navpath
+
+#endif  // NAVPATH_XML_SERIALIZER_H_

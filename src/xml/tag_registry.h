@@ -1,0 +1,54 @@
+// Interned element names.
+//
+// Node tests in the paper are subsets of the tag alphabet (Sec. 4.1);
+// interning tags as dense integers makes a node test a single integer
+// comparison and keeps on-page records small.
+#ifndef NAVPATH_XML_TAG_REGISTRY_H_
+#define NAVPATH_XML_TAG_REGISTRY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace navpath {
+
+using TagId = std::uint32_t;
+
+class TagRegistry {
+ public:
+  TagRegistry() = default;
+  TagRegistry(const TagRegistry&) = delete;
+  TagRegistry& operator=(const TagRegistry&) = delete;
+
+  /// Returns the id for `name`, creating one on first use.
+  TagId Intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    const TagId id = static_cast<TagId>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `name` if it was interned before.
+  std::optional<TagId> Lookup(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    if (it == ids_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  const std::string& Name(TagId id) const { return names_.at(id); }
+
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, TagId> ids_;
+};
+
+}  // namespace navpath
+
+#endif  // NAVPATH_XML_TAG_REGISTRY_H_

@@ -1,0 +1,93 @@
+// Location-path AST (Sec. 4.1).
+//
+// A location path is a sequence of steps (axis + node test). Node tests
+// are tag subsets: a name test, the wildcard `*`, or `node()`. This is the
+// XPath fragment the paper's physical algebra covers; the evaluation
+// queries (Tab. 2) additionally use count(...) aggregation, modeled by
+// PathQuery.
+#ifndef NAVPATH_XPATH_LOCATION_PATH_H_
+#define NAVPATH_XPATH_LOCATION_PATH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/axis.h"
+#include "xml/tag_registry.h"
+
+namespace navpath {
+
+struct NodeTest {
+  enum class Kind { kName, kWildcard, kAnyNode };
+
+  Kind kind = Kind::kAnyNode;
+  std::string name;  // kName only
+  TagId tag = 0;     // resolved id for kName
+
+  static NodeTest Name(std::string n, TagId tag) {
+    return NodeTest{Kind::kName, std::move(n), tag};
+  }
+  static NodeTest Wildcard() { return NodeTest{Kind::kWildcard, "*", 0}; }
+  static NodeTest AnyNode() { return NodeTest{Kind::kAnyNode, "node()", 0}; }
+
+  bool Matches(TagId t) const {
+    return kind != Kind::kName || tag == t;
+  }
+
+  std::string ToString() const { return name; }
+};
+
+struct LocationPath;
+
+/// A step qualifier `[rel-path]` or `[rel-path = "literal"]`: keeps a
+/// candidate node iff the relative path yields any node (whose string
+/// value equals the literal, when one is given). Nested predicates are
+/// allowed. Predicates are evaluated by the executor *around* the paper's
+/// physical algebra (Sec. 5: the path operators "are part of a more
+/// expressive algebra"); the paper's own measurements exclude them.
+struct Predicate {
+  std::shared_ptr<LocationPath> path;  // relative
+  bool has_value = false;
+  std::string value;
+
+  std::string ToString() const;
+};
+
+struct LocationStep {
+  Axis axis = Axis::kChild;
+  NodeTest test;
+  std::vector<Predicate> predicates;
+
+  std::string ToString() const;
+};
+
+struct LocationPath {
+  /// Absolute paths start at the document root; relative paths start at
+  /// the caller-supplied context node.
+  bool absolute = true;
+  std::vector<LocationStep> steps;
+
+  std::size_t length() const { return steps.size(); }
+  bool HasPredicates() const {
+    for (const LocationStep& step : steps) {
+      if (!step.predicates.empty()) return true;
+    }
+    return false;
+  }
+  std::string ToString() const;
+};
+
+/// A benchmark-style query: either the node set of one path, or the sum of
+/// count() over several paths (XMark Q7 adds three counts).
+struct PathQuery {
+  enum class Mode { kNodes, kCount };
+
+  Mode mode = Mode::kNodes;
+  std::vector<LocationPath> paths;
+
+  std::string ToString() const;
+};
+
+}  // namespace navpath
+
+#endif  // NAVPATH_XPATH_LOCATION_PATH_H_

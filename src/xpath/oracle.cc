@@ -1,0 +1,183 @@
+#include "xpath/oracle.h"
+
+#include <algorithm>
+#include <vector>
+#include <unordered_set>
+
+namespace navpath {
+namespace {
+
+void CollectDescendants(const DomTree& tree, DomNodeId root, bool with_self,
+                        const NodeTest& test, std::vector<DomNodeId>* out) {
+  std::vector<DomNodeId> stack;
+  if (with_self) {
+    stack.push_back(root);
+  } else {
+    // Push children last-to-first so the first child is popped first.
+    for (DomNodeId c = tree.node(root).last_child; c != kNilDomNode;
+         c = tree.node(c).prev_sibling) {
+      stack.push_back(c);
+    }
+  }
+  while (!stack.empty()) {
+    const DomNodeId n = stack.back();
+    stack.pop_back();
+    if (test.Matches(tree.node(n).tag)) out->push_back(n);
+    for (DomNodeId c = tree.node(n).last_child; c != kNilDomNode;
+         c = tree.node(c).prev_sibling) {
+      stack.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+namespace {
+
+bool PredicateHolds(const DomTree& tree, DomNodeId node,
+                    const Predicate& pred) {
+  const std::vector<DomNodeId> results =
+      OracleEvaluate(tree, *pred.path, node);
+  if (!pred.has_value) return !results.empty();
+  for (const DomNodeId r : results) {
+    if (tree.node(r).text == pred.value) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<DomNodeId> OracleStep(const DomTree& tree, DomNodeId context,
+                                  const LocationStep& step) {
+  std::vector<DomNodeId> out;
+  const DomNode& ctx = tree.node(context);
+  const NodeTest& test = step.test;
+  if (ctx.kind == DomNodeKind::kAttribute) {
+    // Attributes have no children, descendants, siblings or attributes;
+    // only self, parent and ancestor axes yield nodes.
+    switch (step.axis) {
+      case Axis::kSelf:
+      case Axis::kDescendantOrSelf:
+        if (test.Matches(ctx.tag)) out.push_back(context);
+        break;
+      case Axis::kParent:
+        if (test.Matches(tree.node(ctx.parent).tag)) {
+          out.push_back(ctx.parent);
+        }
+        break;
+      case Axis::kAncestor:
+        for (DomNodeId a = ctx.parent; a != kNilDomNode;
+             a = tree.node(a).parent) {
+          if (test.Matches(tree.node(a).tag)) out.push_back(a);
+        }
+        break;
+      case Axis::kAncestorOrSelf:
+        if (test.Matches(ctx.tag)) out.push_back(context);
+        for (DomNodeId a = ctx.parent; a != kNilDomNode;
+             a = tree.node(a).parent) {
+          if (test.Matches(tree.node(a).tag)) out.push_back(a);
+        }
+        break;
+      default:
+        break;
+    }
+    for (const Predicate& pred : step.predicates) {
+      std::erase_if(out, [&](DomNodeId n) {
+        return !PredicateHolds(tree, n, pred);
+      });
+    }
+    return out;
+  }
+  switch (step.axis) {
+    case Axis::kAttribute:
+      for (DomNodeId a = ctx.first_attr; a != kNilDomNode;
+           a = tree.node(a).next_sibling) {
+        if (test.Matches(tree.node(a).tag)) out.push_back(a);
+      }
+      break;
+    case Axis::kSelf:
+      if (test.Matches(ctx.tag)) out.push_back(context);
+      break;
+    case Axis::kChild:
+      for (DomNodeId c = ctx.first_child; c != kNilDomNode;
+           c = tree.node(c).next_sibling) {
+        if (test.Matches(tree.node(c).tag)) out.push_back(c);
+      }
+      break;
+    case Axis::kParent:
+      if (ctx.parent != kNilDomNode &&
+          test.Matches(tree.node(ctx.parent).tag)) {
+        out.push_back(ctx.parent);
+      }
+      break;
+    case Axis::kDescendant:
+      CollectDescendants(tree, context, /*with_self=*/false, test, &out);
+      break;
+    case Axis::kDescendantOrSelf:
+      CollectDescendants(tree, context, /*with_self=*/true, test, &out);
+      break;
+    case Axis::kAncestor:
+      for (DomNodeId a = ctx.parent; a != kNilDomNode;
+           a = tree.node(a).parent) {
+        if (test.Matches(tree.node(a).tag)) out.push_back(a);
+      }
+      break;
+    case Axis::kAncestorOrSelf:
+      for (DomNodeId a = context; a != kNilDomNode;
+           a = tree.node(a).parent) {
+        if (test.Matches(tree.node(a).tag)) out.push_back(a);
+      }
+      break;
+    case Axis::kFollowingSibling:
+      for (DomNodeId s = ctx.next_sibling; s != kNilDomNode;
+           s = tree.node(s).next_sibling) {
+        if (test.Matches(tree.node(s).tag)) out.push_back(s);
+      }
+      break;
+    case Axis::kPrecedingSibling:
+      for (DomNodeId s = ctx.prev_sibling; s != kNilDomNode;
+           s = tree.node(s).prev_sibling) {
+        if (test.Matches(tree.node(s).tag)) out.push_back(s);
+      }
+      break;
+  }
+  for (const Predicate& pred : step.predicates) {
+    std::erase_if(out, [&](DomNodeId n) {
+      return !PredicateHolds(tree, n, pred);
+    });
+  }
+  return out;
+}
+
+std::vector<DomNodeId> OracleEvaluate(const DomTree& tree,
+                                      const LocationPath& path,
+                                      DomNodeId context) {
+  std::vector<DomNodeId> current;
+  current.push_back(path.absolute ? tree.root() : context);
+  for (const LocationStep& step : path.steps) {
+    std::vector<DomNodeId> next;
+    std::unordered_set<DomNodeId> seen;
+    for (const DomNodeId ctx : current) {
+      for (const DomNodeId n : OracleStep(tree, ctx, step)) {
+        if (seen.insert(n).second) next.push_back(n);
+      }
+    }
+    current = std::move(next);
+  }
+  std::sort(current.begin(), current.end(),
+            [&](DomNodeId a, DomNodeId b) {
+              return tree.node(a).order < tree.node(b).order;
+            });
+  return current;
+}
+
+std::uint64_t OracleCount(const DomTree& tree, const PathQuery& query,
+                          DomNodeId context) {
+  std::uint64_t total = 0;
+  for (const LocationPath& path : query.paths) {
+    total += OracleEvaluate(tree, path, context).size();
+  }
+  return total;
+}
+
+}  // namespace navpath

@@ -1,0 +1,34 @@
+// Reference evaluator over the in-memory DOM.
+//
+// Implements XPath node-set semantics (deduplicated, document order)
+// directly on the DomTree. It performs no I/O and no clustering: it is the
+// ground truth the paged operators are tested against, never part of a
+// measured plan.
+#ifndef NAVPATH_XPATH_ORACLE_H_
+#define NAVPATH_XPATH_ORACLE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "xml/dom.h"
+#include "xpath/location_path.h"
+
+namespace navpath {
+
+/// Nodes reachable from `context` via `step`, in document order, deduped.
+std::vector<DomNodeId> OracleStep(const DomTree& tree, DomNodeId context,
+                                  const LocationStep& step);
+
+/// Result node set of `path` from `context` (ignored for absolute paths,
+/// which start at the root), in document order.
+std::vector<DomNodeId> OracleEvaluate(const DomTree& tree,
+                                      const LocationPath& path,
+                                      DomNodeId context);
+
+/// count()-mode evaluation of a query.
+std::uint64_t OracleCount(const DomTree& tree, const PathQuery& query,
+                          DomNodeId context);
+
+}  // namespace navpath
+
+#endif  // NAVPATH_XPATH_ORACLE_H_

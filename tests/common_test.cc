@@ -1,0 +1,141 @@
+// Unit tests for the common module: Status/Result, SimClock, Random.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+
+namespace navpath {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::IOError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(s.message(), "disk on fire");
+  EXPECT_EQ(s.ToString(), "IOError: disk on fire");
+}
+
+TEST(StatusTest, CopySemantics) {
+  Status s = Status::NotFound("x");
+  Status t = s;
+  EXPECT_TRUE(t.IsNotFound());
+  EXPECT_TRUE(s.IsNotFound());
+  t = Status::OK();
+  EXPECT_TRUE(t.ok());
+  EXPECT_TRUE(s.IsNotFound());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 9; ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)),
+                 "UnknownCode");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(ResultTest, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+Status FailingOperation() { return Status::IOError("boom"); }
+
+Status PropagatingCaller() {
+  NAVPATH_RETURN_NOT_OK(FailingOperation());
+  return Status::OK();
+}
+
+TEST(MacrosTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(PropagatingCaller().IsIOError());
+}
+
+Result<int> MakeValue(bool ok) {
+  if (ok) return 5;
+  return Status::NotFound("no value");
+}
+
+Result<int> AssignOrReturnCaller(bool ok) {
+  NAVPATH_ASSIGN_OR_RETURN(const int v, MakeValue(ok));
+  return v + 1;
+}
+
+TEST(MacrosTest, AssignOrReturn) {
+  EXPECT_EQ(*AssignOrReturnCaller(true), 6);
+  EXPECT_TRUE(AssignOrReturnCaller(false).status().IsNotFound());
+}
+
+TEST(SimClockTest, CpuPlusIoEqualsTotal) {
+  SimClock clock;
+  clock.ChargeCpu(100);
+  EXPECT_EQ(clock.now(), 100u);
+  EXPECT_EQ(clock.cpu_time(), 100u);
+  clock.WaitUntil(500);
+  EXPECT_EQ(clock.now(), 500u);
+  EXPECT_EQ(clock.cpu_time(), 100u);
+  EXPECT_EQ(clock.io_wait_time(), 400u);
+  // Waiting for a time in the past is a no-op.
+  clock.WaitUntil(300);
+  EXPECT_EQ(clock.now(), 500u);
+}
+
+TEST(SimClockTest, ToSeconds) {
+  EXPECT_DOUBLE_EQ(SimClock::ToSeconds(kSimSecond), 1.0);
+  EXPECT_DOUBLE_EQ(SimClock::ToSeconds(kSimMillisecond), 0.001);
+}
+
+TEST(RandomTest, Deterministic) {
+  Random a(123), b(123), c(124);
+  bool differs = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.NextU64();
+    EXPECT_EQ(va, b.NextU64());
+    if (va != c.NextU64()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandomTest, BoundedStaysInRange) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    const auto v = rng.NextInRange(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BoundedCoversRange) {
+  Random rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+}  // namespace
+}  // namespace navpath

@@ -1,0 +1,149 @@
+// Tests for document statistics and the cost-based plan choice.
+#include <gtest/gtest.h>
+
+#include "compiler/cost_model.h"
+#include "tests/test_util.h"
+#include "xmark/generator.h"
+#include "xml/parser.h"
+#include "xpath/oracle.h"
+#include "xpath/parser.h"
+
+namespace navpath {
+namespace {
+
+constexpr const char* kQ15Path =
+    "/site/closed_auctions/closed_auction/annotation/description/parlist/"
+    "listitem/parlist/listitem/text/emph/keyword/bold";
+
+struct StatsFixture {
+  Database db;
+  DomTree tree;
+  ImportedDocument doc;
+  DocumentStats stats;
+
+  static DatabaseOptions Options() {
+    DatabaseOptions options;
+    options.page_size = 512;
+    return options;
+  }
+
+  explicit StatsFixture(const char* xml)
+      : db(Options()), tree(db.tags()) {
+    auto parsed = ParseXml(xml, db.tags());
+    parsed.status().AbortIfNotOk();
+    tree = std::move(*parsed);
+    SubtreeClusteringPolicy policy(448);
+    doc = *db.Import(tree, &policy);
+    stats = DocumentStats::Build(tree, doc, 512);
+  }
+};
+
+TEST(DocumentStatsTest, CountsAreExact) {
+  StatsFixture f("<r><a><b/><b/><c><b/></c></a><a><c/></a></r>");
+  TagRegistry* tags = f.db.tags();
+  const TagId r = *tags->Lookup("r");
+  const TagId a = *tags->Lookup("a");
+  const TagId b = *tags->Lookup("b");
+  const TagId c = *tags->Lookup("c");
+
+  EXPECT_EQ(f.stats.node_count(), 8u);
+  EXPECT_EQ(f.stats.root_tag(), r);
+  EXPECT_EQ(f.stats.CountOfTag(a), 2u);
+  EXPECT_EQ(f.stats.CountOfTag(b), 3u);
+  EXPECT_EQ(f.stats.ChildCount(r, a), 2u);
+  EXPECT_EQ(f.stats.ChildCount(a, b), 2u);  // direct b-children of a's
+  EXPECT_EQ(f.stats.ChildCount(c, b), 1u);
+  EXPECT_EQ(f.stats.DescendantCount(r, b), 3u);
+  EXPECT_EQ(f.stats.DescendantCount(a, b), 3u);
+  EXPECT_EQ(f.stats.DescendantCount(a, c), 2u);
+  EXPECT_EQ(f.stats.ChildCountAny(r), 2u);
+  EXPECT_EQ(f.stats.DescendantCountAny(r), 7u);
+}
+
+TEST(DocumentStatsTest, EstimatesExactForDeterministicSteps) {
+  StatsFixture f("<r><a><b/><b/><c><b/></c></a><a><c/></a></r>");
+  // /r/a/b: from the single root, child estimates are exact expectations.
+  auto path = ParsePath("/r/a/b", f.db.tags());
+  ASSERT_TRUE(path.ok());
+  const PathEstimate est = EstimatePath(f.stats, *path);
+  const auto oracle = OracleEvaluate(f.tree, *path, f.tree.root());
+  EXPECT_NEAR(est.result_cardinality, static_cast<double>(oracle.size()),
+              1e-9);
+
+  auto deep = ParsePath("//b", f.db.tags());
+  ASSERT_TRUE(deep.ok());
+  const PathEstimate deep_est = EstimatePath(f.stats, *deep);
+  EXPECT_NEAR(deep_est.result_cardinality, 3.0, 1e-9);
+}
+
+TEST(DocumentStatsTest, AncestorEstimateUsesPairCounts) {
+  StatsFixture f("<r><a><c><b/></c></a><a><b/></a></r>");
+  auto path = ParsePath("//b/ancestor::a", f.db.tags());
+  ASSERT_TRUE(path.ok());
+  const PathEstimate est = EstimatePath(f.stats, *path);
+  // Both b's have exactly one a-ancestor; distribution-level estimate
+  // counts expected ancestors (2 in total, capped at count(a) = 2).
+  EXPECT_NEAR(est.result_cardinality, 2.0, 1e-6);
+}
+
+TEST(CostModelTest, EstimateScalesWithSelectivity) {
+  TagRegistry* tags;
+  DatabaseOptions options;
+  options.page_size = 2048;
+  Database db(options);
+  tags = db.tags();
+  XMarkOptions xmark;
+  xmark.scale = 0.02;
+  const DomTree tree = GenerateXMark(xmark, tags);
+  SubtreeClusteringPolicy policy(1792);
+  auto doc = db.Import(tree, &policy);
+  ASSERT_TRUE(doc.ok());
+  const DocumentStats stats = DocumentStats::Build(tree, *doc, 2048);
+
+  auto q7_path = ParsePath("/site//description", tags);
+  auto q15_path = ParsePath(kQ15Path, tags);
+  ASSERT_TRUE(q7_path.ok());
+  ASSERT_TRUE(q15_path.ok());
+  const PathEstimate low_sel = EstimatePath(stats, *q7_path);
+  const PathEstimate high_sel = EstimatePath(stats, *q15_path);
+  EXPECT_GT(low_sel.clusters_touched, 5 * high_sel.clusters_touched);
+
+  const PlanCosts low_costs = EstimatePlanCosts(
+      stats, *q7_path, db.options().disk_model, db.costs());
+  const PlanCosts high_costs = EstimatePlanCosts(
+      stats, *q15_path, db.options().disk_model, db.costs());
+  // Crossover: scans attractive for low selectivity, not for high.
+  EXPECT_LT(low_costs.xscan / low_costs.xschedule,
+            high_costs.xscan / high_costs.xschedule);
+}
+
+TEST(CostModelTest, ChoosesNavigationForSelectiveQueries) {
+  DatabaseOptions options;
+  options.page_size = 2048;
+  Database db(options);
+  XMarkOptions xmark;
+  xmark.scale = 0.05;
+  const DomTree tree = GenerateXMark(xmark, db.tags());
+  SubtreeClusteringPolicy policy(1792);
+  auto doc = db.Import(tree, &policy);
+  ASSERT_TRUE(doc.ok());
+  const DocumentStats stats = DocumentStats::Build(tree, *doc, 2048);
+
+  auto selective = ParseQuery(kQ15Path, db.tags());
+  ASSERT_TRUE(selective.ok());
+  EXPECT_NE(ChoosePlanKind(stats, *selective, db.options().disk_model,
+                           db.costs()),
+            PlanKind::kXScan);
+
+  auto broad = ParseQuery(
+      "count(/site//description)+count(/site//annotation)+"
+      "count(/site//email)",
+      db.tags());
+  ASSERT_TRUE(broad.ok());
+  EXPECT_EQ(ChoosePlanKind(stats, *broad, db.options().disk_model,
+                           db.costs()),
+            PlanKind::kXScan);
+}
+
+}  // namespace
+}  // namespace navpath

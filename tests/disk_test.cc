@@ -1,0 +1,175 @@
+// Unit tests for the simulated disk: cost model, sequential detection,
+// asynchronous SSTF scheduling, poll semantics.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "storage/disk.h"
+
+namespace navpath {
+namespace {
+
+constexpr std::size_t kPage = 512;
+
+struct DiskFixture {
+  SimClock clock;
+  Metrics metrics;
+  DiskModel model;
+  SimulatedDisk disk;
+
+  explicit DiskFixture(DiskModel m = DiskModel())
+      : model(m), disk(m, kPage, &clock, &metrics) {}
+
+  PageId WritePattern(std::uint8_t fill) {
+    const PageId id = disk.AllocatePage();
+    std::vector<std::byte> buf(kPage, static_cast<std::byte>(fill));
+    disk.WriteSync(id, buf.data()).AbortIfNotOk();
+    return id;
+  }
+};
+
+TEST(DiskModelTest, SequentialIsTransferOnly) {
+  DiskModel m;
+  EXPECT_EQ(m.AccessCost(5, 6), m.transfer_time);
+  EXPECT_EQ(m.AccessCost(5, 5), m.transfer_time);
+  EXPECT_GT(m.AccessCost(5, 7), m.transfer_time);
+}
+
+TEST(DiskModelTest, SeekGrowsWithDistance) {
+  DiskModel m;
+  const SimTime near = m.AccessCost(0, 100);
+  const SimTime far = m.AccessCost(0, 10000);
+  EXPECT_GT(far, near);
+  // Square-root model: 100x the distance ~ 10x the variable seek portion.
+  const SimTime base = m.seek_base + m.rotational_latency + m.transfer_time;
+  EXPECT_NEAR(static_cast<double>(far - base),
+              10.0 * static_cast<double>(near - base),
+              static_cast<double>(near - base) * 0.1);
+}
+
+TEST(DiskTest, ReadBackWrittenData) {
+  DiskFixture f;
+  const PageId a = f.WritePattern(0xAB);
+  const PageId b = f.WritePattern(0xCD);
+  std::vector<std::byte> buf(kPage);
+  ASSERT_TRUE(f.disk.ReadSync(a, buf.data()).ok());
+  EXPECT_EQ(buf[0], static_cast<std::byte>(0xAB));
+  ASSERT_TRUE(f.disk.ReadSync(b, buf.data()).ok());
+  EXPECT_EQ(buf[kPage - 1], static_cast<std::byte>(0xCD));
+}
+
+TEST(DiskTest, ReadPastEndFails) {
+  DiskFixture f;
+  std::vector<std::byte> buf(kPage);
+  EXPECT_TRUE(f.disk.ReadSync(3, buf.data()).IsIOError());
+}
+
+TEST(DiskTest, SequentialScanIsCheaperThanRandom) {
+  DiskFixture seq_f;
+  for (int i = 0; i < 64; ++i) seq_f.WritePattern(1);
+  seq_f.clock.Reset();
+  seq_f.disk.ResetTimeline();
+  std::vector<std::byte> buf(kPage);
+  for (PageId i = 0; i < 64; ++i) {
+    ASSERT_TRUE(seq_f.disk.ReadSync(i, buf.data()).ok());
+  }
+  const SimTime seq_time = seq_f.clock.now();
+
+  DiskFixture rnd_f;
+  for (int i = 0; i < 64; ++i) rnd_f.WritePattern(1);
+  rnd_f.clock.Reset();
+  rnd_f.disk.ResetTimeline();
+  for (PageId i = 0; i < 64; ++i) {
+    const PageId target = (i * 37) % 64;  // pseudo-random permutation
+    ASSERT_TRUE(rnd_f.disk.ReadSync(target, buf.data()).ok());
+  }
+  EXPECT_GT(rnd_f.clock.now(), 10 * seq_time);
+  EXPECT_GT(rnd_f.metrics.disk_seek_pages, 0u);
+}
+
+TEST(DiskTest, AsyncServesShortestSeekFirst) {
+  DiskFixture f;
+  for (int i = 0; i < 100; ++i) f.WritePattern(1);
+  std::vector<std::byte> buf(kPage);
+  // Position the head at page 50.
+  ASSERT_TRUE(f.disk.ReadSync(50, buf.data()).ok());
+  // Submit far-away first, nearby second: SSTF must serve 52 before 5.
+  ASSERT_TRUE(f.disk.SubmitRead(5).ok());
+  ASSERT_TRUE(f.disk.SubmitRead(52).ok());
+  auto first = f.disk.WaitForCompletion(buf.data());
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 52u);
+  auto second = f.disk.WaitForCompletion(buf.data());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, 5u);
+  EXPECT_GE(f.metrics.async_reorderings, 1u);
+}
+
+TEST(DiskTest, AsyncBatchBeatsSyncRandomOrder) {
+  // The same set of pages read in submission order synchronously vs
+  // handed to the async queue at once: the SSTF sweep must be faster.
+  const std::vector<PageId> targets = {90, 10, 80, 20, 70, 30, 60, 40};
+  std::vector<std::byte> buf(kPage);
+
+  DiskFixture sync_f;
+  for (int i = 0; i < 100; ++i) sync_f.WritePattern(1);
+  sync_f.clock.Reset();
+  sync_f.disk.ResetTimeline();
+  for (const PageId t : targets) {
+    ASSERT_TRUE(sync_f.disk.ReadSync(t, buf.data()).ok());
+  }
+  const SimTime sync_time = sync_f.clock.now();
+
+  DiskFixture async_f;
+  for (int i = 0; i < 100; ++i) async_f.WritePattern(1);
+  async_f.clock.Reset();
+  async_f.disk.ResetTimeline();
+  for (const PageId t : targets) {
+    ASSERT_TRUE(async_f.disk.SubmitRead(t).ok());
+  }
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    ASSERT_TRUE(async_f.disk.WaitForCompletion(buf.data()).ok());
+  }
+  EXPECT_LT(async_f.clock.now(), sync_time);
+  EXPECT_LT(async_f.metrics.disk_seek_pages, sync_f.metrics.disk_seek_pages);
+}
+
+TEST(DiskTest, WaitWithoutRequestsFails) {
+  DiskFixture f;
+  std::vector<std::byte> buf(kPage);
+  EXPECT_TRUE(f.disk.WaitForCompletion(buf.data()).status().IsNotFound());
+}
+
+TEST(DiskTest, PollDoesNotAdvanceClock) {
+  DiskFixture f;
+  for (int i = 0; i < 10; ++i) f.WritePattern(1);
+  std::vector<std::byte> buf(kPage);
+  ASSERT_TRUE(f.disk.SubmitRead(7).ok());
+  const SimTime before = f.clock.now();
+  // Immediately after submission nothing can have completed.
+  EXPECT_FALSE(f.disk.PollCompletion(buf.data()).has_value());
+  EXPECT_EQ(f.clock.now(), before);
+  // After enough CPU time passes, the completion becomes visible.
+  f.clock.ChargeCpu(10 * kSimSecond);
+  auto polled = f.disk.PollCompletion(buf.data());
+  ASSERT_TRUE(polled.has_value());
+  EXPECT_EQ(*polled, 7u);
+}
+
+TEST(DiskTest, AsyncOverlapsWithCpuWork) {
+  DiskFixture f;
+  for (int i = 0; i < 1000; ++i) f.WritePattern(1);
+  std::vector<std::byte> buf(kPage);
+  f.clock.Reset();
+  f.disk.ResetTimeline();
+  ASSERT_TRUE(f.disk.SubmitRead(900).ok());
+  // Busy CPU for longer than the access takes: the wait must then be free.
+  f.clock.ChargeCpu(10 * kSimSecond);
+  const SimTime before_wait = f.clock.now();
+  ASSERT_TRUE(f.disk.WaitForCompletion(buf.data()).ok());
+  EXPECT_EQ(f.clock.now(), before_wait);  // I/O finished in the background
+}
+
+}  // namespace
+}  // namespace navpath

@@ -1,0 +1,140 @@
+// Property tests for the navigational primitives: for random documents,
+// random clusterings, every axis and every context node, cross-cluster
+// navigation over the paged store must produce exactly the nodes the DOM
+// oracle produces, in the same order.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tests/test_util.h"
+#include "xpath/oracle.h"
+
+namespace navpath {
+namespace {
+
+struct NavCase {
+  std::string policy;
+  std::uint64_t seed;
+  std::size_t nodes;
+};
+
+class AxisNavigation : public ::testing::TestWithParam<NavCase> {};
+
+TEST_P(AxisNavigation, MatchesOracleOnEveryNodeAndAxis) {
+  const NavCase& param = GetParam();
+  DatabaseOptions options;
+  options.page_size = 512;
+  options.buffer_pages = 128;
+  Database db(options);
+  RandomTreeOptions tree_options;
+  tree_options.node_count = param.nodes;
+  tree_options.max_fanout = 6;
+  const DomTree tree = MakeRandomTree(tree_options, param.seed, db.tags());
+
+  std::unique_ptr<ClusteringPolicy> policy;
+  if (param.policy == "subtree") {
+    policy = std::make_unique<SubtreeClusteringPolicy>(448);
+  } else if (param.policy == "random") {
+    policy = std::make_unique<RandomClusteringPolicy>(448, param.seed + 1);
+  } else {
+    policy = std::make_unique<RoundRobinClusteringPolicy>(448);
+  }
+  auto doc = db.Import(tree, policy.get());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+
+  auto mapping = MapOrderToNodeID(&db, *doc, tree);
+  ASSERT_TRUE(mapping.ok()) << mapping.status().ToString();
+
+  constexpr Axis kAxes[] = {
+      Axis::kSelf,          Axis::kChild,
+      Axis::kParent,        Axis::kDescendant,
+      Axis::kDescendantOrSelf, Axis::kAncestor,
+      Axis::kAncestorOrSelf,   Axis::kFollowingSibling,
+      Axis::kPrecedingSibling,  Axis::kAttribute,
+  };
+
+  CrossClusterCursor cursor(&db);
+  for (DomNodeId ctx = 0; ctx < tree.size(); ++ctx) {
+    for (const Axis axis : kAxes) {
+      LocationStep step{axis, NodeTest::AnyNode(), {}};
+      const std::vector<DomNodeId> expected = OracleStep(tree, ctx, step);
+
+      const NodeID origin = mapping->at(tree.node(ctx).order);
+      ASSERT_TRUE(cursor.Start(axis, origin).ok());
+      std::vector<std::uint64_t> got_orders;
+      LogicalNode node;
+      for (;;) {
+        auto more = cursor.Next(&node);
+        ASSERT_TRUE(more.ok()) << more.status().ToString();
+        if (!*more) break;
+        got_orders.push_back(node.order);
+      }
+
+      std::vector<std::uint64_t> expected_orders;
+      expected_orders.reserve(expected.size());
+      for (const DomNodeId n : expected) {
+        expected_orders.push_back(tree.node(n).order);
+      }
+      // Chain/DFS enumeration order must match the oracle's axis order
+      // for forward axes; reverse axes enumerate outward (reverse
+      // document order), which the oracle also produces.
+      ASSERT_EQ(got_orders, expected_orders)
+          << "axis " << AxisName(axis) << " at node order "
+          << tree.node(ctx).order << " (policy " << param.policy << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndSeeds, AxisNavigation,
+    ::testing::Values(NavCase{"subtree", 11, 300},
+                      NavCase{"subtree", 12, 700},
+                      NavCase{"random", 13, 300},
+                      NavCase{"random", 14, 700},
+                      NavCase{"round-robin", 15, 300},
+                      NavCase{"round-robin", 16, 500},
+                      NavCase{"random", 17, 60},
+                      NavCase{"subtree", 18, 1200}),
+    [](const ::testing::TestParamInfo<NavCase>& info) {
+      std::string name = info.param.policy + "_" +
+                         std::to_string(info.param.nodes) + "_s" +
+                         std::to_string(info.param.seed);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(NavigationTest, NameTestsFilterByTag) {
+  DatabaseOptions options;
+  options.page_size = 512;
+  Database db(options);
+  RandomTreeOptions tree_options;
+  tree_options.node_count = 200;
+  tree_options.tag_alphabet = 3;
+  const DomTree tree = MakeRandomTree(tree_options, 21, db.tags());
+  RandomClusteringPolicy policy(448, 5);
+  auto doc = db.Import(tree, &policy);
+  ASSERT_TRUE(doc.ok());
+  auto mapping = MapOrderToNodeID(&db, *doc, tree);
+  ASSERT_TRUE(mapping.ok());
+
+  const TagId t1 = *db.tags()->Lookup("t1");
+  LocationStep step{Axis::kDescendant, NodeTest::Name("t1", t1), {}};
+  const auto expected = OracleStep(tree, tree.root(), step);
+
+  CrossClusterCursor cursor(&db);
+  ASSERT_TRUE(cursor.Start(Axis::kDescendant, doc->root).ok());
+  std::size_t matches = 0;
+  LogicalNode node;
+  for (;;) {
+    auto more = cursor.Next(&node);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    if (node.tag == t1) ++matches;
+  }
+  EXPECT_EQ(matches, expected.size());
+}
+
+}  // namespace
+}  // namespace navpath

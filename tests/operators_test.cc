@@ -1,0 +1,260 @@
+// Property tests for the physical algebra: on random documents and
+// clusterings, every plan kind must produce exactly the oracle's result
+// set — including speculative XSchedule and fallback mode.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "compiler/executor.h"
+#include "tests/test_util.h"
+#include "xpath/oracle.h"
+#include "xpath/parser.h"
+
+namespace navpath {
+namespace {
+
+struct PlanVariant {
+  PlanKind kind;
+  bool speculative;
+  std::size_t s_budget;  // 0 = unlimited
+  const char* label;
+};
+
+const PlanVariant kVariants[] = {
+    {PlanKind::kSimple, false, 0, "simple"},
+    {PlanKind::kXSchedule, false, 0, "xschedule"},
+    {PlanKind::kXSchedule, true, 0, "xschedule_spec"},
+    {PlanKind::kXScan, false, 0, "xscan"},
+    {PlanKind::kXScan, false, 5, "xscan_fallback"},
+    {PlanKind::kXSchedule, true, 5, "xschedule_spec_fallback"},
+};
+
+struct AlgebraCase {
+  std::uint64_t seed;
+  std::size_t nodes;
+  std::string policy;
+  std::string path;
+};
+
+class PlanEquivalence : public ::testing::TestWithParam<AlgebraCase> {};
+
+TEST_P(PlanEquivalence, AllPlansMatchOracle) {
+  const AlgebraCase& param = GetParam();
+  DatabaseOptions options;
+  options.page_size = 512;
+  options.buffer_pages = 64;
+  Database db(options);
+  RandomTreeOptions tree_options;
+  tree_options.node_count = param.nodes;
+  tree_options.tag_alphabet = 3;
+  const DomTree tree = MakeRandomTree(tree_options, param.seed, db.tags());
+
+  std::unique_ptr<ClusteringPolicy> policy;
+  if (param.policy == "subtree") {
+    policy = std::make_unique<SubtreeClusteringPolicy>(448);
+  } else {
+    policy = std::make_unique<RandomClusteringPolicy>(448, param.seed + 3);
+  }
+  auto doc = db.Import(tree, policy.get());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+
+  auto path = ParsePath(param.path, db.tags());
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+
+  const std::vector<DomNodeId> expected =
+      OracleEvaluate(tree, *path, tree.root());
+  std::vector<std::uint64_t> expected_orders;
+  expected_orders.reserve(expected.size());
+  for (const DomNodeId n : expected) {
+    expected_orders.push_back(tree.node(n).order);
+  }
+
+  for (const PlanVariant& variant : kVariants) {
+    ExecuteOptions exec;
+    exec.plan.kind = variant.kind;
+    exec.plan.speculative = variant.speculative;
+    exec.plan.s_budget = variant.s_budget;
+    exec.collect_nodes = true;
+    auto result = ExecutePath(&db, *doc, *path, exec);
+    ASSERT_TRUE(result.ok())
+        << variant.label << ": " << result.status().ToString();
+    std::vector<std::uint64_t> got;
+    got.reserve(result->nodes.size());
+    for (const auto& n : result->nodes) got.push_back(n.order);
+    ASSERT_EQ(got, expected_orders)
+        << "plan " << variant.label << " path " << param.path << " seed "
+        << param.seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PathsAndTrees, PlanEquivalence,
+    ::testing::Values(
+        AlgebraCase{31, 400, "subtree", "/t0/t1"},
+        AlgebraCase{32, 400, "random", "//t1"},
+        AlgebraCase{33, 600, "subtree", "//t0//t1"},
+        AlgebraCase{34, 600, "random", "/t0//t2/t1"},
+        AlgebraCase{35, 500, "subtree", "//t2/.."},
+        AlgebraCase{36, 500, "random", "//t1/following-sibling::t2"},
+        AlgebraCase{37, 500, "subtree", "//t2/preceding-sibling::*"},
+        AlgebraCase{38, 500, "random", "//t1/ancestor::t0"},
+        AlgebraCase{39, 300, "random", "//t0/ancestor-or-self::*"},
+        AlgebraCase{40, 700, "subtree",
+                    "/descendant-or-self::node()/t1/descendant::t2"},
+        AlgebraCase{41, 300, "random", "/"},
+        AlgebraCase{42, 800, "random", "//t0//t1//t2"},
+        AlgebraCase{43, 400, "subtree", "/t9"},  // empty result
+        AlgebraCase{44, 650, "random", "//t0/t1/t2"},
+        AlgebraCase{45, 500, "random", "//t1/@a0"},
+        AlgebraCase{46, 500, "subtree", "//@*"},
+        AlgebraCase{47, 400, "random", "//t0/@a1/.."},
+        AlgebraCase{48, 400, "subtree",
+                    "//t2/attribute::a2/ancestor::t0"},
+        AlgebraCase{49, 450, "random", "//t1/following::t2"},
+        AlgebraCase{50, 450, "subtree", "//t2/preceding::t0"}),
+    [](const ::testing::TestParamInfo<AlgebraCase>& info) {
+      return "case_s" + std::to_string(info.param.seed);
+    });
+
+TEST(PlanEquivalenceTest, RelativePathsWithManyContexts) {
+  DatabaseOptions options;
+  options.page_size = 512;
+  options.buffer_pages = 64;
+  Database db(options);
+  RandomTreeOptions tree_options;
+  tree_options.node_count = 500;
+  tree_options.tag_alphabet = 3;
+  const DomTree tree = MakeRandomTree(tree_options, 77, db.tags());
+  RandomClusteringPolicy policy(448, 5);
+  auto doc = db.Import(tree, &policy);
+  ASSERT_TRUE(doc.ok());
+  auto mapping = MapOrderToNodeID(&db, *doc, tree);
+  ASSERT_TRUE(mapping.ok());
+
+  auto path = ParsePath("t1//t2", db.tags());
+  ASSERT_TRUE(path.ok());
+
+  // Contexts: every t0 node in the document.
+  const TagId t0 = *db.tags()->Lookup("t0");
+  std::vector<LogicalNode> contexts;
+  std::vector<DomNodeId> dom_contexts;
+  for (DomNodeId n = 0; n < tree.size(); ++n) {
+    if (tree.node(n).tag == t0) {
+      dom_contexts.push_back(n);
+      contexts.push_back(LogicalNode{mapping->at(tree.node(n).order), t0,
+                                     tree.node(n).order});
+    }
+  }
+  ASSERT_GT(contexts.size(), 10u);
+
+  // Oracle: union over contexts, deduped, document order.
+  std::set<std::uint64_t> expected;
+  for (const DomNodeId ctx : dom_contexts) {
+    for (const DomNodeId n : OracleEvaluate(tree, *path, ctx)) {
+      expected.insert(tree.node(n).order);
+    }
+  }
+
+  for (const PlanKind kind :
+       {PlanKind::kSimple, PlanKind::kXSchedule, PlanKind::kXScan}) {
+    ASSERT_TRUE(db.ResetMeasurement().ok());
+    PlanOptions plan_options;
+    plan_options.kind = kind;
+    auto plan = BuildPlan(&db, *doc, *path, contexts, plan_options);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    ASSERT_TRUE(plan->root()->Open().ok());
+    std::set<std::uint64_t> got;
+    PathInstance inst;
+    for (;;) {
+      auto more = plan->root()->Next(&inst);
+      ASSERT_TRUE(more.ok()) << more.status().ToString();
+      if (!*more) break;
+      got.insert(inst.right.order);
+    }
+    ASSERT_TRUE(plan->root()->Close().ok());
+    EXPECT_EQ(got, expected) << PlanKindName(kind);
+  }
+}
+
+TEST(FallbackTest, TriggersAndStaysCorrect) {
+  DatabaseOptions options;
+  options.page_size = 512;
+  options.buffer_pages = 64;
+  Database db(options);
+  RandomTreeOptions tree_options;
+  tree_options.node_count = 800;
+  tree_options.tag_alphabet = 2;
+  const DomTree tree = MakeRandomTree(tree_options, 55, db.tags());
+  RandomClusteringPolicy policy(448, 9);
+  auto doc = db.Import(tree, &policy);
+  ASSERT_TRUE(doc.ok());
+
+  auto path = ParsePath("//t0//t1", db.tags());
+  ASSERT_TRUE(path.ok());
+  const auto expected = OracleEvaluate(tree, *path, tree.root());
+
+  ExecuteOptions exec;
+  exec.plan.kind = PlanKind::kXScan;
+  exec.plan.s_budget = 3;  // absurdly small: must trip fallback
+  exec.collect_nodes = true;
+  auto result = ExecutePath(&db, *doc, *path, exec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->count, expected.size());
+  EXPECT_GE(result->metrics.fallback_activations, 1u);
+}
+
+TEST(XScheduleTest, SpeculativeModeNeverLosesResults) {
+  // Paths that revisit clusters (down then up) exercise the
+  // visited-cluster shortcut of speculative XSchedule.
+  DatabaseOptions options;
+  options.page_size = 512;
+  options.buffer_pages = 64;
+  Database db(options);
+  RandomTreeOptions tree_options;
+  tree_options.node_count = 600;
+  tree_options.tag_alphabet = 2;
+  const DomTree tree = MakeRandomTree(tree_options, 91, db.tags());
+  RandomClusteringPolicy policy(448, 13);
+  auto doc = db.Import(tree, &policy);
+  ASSERT_TRUE(doc.ok());
+
+  auto path = ParsePath("//t1/ancestor::t0/t1", db.tags());
+  ASSERT_TRUE(path.ok());
+  const auto expected = OracleEvaluate(tree, *path, tree.root());
+
+  for (const bool speculative : {false, true}) {
+    ExecuteOptions exec;
+    exec.plan.kind = PlanKind::kXSchedule;
+    exec.plan.speculative = speculative;
+    exec.collect_nodes = true;
+    auto result = ExecutePath(&db, *doc, *path, exec);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->count, expected.size())
+        << "speculative=" << speculative;
+  }
+}
+
+TEST(XScheduleTest, QueueSizeKOneStillCorrect) {
+  DatabaseOptions options;
+  options.page_size = 512;
+  Database db(options);
+  RandomTreeOptions tree_options;
+  tree_options.node_count = 300;
+  const DomTree tree = MakeRandomTree(tree_options, 101, db.tags());
+  RandomClusteringPolicy policy(448, 1);
+  auto doc = db.Import(tree, &policy);
+  ASSERT_TRUE(doc.ok());
+  auto path = ParsePath("//t0", db.tags());
+  ASSERT_TRUE(path.ok());
+  const auto expected = OracleEvaluate(tree, *path, tree.root());
+
+  ExecuteOptions exec;
+  exec.plan.kind = PlanKind::kXSchedule;
+  exec.plan.queue_k = 1;
+  auto result = ExecutePath(&db, *doc, *path, exec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->count, expected.size());
+}
+
+}  // namespace
+}  // namespace navpath

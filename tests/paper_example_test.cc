@@ -1,0 +1,221 @@
+// Reproduces the paper's running example (Figs. 2/3/5/6/8, Tab. 1,
+// Examples 5-7) on a hand-built physical layout.
+//
+// Logical tree:            r(R)
+//                         /  |  (backslash)
+//                    a2(A) c2(A) d4(C)
+//                      |     |     |
+//                    a3(B) c4(B) b5(B)
+//
+// Physical clusters (one per page, disk order a, b, c, d):
+//   page 0 "a": [up-border] -> a2 -> a3
+//   page 1 "b": [up-border] -> b5
+//   page 2 "c": [up-border] -> c2 -> c4
+//   page 3 "d": r with down-borders to a and c, core d4 with a
+//               down-border to b.
+//
+// Query /A//B from the root. Expected results: a3 and c4.
+//   * XSchedule visits d, then a and c — never b (Example 6: d4 fails the
+//     node test A, so the crossing below it is never produced).
+//   * XScan scans a, b, c, d in physical order; the context cluster d
+//     comes LAST, so results in a and c are found speculatively as
+//     left-incomplete instances and merged when d arrives (Example 7).
+#include <gtest/gtest.h>
+
+#include "algebra/path_instance.h"
+#include "compiler/executor.h"
+#include "store/tree_page.h"
+#include "xpath/parser.h"
+
+namespace navpath {
+namespace {
+
+struct PaperExample {
+  Database db;
+  ImportedDocument doc;
+  std::uint64_t order_a3 = 2;
+  std::uint64_t order_c4 = 4;
+
+  static DatabaseOptions Options() {
+    DatabaseOptions options;
+    options.page_size = 512;
+    options.buffer_pages = 16;
+    return options;
+  }
+
+  PaperExample() : db(Options()) {
+    const TagId tag_r = db.tags()->Intern("R");
+    const TagId tag_a = db.tags()->Intern("A");
+    const TagId tag_b = db.tags()->Intern("B");
+    const TagId tag_c = db.tags()->Intern("C");
+
+    std::vector<std::vector<std::byte>> pages(4);
+    std::vector<TreePage> views;
+    for (auto& bytes : pages) {
+      bytes.resize(512);
+      TreePage::Initialize(bytes.data(), 512);
+      views.emplace_back(bytes.data(), 512);
+    }
+
+    // Fragment pages a(0), b(1), c(2): up-border + chain of cores.
+    auto make_fragment = [&](PageId page, TagId top_tag,
+                             std::uint64_t top_order, TagId child_tag,
+                             std::uint64_t child_order,
+                             bool with_child) -> SlotId {
+      TreePage& v = views[page];
+      const SlotId up = *v.AddBorderRecord(RecordKind::kBorderUp);
+      const SlotId top = *v.AddCoreRecord(top_tag, top_order, "");
+      v.SetFirstChild(up, top);
+      v.SetLastChild(up, top);
+      v.SetParent(top, up);
+      v.SetPrevSibling(top, up);
+      v.SetNextSibling(top, up);
+      if (with_child) {
+        const SlotId child = *v.AddCoreRecord(child_tag, child_order, "");
+        v.SetFirstChild(top, child);
+        v.SetParent(child, top);
+      }
+      return up;
+    };
+    const SlotId up_a = make_fragment(0, tag_a, 1, tag_b, 2, true);
+    const SlotId up_b = make_fragment(1, tag_b, 6, 0, 0, false);
+    const SlotId up_c = make_fragment(2, tag_a, 3, tag_b, 4, true);
+
+    // Page d(3): root with down-borders to a and c, then core d4 with a
+    // down-border to b.
+    TreePage& d = views[3];
+    const SlotId root = *d.AddCoreRecord(tag_r, 0, "");
+    const SlotId bd_a = *d.AddBorderRecord(RecordKind::kBorderDown);
+    const SlotId bd_c = *d.AddBorderRecord(RecordKind::kBorderDown);
+    const SlotId d4 = *d.AddCoreRecord(tag_c, 5, "");
+    const SlotId bd_b = *d.AddBorderRecord(RecordKind::kBorderDown);
+    d.SetFirstChild(root, bd_a);
+    d.SetParent(bd_a, root);
+    d.SetParent(bd_c, root);
+    d.SetParent(d4, root);
+    d.SetNextSibling(bd_a, bd_c);
+    d.SetPrevSibling(bd_c, bd_a);
+    d.SetNextSibling(bd_c, d4);
+    d.SetPrevSibling(d4, bd_c);
+    d.SetFirstChild(d4, bd_b);
+    d.SetParent(bd_b, d4);
+
+    d.SetPartner(bd_a, NodeID{0, up_a});
+    views[0].SetPartner(up_a, NodeID{3, bd_a});
+    d.SetPartner(bd_c, NodeID{2, up_c});
+    views[2].SetPartner(up_c, NodeID{3, bd_c});
+    d.SetPartner(bd_b, NodeID{1, up_b});
+    views[1].SetPartner(up_b, NodeID{3, bd_b});
+
+    for (PageId p = 0; p < 4; ++p) {
+      EXPECT_TRUE(views[p].Validate().ok()) << "page " << p;
+      const PageId id = db.disk()->AllocatePage();
+      EXPECT_EQ(id, p);
+      db.disk()->WriteSync(id, pages[p].data()).AbortIfNotOk();
+    }
+
+    doc.root = NodeID{3, root};
+    doc.root_order = 0;
+    doc.first_page = 0;
+    doc.last_page = 3;
+    doc.core_records = 7;
+    doc.border_pairs = 3;
+    doc.pages = 4;
+  }
+
+  QueryRunResult RunPlan(PlanKind kind) {
+    // The paper evaluates /A//B *with context node d1* (the root), i.e.
+    // child::A from d1 — a relative path in our API.
+    auto path = ParsePath("A//B", db.tags());
+    path.status().AbortIfNotOk();
+    ExecuteOptions exec;
+    exec.plan = PaperPlanOptions(kind);
+    exec.contexts.push_back(LogicalNode{doc.root, 0, doc.root_order});
+    exec.collect_nodes = true;
+    auto result = ExecutePath(&db, doc, *path, exec);
+    result.status().AbortIfNotOk();
+    return *result;
+  }
+
+  static PlanOptions PaperPlanOptions(PlanKind kind) {
+    PlanOptions options;
+    options.kind = kind;
+    options.speculative = false;
+    return options;
+  }
+};
+
+void ExpectPaperResults(const QueryRunResult& result) {
+  ASSERT_EQ(result.count, 2u);
+  ASSERT_EQ(result.nodes.size(), 2u);
+  EXPECT_EQ(result.nodes[0].order, 2u);  // a3
+  EXPECT_EQ(result.nodes[1].order, 4u);  // c4
+}
+
+TEST(PaperExampleTest, SimplePlanFindsBothResults) {
+  PaperExample example;
+  ExpectPaperResults(example.RunPlan(PlanKind::kSimple));
+}
+
+TEST(PaperExampleTest, XScheduleVisitsOnlyRequiredClusters) {
+  // Example 6: clusters d, a, c are accessed; b never is, because d4
+  // fails the node test A and so its crossing is never produced.
+  PaperExample example;
+  ExpectPaperResults(example.RunPlan(PlanKind::kXSchedule));
+  const Metrics& metrics = *example.db.metrics();
+  EXPECT_EQ(metrics.disk_reads, 3u);  // d, a, c
+  EXPECT_FALSE(example.db.buffer()->IsResident(1));
+  EXPECT_GE(metrics.async_requests, 2u);  // a and c prefetched
+}
+
+TEST(PaperExampleTest, XScanMergesLeftIncompleteInstances) {
+  // Example 7: the scan sees clusters a, b, c before the context cluster
+  // d; a3/c4 are found speculatively and merged when d arrives.
+  PaperExample example;
+  ExpectPaperResults(example.RunPlan(PlanKind::kXScan));
+  const Metrics& metrics = *example.db.metrics();
+  EXPECT_EQ(metrics.disk_reads, 4u);           // full scan
+  EXPECT_GT(metrics.speculative_instances, 0u);  // seeds were generated
+  EXPECT_EQ(metrics.disk_seq_reads, 3u);       // pages 1,2,3 follow page 0
+}
+
+TEST(PaperExampleTest, Table1InstanceTaxonomy) {
+  // Tab. 1's classification columns (F/L/R/C) over representative
+  // instances for the 2-step path /A//B.
+  const NodeID d1{3, 0}, a2{0, 1}, a3{0, 2}, d2{3, 1}, a1{0, 0};
+
+  // No 1: context-only instance: non-full but complete.
+  const PathInstance no1 = PathInstance::Context(d1, 0);
+  EXPECT_TRUE(no1.complete());
+  EXPECT_FALSE(no1.full(2));
+
+  // No 5: d1 -> a2 -> a3: full.
+  const PathInstance no5{PathEnd{0, d1, 0, false}, PathEnd{2, a3, 2, false}};
+  EXPECT_TRUE(no5.full(2));
+  EXPECT_TRUE(no5.left_complete() && no5.right_complete());
+
+  // No 7: d1 -> border d3 while processing step 1: right-incomplete
+  // (S_R = r-1 = 0 per the paper's tuple encoding).
+  const PathInstance no7{PathEnd{0, d1, 0, false}, PathEnd{0, d2, 0, true}};
+  EXPECT_TRUE(no7.left_complete());
+  EXPECT_FALSE(no7.right_complete());
+  EXPECT_FALSE(no7.complete());
+  EXPECT_FALSE(no7.full(2));
+
+  // No 9: "if a1 is reachable at step 1, a3 is a result": left-incomplete,
+  // right-complete.
+  const PathInstance no9{PathEnd{0, a1, 0, true}, PathEnd{2, a3, 2, false}};
+  EXPECT_FALSE(no9.left_complete());
+  EXPECT_TRUE(no9.right_complete());
+  EXPECT_FALSE(no9.complete());
+  EXPECT_FALSE(no9.full(2));
+
+  // Seeds are degenerate left- and right-incomplete instances.
+  const PathInstance seed = PathInstance::Seed(a1, 0);
+  EXPECT_FALSE(seed.left_complete());
+  EXPECT_FALSE(seed.right_complete());
+  (void)a2;
+}
+
+}  // namespace
+}  // namespace navpath

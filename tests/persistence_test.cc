@@ -1,0 +1,138 @@
+// Tests for database save/load.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <unistd.h>
+
+#include "compiler/executor.h"
+#include "store/export.h"
+#include "store/persistence.h"
+#include "store/update.h"
+#include "store/verify.h"
+#include "xml/parser.h"
+#include "tests/test_util.h"
+#include "xmark/generator.h"
+#include "xpath/parser.h"
+
+namespace navpath {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(PersistenceTest, RoundTripPreservesDocument) {
+  DatabaseOptions options;
+  options.page_size = 1024;
+  options.buffer_pages = 128;
+  Database db(options);
+  XMarkOptions xmark;
+  xmark.scale = 0.005;
+  const DomTree tree = GenerateXMark(xmark, db.tags());
+  SubtreeClusteringPolicy policy(896);
+  auto doc = db.Import(tree, &policy);
+  ASSERT_TRUE(doc.ok());
+
+  auto original = ExportDocument(&db, *doc);
+  ASSERT_TRUE(original.ok());
+
+  const std::string path = TempPath("roundtrip.nvph");
+  ASSERT_TRUE(SaveDatabase(&db, *doc, path).ok());
+
+  auto loaded = LoadDatabase(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->doc.core_records, doc->core_records);
+  EXPECT_EQ(loaded->doc.attribute_records, doc->attribute_records);
+  EXPECT_EQ(loaded->doc.border_pairs, doc->border_pairs);
+
+  // fsck + byte-identical export from the reloaded database.
+  auto report = VerifyStore(loaded->db.get(), loaded->doc);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  auto reloaded = ExportDocument(loaded->db.get(), loaded->doc);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(*reloaded, *original);
+
+  // Queries behave identically on the reloaded database.
+  auto query = ParseQuery("count(/site/regions//item/@id)",
+                          loaded->db->tags());
+  ASSERT_TRUE(query.ok());
+  ExecuteOptions exec;
+  exec.plan.kind = PlanKind::kXSchedule;
+  auto before = ExecuteQuery(&db, *doc, *query, exec);
+  auto after = ExecuteQuery(loaded->db.get(), loaded->doc, *query, exec);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before->count, after->count);
+  EXPECT_EQ(before->metrics.disk_reads, after->metrics.disk_reads);
+  // Timing matches up to the initial head position (the fresh database's
+  // head starts parked; the original's sits wherever import left it).
+  EXPECT_NEAR(static_cast<double>(before->total_time),
+              static_cast<double>(after->total_time), 20e6 /* 20ms */);
+
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, SurvivesUpdatesBeforeSave) {
+  DatabaseOptions options;
+  options.page_size = 512;
+  Database db(options);
+  auto tree = ParseXml("<r><a/><b/></r>", db.tags());
+  ASSERT_TRUE(tree.ok());
+  SubtreeClusteringPolicy policy(448);
+  ImportedDocument doc = *db.Import(*tree, &policy);
+  DocumentUpdater updater(&db, &doc);
+  auto inserted = updater.InsertElement(doc.root, kInvalidNodeID,
+                                        db.tags()->Intern("n"), "x",
+                                        {{db.tags()->Intern("k"), "v"}});
+  ASSERT_TRUE(inserted.ok());
+
+  const std::string path = TempPath("updated.nvph");
+  ASSERT_TRUE(SaveDatabase(&db, doc, path).ok());
+  auto loaded = LoadDatabase(path);
+  ASSERT_TRUE(loaded.ok());
+  auto exported = ExportDocument(loaded->db.get(), loaded->doc);
+  ASSERT_TRUE(exported.ok());
+  EXPECT_EQ(*exported, "<r><n k=\"v\">x</n><a/><b/></r>");
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, RejectsGarbageFiles) {
+  const std::string path = TempPath("garbage.nvph");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a database", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadDatabase(path).ok());
+  EXPECT_FALSE(LoadDatabase(TempPath("missing.nvph")).ok());
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, TruncatedFileDetected) {
+  DatabaseOptions options;
+  options.page_size = 512;
+  Database db(options);
+  auto tree = ParseXml("<r><a/></r>", db.tags());
+  ASSERT_TRUE(tree.ok());
+  SubtreeClusteringPolicy policy(448);
+  auto doc = db.Import(*tree, &policy);
+  ASSERT_TRUE(doc.ok());
+  const std::string path = TempPath("truncated.nvph");
+  ASSERT_TRUE(SaveDatabase(&db, *doc, path).ok());
+  // Chop off the page data.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size - 600), 0);
+  }
+  EXPECT_FALSE(LoadDatabase(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace navpath

@@ -1,0 +1,46 @@
+#include "tests/test_util.h"
+
+#include <deque>
+
+namespace navpath {
+
+Result<std::unordered_map<std::uint64_t, NodeID>> MapOrderToNodeID(
+    Database* db, const ImportedDocument& doc, const DomTree& tree) {
+  std::unordered_map<std::uint64_t, NodeID> by_order;
+  std::deque<LogicalNode> queue;
+  queue.push_back(LogicalNode{doc.root, 0, doc.root_order});
+  CrossClusterCursor cursor(db);
+  while (!queue.empty()) {
+    const LogicalNode node = queue.front();
+    queue.pop_front();
+    if (!by_order.emplace(node.order, node.id).second) {
+      return Status::Corruption("duplicate order key " +
+                                std::to_string(node.order));
+    }
+    NAVPATH_RETURN_NOT_OK(cursor.Start(Axis::kAttribute, node.id));
+    LogicalNode attr;
+    for (;;) {
+      NAVPATH_ASSIGN_OR_RETURN(const bool more, cursor.Next(&attr));
+      if (!more) break;
+      if (!by_order.emplace(attr.order, attr.id).second) {
+        return Status::Corruption("duplicate attribute order key");
+      }
+    }
+    NAVPATH_RETURN_NOT_OK(cursor.Start(Axis::kChild, node.id));
+    LogicalNode child;
+    for (;;) {
+      NAVPATH_ASSIGN_OR_RETURN(const bool more, cursor.Next(&child));
+      if (!more) break;
+      queue.push_back(child);
+    }
+  }
+  if (by_order.size() != tree.size()) {
+    return Status::Corruption("store walk found " +
+                              std::to_string(by_order.size()) +
+                              " nodes, DOM has " +
+                              std::to_string(tree.size()));
+  }
+  return by_order;
+}
+
+}  // namespace navpath

@@ -1,0 +1,115 @@
+// Shared test utilities: random document generation, explicit clustering,
+// and store-vs-oracle comparison helpers.
+#ifndef NAVPATH_TESTS_TEST_UTIL_H_
+#define NAVPATH_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "store/clustering.h"
+#include "store/cross_cursor.h"
+#include "store/database.h"
+#include "xml/dom.h"
+
+namespace navpath {
+
+struct RandomTreeOptions {
+  std::size_t node_count = 200;
+  int max_fanout = 5;
+  int tag_alphabet = 4;  // tags t0..t{n-1}
+  int max_text_words = 3;
+  int max_attrs = 2;  // random attributes a0..a{k-1} per element
+};
+
+/// Builds a random labeled tree (document order == DomNodeId order).
+inline DomTree MakeRandomTree(const RandomTreeOptions& options,
+                              std::uint64_t seed, TagRegistry* tags) {
+  DomTree tree(tags);
+  Random rng(seed);
+  std::vector<TagId> alphabet;
+  for (int i = 0; i < options.tag_alphabet; ++i) {
+    alphabet.push_back(tags->Intern("t" + std::to_string(i)));
+  }
+  auto random_tag = [&] {
+    return alphabet[rng.NextBounded(alphabet.size())];
+  };
+  auto random_text = [&] {
+    std::string text;
+    const int words =
+        static_cast<int>(rng.NextBounded(options.max_text_words + 1));
+    for (int i = 0; i < words; ++i) text += "word ";
+    return text;
+  };
+  std::vector<TagId> attr_names;
+  for (int i = 0; i < 3; ++i) {
+    attr_names.push_back(tags->Intern("a" + std::to_string(i)));
+  }
+  auto add_attrs = [&](DomNodeId element) {
+    const int n =
+        static_cast<int>(rng.NextBounded(options.max_attrs + 1));
+    for (int i = 0; i < n; ++i) {
+      tree.AddAttribute(element, attr_names[rng.NextBounded(3)], "val");
+    }
+  };
+  const DomNodeId root = tree.CreateRoot(random_tag());
+  tree.AppendText(root, random_text());
+  add_attrs(root);
+  // Grow by attaching to a random frontier node, biased towards recent
+  // nodes so depth varies.
+  std::vector<DomNodeId> frontier{root};
+  std::vector<int> child_count{0};
+  while (tree.element_count() < options.node_count) {
+    const std::size_t pick =
+        frontier.size() -
+        1 - rng.NextBounded(std::min<std::size_t>(frontier.size(), 8));
+    const DomNodeId parent = frontier[pick];
+    if (child_count[pick] >= options.max_fanout) {
+      frontier.erase(frontier.begin() + static_cast<std::ptrdiff_t>(pick));
+      child_count.erase(child_count.begin() +
+                        static_cast<std::ptrdiff_t>(pick));
+      if (frontier.empty()) {
+        frontier.push_back(root);
+        child_count.push_back(options.max_fanout);  // root saturated; stop
+        break;
+      }
+      continue;
+    }
+    ++child_count[pick];
+    const DomNodeId child = tree.AppendChild(parent, random_tag());
+    tree.AppendText(child, random_text());
+    add_attrs(child);
+    frontier.push_back(child);
+    child_count.push_back(0);
+  }
+  tree.AssignOrderKeys();
+  return tree;
+}
+
+/// WARNING: MakeRandomTree appends children to arbitrary frontier nodes,
+/// so DomNodeIds are NOT in document order; use node .order fields.
+/// (DocOrderClusteringPolicy assumes id order == document order and is
+/// only meaningful for parser/generator-built trees.)
+
+/// A clustering policy with a fixed, explicit assignment (for tests).
+class ExplicitClusteringPolicy : public ClusteringPolicy {
+ public:
+  explicit ExplicitClusteringPolicy(ClusterAssignment assignment)
+      : assignment_(std::move(assignment)) {}
+  ClusterAssignment Assign(const DomTree&) override { return assignment_; }
+  const char* name() const override { return "explicit"; }
+
+ private:
+  ClusterAssignment assignment_;
+};
+
+/// Maps every node's order key (elements AND attributes) to its NodeID by
+/// walking the paged store from the root. Fails if the physical tree
+/// disagrees structurally with `tree`.
+Result<std::unordered_map<std::uint64_t, NodeID>> MapOrderToNodeID(
+    Database* db, const ImportedDocument& doc, const DomTree& tree);
+
+}  // namespace navpath
+
+#endif  // NAVPATH_TESTS_TEST_UTIL_H_

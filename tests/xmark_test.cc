@@ -1,0 +1,153 @@
+// Tests for the XMark-shaped generator and the paper's query workload.
+#include <gtest/gtest.h>
+
+#include "benchlib/harness.h"
+#include "xmark/generator.h"
+#include "xpath/oracle.h"
+#include "xpath/parser.h"
+
+namespace navpath {
+namespace {
+
+TEST(XMarkGeneratorTest, Deterministic) {
+  TagRegistry tags1, tags2;
+  XMarkOptions options;
+  options.scale = 0.01;
+  const DomTree a = GenerateXMark(options, &tags1);
+  const DomTree b = GenerateXMark(options, &tags2);
+  ASSERT_EQ(a.size(), b.size());
+  for (DomNodeId i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(tags1.Name(a.node(i).tag), tags2.Name(b.node(i).tag));
+    EXPECT_EQ(a.node(i).text, b.node(i).text);
+  }
+}
+
+TEST(XMarkGeneratorTest, ElementCountsFollowScaleFactor) {
+  TagRegistry tags;
+  XMarkOptions options;
+  options.scale = 0.02;
+  const DomTree small = GenerateXMark(options, &tags);
+  const std::size_t items_small = small.CountTag(*tags.Lookup("item"));
+
+  options.scale = 0.04;
+  const DomTree big = GenerateXMark(options, &tags);
+  const std::size_t items_big = big.CountTag(*tags.Lookup("item"));
+
+  EXPECT_NEAR(static_cast<double>(items_big),
+              2.0 * static_cast<double>(items_small),
+              0.1 * static_cast<double>(items_big));
+  // XMark proportions at any scale: persons > items > open > closed.
+  EXPECT_NEAR(static_cast<double>(items_small), 0.02 * 21750, 30);
+  EXPECT_NEAR(static_cast<double>(big.CountTag(*tags.Lookup("person"))),
+              0.04 * 25500, 60);
+}
+
+TEST(XMarkGeneratorTest, StructureSupportsPaperQueries) {
+  TagRegistry tags;
+  XMarkOptions options;
+  options.scale = 0.05;
+  const DomTree tree = GenerateXMark(options, &tags);
+
+  // Q6': items only below regions.
+  auto q6 = ParseQuery(kQ6Prime, &tags);
+  ASSERT_TRUE(q6.ok());
+  const std::uint64_t items = OracleCount(tree, *q6, tree.root());
+  EXPECT_EQ(items, tree.CountTag(*tags.Lookup("item")));
+  EXPECT_GT(items, 0u);
+
+  // Q7: prose containers; a large node-count fraction.
+  auto q7 = ParseQuery(kQ7, &tags);
+  ASSERT_TRUE(q7.ok());
+  const std::uint64_t prose = OracleCount(tree, *q7, tree.root());
+  EXPECT_EQ(prose, tree.CountTag(*tags.Lookup("description")) +
+                       tree.CountTag(*tags.Lookup("annotation")) +
+                       tree.CountTag(*tags.Lookup("email")));
+
+  // Q15: deep and very selective, but non-empty.
+  auto q15 = ParseQuery(kQ15, &tags);
+  ASSERT_TRUE(q15.ok());
+  const std::uint64_t deep = OracleCount(tree, *q15, tree.root());
+  EXPECT_GT(deep, 0u);
+  EXPECT_LT(deep, items / 4);
+}
+
+TEST(XMarkGeneratorTest, AttributesMatchXMarkSchema) {
+  TagRegistry tags;
+  XMarkOptions options;
+  options.scale = 0.02;
+  const DomTree tree = GenerateXMark(options, &tags);
+
+  // Every item carries an id attribute; itemrefs point at items.
+  auto ids = ParseQuery("count(/site/regions//item/@id)", &tags);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(OracleCount(tree, *ids, tree.root()),
+            tree.CountTag(*tags.Lookup("item")));
+  auto refs = ParseQuery(
+      "count(/site/closed_auctions/closed_auction/itemref/@item)", &tags);
+  ASSERT_TRUE(refs.ok());
+  EXPECT_EQ(OracleCount(tree, *refs, tree.root()),
+            tree.CountTag(*tags.Lookup("closed_auction")));
+  EXPECT_GT(tree.attribute_count(), tree.CountTag(*tags.Lookup("item")));
+}
+
+TEST(XMarkFixtureTest, AttributeQueriesAgreeAcrossPlans) {
+  FixtureOptions options;
+  options.db.page_size = 2048;
+  options.db.buffer_pages = 128;
+  auto fixture = XMarkFixture::Create(0.01, options);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  std::uint64_t counts[3];
+  int i = 0;
+  for (const PlanKind kind :
+       {PlanKind::kSimple, PlanKind::kXSchedule, PlanKind::kXScan}) {
+    auto result =
+        (*fixture)->Run("count(/site/regions//item/@id)", PaperPlan(kind));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    counts[i++] = result->count;
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+  EXPECT_EQ(counts[1], counts[2]);
+  EXPECT_GT(counts[0], 0u);
+}
+
+TEST(XMarkGeneratorTest, SelectivityOrdering) {
+  TagRegistry tags;
+  XMarkOptions options;
+  options.scale = 0.05;
+  const DomTree tree = GenerateXMark(options, &tags);
+  auto q6 = ParseQuery(kQ6Prime, &tags);
+  auto q7 = ParseQuery(kQ7, &tags);
+  auto q15 = ParseQuery(kQ15, &tags);
+  ASSERT_TRUE(q6.ok() && q7.ok() && q15.ok());
+  const auto c6 = OracleCount(tree, *q6, tree.root());
+  const auto c7 = OracleCount(tree, *q7, tree.root());
+  const auto c15 = OracleCount(tree, *q15, tree.root());
+  // Paper's workload profile: Q7 touches the most, Q15 the least.
+  EXPECT_GT(c7, c6);
+  EXPECT_GT(c6, c15);
+}
+
+TEST(XMarkFixtureTest, EndToEndPaperQueriesAgreeAcrossPlans) {
+  FixtureOptions options;
+  options.db.page_size = 2048;
+  options.db.buffer_pages = 128;
+  auto fixture = XMarkFixture::Create(0.01, options);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+
+  for (const char* query : {kQ6Prime, kQ7, kQ15}) {
+    std::uint64_t counts[3];
+    int i = 0;
+    for (const PlanKind kind :
+         {PlanKind::kSimple, PlanKind::kXSchedule, PlanKind::kXScan}) {
+      auto result = (*fixture)->Run(query, PaperPlan(kind));
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      counts[i++] = result->count;
+    }
+    EXPECT_EQ(counts[0], counts[1]) << query;
+    EXPECT_EQ(counts[1], counts[2]) << query;
+    EXPECT_GT(counts[0], 0u) << query;
+  }
+}
+
+}  // namespace
+}  // namespace navpath
