@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_buffer"
+  "../bench/ablation_buffer.pdb"
+  "CMakeFiles/ablation_buffer.dir/ablation_buffer.cc.o"
+  "CMakeFiles/ablation_buffer.dir/ablation_buffer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_clustering"
+  "../bench/ablation_clustering.pdb"
+  "CMakeFiles/ablation_clustering.dir/ablation_clustering.cc.o"
+  "CMakeFiles/ablation_clustering.dir/ablation_clustering.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

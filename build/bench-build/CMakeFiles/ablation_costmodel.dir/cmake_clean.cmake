@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_costmodel"
+  "../bench/ablation_costmodel.pdb"
+  "CMakeFiles/ablation_costmodel.dir/ablation_costmodel.cc.o"
+  "CMakeFiles/ablation_costmodel.dir/ablation_costmodel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fragmentation"
+  "../bench/ablation_fragmentation.pdb"
+  "CMakeFiles/ablation_fragmentation.dir/ablation_fragmentation.cc.o"
+  "CMakeFiles/ablation_fragmentation.dir/ablation_fragmentation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

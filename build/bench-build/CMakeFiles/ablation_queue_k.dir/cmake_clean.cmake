@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_queue_k"
+  "../bench/ablation_queue_k.pdb"
+  "CMakeFiles/ablation_queue_k.dir/ablation_queue_k.cc.o"
+  "CMakeFiles/ablation_queue_k.dir/ablation_queue_k.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_queue_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

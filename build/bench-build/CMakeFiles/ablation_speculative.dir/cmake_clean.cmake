@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_speculative"
+  "../bench/ablation_speculative.pdb"
+  "CMakeFiles/ablation_speculative.dir/ablation_speculative.cc.o"
+  "CMakeFiles/ablation_speculative.dir/ablation_speculative.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_speculative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ex1_access_order"
+  "../bench/ex1_access_order.pdb"
+  "CMakeFiles/ex1_access_order.dir/ex1_access_order.cc.o"
+  "CMakeFiles/ex1_access_order.dir/ex1_access_order.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ex1_access_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ex1_access_order.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_concurrent"
+  "../bench/ext_concurrent.pdb"
+  "CMakeFiles/ext_concurrent.dir/ext_concurrent.cc.o"
+  "CMakeFiles/ext_concurrent.dir/ext_concurrent.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

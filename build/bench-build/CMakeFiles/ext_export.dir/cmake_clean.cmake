@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_export"
+  "../bench/ext_export.pdb"
+  "CMakeFiles/ext_export.dir/ext_export.cc.o"
+  "CMakeFiles/ext_export.dir/ext_export.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_pointquery"
+  "../bench/ext_pointquery.pdb"
+  "CMakeFiles/ext_pointquery.dir/ext_pointquery.cc.o"
+  "CMakeFiles/ext_pointquery.dir/ext_pointquery.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_pointquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

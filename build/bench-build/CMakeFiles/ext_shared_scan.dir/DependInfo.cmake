@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_shared_scan.cc" "bench-build/CMakeFiles/ext_shared_scan.dir/ext_shared_scan.cc.o" "gcc" "bench-build/CMakeFiles/ext_shared_scan.dir/ext_shared_scan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchlib/CMakeFiles/navpath_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/navpath_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/navpath_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/navpath_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/navpath_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/navpath_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmark/CMakeFiles/navpath_xmark.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/navpath_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/navpath_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

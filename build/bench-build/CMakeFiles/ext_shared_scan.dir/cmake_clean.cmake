@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_shared_scan"
+  "../bench/ext_shared_scan.pdb"
+  "CMakeFiles/ext_shared_scan.dir/ext_shared_scan.cc.o"
+  "CMakeFiles/ext_shared_scan.dir/ext_shared_scan.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_shared_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

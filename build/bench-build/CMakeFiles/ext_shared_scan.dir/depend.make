@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_shared_scan.
+# This may be replaced when dependencies are built.

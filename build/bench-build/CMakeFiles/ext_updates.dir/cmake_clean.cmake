@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_updates"
+  "../bench/ext_updates.pdb"
+  "CMakeFiles/ext_updates.dir/ext_updates.cc.o"
+  "CMakeFiles/ext_updates.dir/ext_updates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

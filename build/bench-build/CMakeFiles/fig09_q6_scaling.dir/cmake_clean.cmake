@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_q6_scaling"
+  "../bench/fig09_q6_scaling.pdb"
+  "CMakeFiles/fig09_q6_scaling.dir/fig09_q6_scaling.cc.o"
+  "CMakeFiles/fig09_q6_scaling.dir/fig09_q6_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_q6_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_q15_scaling"
+  "../bench/fig11_q15_scaling.pdb"
+  "CMakeFiles/fig11_q15_scaling.dir/fig11_q15_scaling.cc.o"
+  "CMakeFiles/fig11_q15_scaling.dir/fig11_q15_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_q15_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

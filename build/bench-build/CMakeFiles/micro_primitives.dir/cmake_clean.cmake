@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/micro_primitives"
+  "../bench/micro_primitives.pdb"
+  "CMakeFiles/micro_primitives.dir/__/tests/test_util.cc.o"
+  "CMakeFiles/micro_primitives.dir/__/tests/test_util.cc.o.d"
+  "CMakeFiles/micro_primitives.dir/micro_primitives.cc.o"
+  "CMakeFiles/micro_primitives.dir/micro_primitives.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

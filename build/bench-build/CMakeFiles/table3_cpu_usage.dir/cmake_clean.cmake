@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_cpu_usage"
+  "../bench/table3_cpu_usage.pdb"
+  "CMakeFiles/table3_cpu_usage.dir/table3_cpu_usage.cc.o"
+  "CMakeFiles/table3_cpu_usage.dir/table3_cpu_usage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_cpu_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navq.dir/navq.cc.o"
+  "CMakeFiles/navq.dir/navq.cc.o.d"
+  "navq"
+  "navq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for navq.
+# This may be replaced when dependencies are built.

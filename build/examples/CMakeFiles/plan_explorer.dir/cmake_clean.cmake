@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_explorer.dir/plan_explorer.cc.o"
+  "CMakeFiles/plan_explorer.dir/plan_explorer.cc.o.d"
+  "plan_explorer"
+  "plan_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_inspector.dir/storage_inspector.cc.o"
+  "CMakeFiles/storage_inspector.dir/storage_inspector.cc.o.d"
+  "storage_inspector"
+  "storage_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmark_tour.dir/xmark_tour.cc.o"
+  "CMakeFiles/xmark_tour.dir/xmark_tour.cc.o.d"
+  "xmark_tour"
+  "xmark_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmark_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

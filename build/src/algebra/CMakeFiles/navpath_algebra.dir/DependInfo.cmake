@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/path_instance.cc" "src/algebra/CMakeFiles/navpath_algebra.dir/path_instance.cc.o" "gcc" "src/algebra/CMakeFiles/navpath_algebra.dir/path_instance.cc.o.d"
+  "/root/repo/src/algebra/unnest_map.cc" "src/algebra/CMakeFiles/navpath_algebra.dir/unnest_map.cc.o" "gcc" "src/algebra/CMakeFiles/navpath_algebra.dir/unnest_map.cc.o.d"
+  "/root/repo/src/algebra/xassembly.cc" "src/algebra/CMakeFiles/navpath_algebra.dir/xassembly.cc.o" "gcc" "src/algebra/CMakeFiles/navpath_algebra.dir/xassembly.cc.o.d"
+  "/root/repo/src/algebra/xscan.cc" "src/algebra/CMakeFiles/navpath_algebra.dir/xscan.cc.o" "gcc" "src/algebra/CMakeFiles/navpath_algebra.dir/xscan.cc.o.d"
+  "/root/repo/src/algebra/xschedule.cc" "src/algebra/CMakeFiles/navpath_algebra.dir/xschedule.cc.o" "gcc" "src/algebra/CMakeFiles/navpath_algebra.dir/xschedule.cc.o.d"
+  "/root/repo/src/algebra/xstep.cc" "src/algebra/CMakeFiles/navpath_algebra.dir/xstep.cc.o" "gcc" "src/algebra/CMakeFiles/navpath_algebra.dir/xstep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/store/CMakeFiles/navpath_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/navpath_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/navpath_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/navpath_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/navpath_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navpath_algebra.dir/path_instance.cc.o"
+  "CMakeFiles/navpath_algebra.dir/path_instance.cc.o.d"
+  "CMakeFiles/navpath_algebra.dir/unnest_map.cc.o"
+  "CMakeFiles/navpath_algebra.dir/unnest_map.cc.o.d"
+  "CMakeFiles/navpath_algebra.dir/xassembly.cc.o"
+  "CMakeFiles/navpath_algebra.dir/xassembly.cc.o.d"
+  "CMakeFiles/navpath_algebra.dir/xscan.cc.o"
+  "CMakeFiles/navpath_algebra.dir/xscan.cc.o.d"
+  "CMakeFiles/navpath_algebra.dir/xschedule.cc.o"
+  "CMakeFiles/navpath_algebra.dir/xschedule.cc.o.d"
+  "CMakeFiles/navpath_algebra.dir/xstep.cc.o"
+  "CMakeFiles/navpath_algebra.dir/xstep.cc.o.d"
+  "libnavpath_algebra.a"
+  "libnavpath_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navpath_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navpath_benchlib.dir/experiments.cc.o"
+  "CMakeFiles/navpath_benchlib.dir/experiments.cc.o.d"
+  "CMakeFiles/navpath_benchlib.dir/harness.cc.o"
+  "CMakeFiles/navpath_benchlib.dir/harness.cc.o.d"
+  "libnavpath_benchlib.a"
+  "libnavpath_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navpath_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

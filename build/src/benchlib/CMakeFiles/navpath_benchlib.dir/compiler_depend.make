@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for navpath_benchlib.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for navpath_benchlib.
+# This may be replaced when dependencies are built.

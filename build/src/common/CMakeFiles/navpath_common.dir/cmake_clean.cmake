@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navpath_common.dir/metrics.cc.o"
+  "CMakeFiles/navpath_common.dir/metrics.cc.o.d"
+  "CMakeFiles/navpath_common.dir/status.cc.o"
+  "CMakeFiles/navpath_common.dir/status.cc.o.d"
+  "libnavpath_common.a"
+  "libnavpath_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navpath_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

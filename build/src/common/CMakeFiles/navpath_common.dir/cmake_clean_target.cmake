@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnavpath_common.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/cost_model.cc" "src/compiler/CMakeFiles/navpath_compiler.dir/cost_model.cc.o" "gcc" "src/compiler/CMakeFiles/navpath_compiler.dir/cost_model.cc.o.d"
+  "/root/repo/src/compiler/executor.cc" "src/compiler/CMakeFiles/navpath_compiler.dir/executor.cc.o" "gcc" "src/compiler/CMakeFiles/navpath_compiler.dir/executor.cc.o.d"
+  "/root/repo/src/compiler/plan.cc" "src/compiler/CMakeFiles/navpath_compiler.dir/plan.cc.o" "gcc" "src/compiler/CMakeFiles/navpath_compiler.dir/plan.cc.o.d"
+  "/root/repo/src/compiler/shared_scan.cc" "src/compiler/CMakeFiles/navpath_compiler.dir/shared_scan.cc.o" "gcc" "src/compiler/CMakeFiles/navpath_compiler.dir/shared_scan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algebra/CMakeFiles/navpath_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/navpath_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/navpath_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/navpath_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/navpath_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/navpath_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navpath_compiler.dir/cost_model.cc.o"
+  "CMakeFiles/navpath_compiler.dir/cost_model.cc.o.d"
+  "CMakeFiles/navpath_compiler.dir/executor.cc.o"
+  "CMakeFiles/navpath_compiler.dir/executor.cc.o.d"
+  "CMakeFiles/navpath_compiler.dir/plan.cc.o"
+  "CMakeFiles/navpath_compiler.dir/plan.cc.o.d"
+  "CMakeFiles/navpath_compiler.dir/shared_scan.cc.o"
+  "CMakeFiles/navpath_compiler.dir/shared_scan.cc.o.d"
+  "libnavpath_compiler.a"
+  "libnavpath_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navpath_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

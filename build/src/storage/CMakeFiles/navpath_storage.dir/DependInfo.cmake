@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_manager.cc" "src/storage/CMakeFiles/navpath_storage.dir/buffer_manager.cc.o" "gcc" "src/storage/CMakeFiles/navpath_storage.dir/buffer_manager.cc.o.d"
+  "/root/repo/src/storage/disk.cc" "src/storage/CMakeFiles/navpath_storage.dir/disk.cc.o" "gcc" "src/storage/CMakeFiles/navpath_storage.dir/disk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/navpath_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

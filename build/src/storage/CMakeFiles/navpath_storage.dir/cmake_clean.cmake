@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navpath_storage.dir/buffer_manager.cc.o"
+  "CMakeFiles/navpath_storage.dir/buffer_manager.cc.o.d"
+  "CMakeFiles/navpath_storage.dir/disk.cc.o"
+  "CMakeFiles/navpath_storage.dir/disk.cc.o.d"
+  "libnavpath_storage.a"
+  "libnavpath_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navpath_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

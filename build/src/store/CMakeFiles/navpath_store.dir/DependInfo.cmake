@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/cluster_view.cc" "src/store/CMakeFiles/navpath_store.dir/cluster_view.cc.o" "gcc" "src/store/CMakeFiles/navpath_store.dir/cluster_view.cc.o.d"
+  "/root/repo/src/store/clustering.cc" "src/store/CMakeFiles/navpath_store.dir/clustering.cc.o" "gcc" "src/store/CMakeFiles/navpath_store.dir/clustering.cc.o.d"
+  "/root/repo/src/store/cross_cursor.cc" "src/store/CMakeFiles/navpath_store.dir/cross_cursor.cc.o" "gcc" "src/store/CMakeFiles/navpath_store.dir/cross_cursor.cc.o.d"
+  "/root/repo/src/store/database.cc" "src/store/CMakeFiles/navpath_store.dir/database.cc.o" "gcc" "src/store/CMakeFiles/navpath_store.dir/database.cc.o.d"
+  "/root/repo/src/store/export.cc" "src/store/CMakeFiles/navpath_store.dir/export.cc.o" "gcc" "src/store/CMakeFiles/navpath_store.dir/export.cc.o.d"
+  "/root/repo/src/store/import.cc" "src/store/CMakeFiles/navpath_store.dir/import.cc.o" "gcc" "src/store/CMakeFiles/navpath_store.dir/import.cc.o.d"
+  "/root/repo/src/store/persistence.cc" "src/store/CMakeFiles/navpath_store.dir/persistence.cc.o" "gcc" "src/store/CMakeFiles/navpath_store.dir/persistence.cc.o.d"
+  "/root/repo/src/store/scan_export.cc" "src/store/CMakeFiles/navpath_store.dir/scan_export.cc.o" "gcc" "src/store/CMakeFiles/navpath_store.dir/scan_export.cc.o.d"
+  "/root/repo/src/store/tree_page.cc" "src/store/CMakeFiles/navpath_store.dir/tree_page.cc.o" "gcc" "src/store/CMakeFiles/navpath_store.dir/tree_page.cc.o.d"
+  "/root/repo/src/store/update.cc" "src/store/CMakeFiles/navpath_store.dir/update.cc.o" "gcc" "src/store/CMakeFiles/navpath_store.dir/update.cc.o.d"
+  "/root/repo/src/store/verify.cc" "src/store/CMakeFiles/navpath_store.dir/verify.cc.o" "gcc" "src/store/CMakeFiles/navpath_store.dir/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/navpath_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/navpath_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/navpath_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navpath_store.dir/cluster_view.cc.o"
+  "CMakeFiles/navpath_store.dir/cluster_view.cc.o.d"
+  "CMakeFiles/navpath_store.dir/clustering.cc.o"
+  "CMakeFiles/navpath_store.dir/clustering.cc.o.d"
+  "CMakeFiles/navpath_store.dir/cross_cursor.cc.o"
+  "CMakeFiles/navpath_store.dir/cross_cursor.cc.o.d"
+  "CMakeFiles/navpath_store.dir/database.cc.o"
+  "CMakeFiles/navpath_store.dir/database.cc.o.d"
+  "CMakeFiles/navpath_store.dir/export.cc.o"
+  "CMakeFiles/navpath_store.dir/export.cc.o.d"
+  "CMakeFiles/navpath_store.dir/import.cc.o"
+  "CMakeFiles/navpath_store.dir/import.cc.o.d"
+  "CMakeFiles/navpath_store.dir/persistence.cc.o"
+  "CMakeFiles/navpath_store.dir/persistence.cc.o.d"
+  "CMakeFiles/navpath_store.dir/scan_export.cc.o"
+  "CMakeFiles/navpath_store.dir/scan_export.cc.o.d"
+  "CMakeFiles/navpath_store.dir/tree_page.cc.o"
+  "CMakeFiles/navpath_store.dir/tree_page.cc.o.d"
+  "CMakeFiles/navpath_store.dir/update.cc.o"
+  "CMakeFiles/navpath_store.dir/update.cc.o.d"
+  "CMakeFiles/navpath_store.dir/verify.cc.o"
+  "CMakeFiles/navpath_store.dir/verify.cc.o.d"
+  "libnavpath_store.a"
+  "libnavpath_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navpath_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

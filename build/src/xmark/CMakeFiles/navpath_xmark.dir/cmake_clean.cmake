@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navpath_xmark.dir/generator.cc.o"
+  "CMakeFiles/navpath_xmark.dir/generator.cc.o.d"
+  "libnavpath_xmark.a"
+  "libnavpath_xmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navpath_xmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

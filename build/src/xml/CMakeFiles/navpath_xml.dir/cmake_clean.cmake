@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navpath_xml.dir/dom.cc.o"
+  "CMakeFiles/navpath_xml.dir/dom.cc.o.d"
+  "CMakeFiles/navpath_xml.dir/parser.cc.o"
+  "CMakeFiles/navpath_xml.dir/parser.cc.o.d"
+  "CMakeFiles/navpath_xml.dir/serializer.cc.o"
+  "CMakeFiles/navpath_xml.dir/serializer.cc.o.d"
+  "libnavpath_xml.a"
+  "libnavpath_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navpath_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

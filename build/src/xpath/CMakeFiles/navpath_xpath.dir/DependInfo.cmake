@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xpath/oracle.cc" "src/xpath/CMakeFiles/navpath_xpath.dir/oracle.cc.o" "gcc" "src/xpath/CMakeFiles/navpath_xpath.dir/oracle.cc.o.d"
+  "/root/repo/src/xpath/parser.cc" "src/xpath/CMakeFiles/navpath_xpath.dir/parser.cc.o" "gcc" "src/xpath/CMakeFiles/navpath_xpath.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xml/CMakeFiles/navpath_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/navpath_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/navpath_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/navpath_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

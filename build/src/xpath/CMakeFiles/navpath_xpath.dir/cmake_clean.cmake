@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navpath_xpath.dir/oracle.cc.o"
+  "CMakeFiles/navpath_xpath.dir/oracle.cc.o.d"
+  "CMakeFiles/navpath_xpath.dir/parser.cc.o"
+  "CMakeFiles/navpath_xpath.dir/parser.cc.o.d"
+  "libnavpath_xpath.a"
+  "libnavpath_xpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navpath_xpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/algebra_test.cc" "tests/CMakeFiles/navpath_tests.dir/algebra_test.cc.o" "gcc" "tests/CMakeFiles/navpath_tests.dir/algebra_test.cc.o.d"
+  "/root/repo/tests/buffer_manager_test.cc" "tests/CMakeFiles/navpath_tests.dir/buffer_manager_test.cc.o" "gcc" "tests/CMakeFiles/navpath_tests.dir/buffer_manager_test.cc.o.d"
+  "/root/repo/tests/cluster_view_test.cc" "tests/CMakeFiles/navpath_tests.dir/cluster_view_test.cc.o" "gcc" "tests/CMakeFiles/navpath_tests.dir/cluster_view_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/navpath_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/navpath_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/cost_model_test.cc" "tests/CMakeFiles/navpath_tests.dir/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/navpath_tests.dir/cost_model_test.cc.o.d"
+  "/root/repo/tests/disk_scheduling_test.cc" "tests/CMakeFiles/navpath_tests.dir/disk_scheduling_test.cc.o" "gcc" "tests/CMakeFiles/navpath_tests.dir/disk_scheduling_test.cc.o.d"
+  "/root/repo/tests/disk_test.cc" "tests/CMakeFiles/navpath_tests.dir/disk_test.cc.o" "gcc" "tests/CMakeFiles/navpath_tests.dir/disk_test.cc.o.d"
+  "/root/repo/tests/executor_test.cc" "tests/CMakeFiles/navpath_tests.dir/executor_test.cc.o" "gcc" "tests/CMakeFiles/navpath_tests.dir/executor_test.cc.o.d"
+  "/root/repo/tests/export_verify_test.cc" "tests/CMakeFiles/navpath_tests.dir/export_verify_test.cc.o" "gcc" "tests/CMakeFiles/navpath_tests.dir/export_verify_test.cc.o.d"
+  "/root/repo/tests/harness_test.cc" "tests/CMakeFiles/navpath_tests.dir/harness_test.cc.o" "gcc" "tests/CMakeFiles/navpath_tests.dir/harness_test.cc.o.d"
+  "/root/repo/tests/navigation_test.cc" "tests/CMakeFiles/navpath_tests.dir/navigation_test.cc.o" "gcc" "tests/CMakeFiles/navpath_tests.dir/navigation_test.cc.o.d"
+  "/root/repo/tests/operators_test.cc" "tests/CMakeFiles/navpath_tests.dir/operators_test.cc.o" "gcc" "tests/CMakeFiles/navpath_tests.dir/operators_test.cc.o.d"
+  "/root/repo/tests/paper_example_test.cc" "tests/CMakeFiles/navpath_tests.dir/paper_example_test.cc.o" "gcc" "tests/CMakeFiles/navpath_tests.dir/paper_example_test.cc.o.d"
+  "/root/repo/tests/persistence_test.cc" "tests/CMakeFiles/navpath_tests.dir/persistence_test.cc.o" "gcc" "tests/CMakeFiles/navpath_tests.dir/persistence_test.cc.o.d"
+  "/root/repo/tests/predicate_test.cc" "tests/CMakeFiles/navpath_tests.dir/predicate_test.cc.o" "gcc" "tests/CMakeFiles/navpath_tests.dir/predicate_test.cc.o.d"
+  "/root/repo/tests/shared_scan_test.cc" "tests/CMakeFiles/navpath_tests.dir/shared_scan_test.cc.o" "gcc" "tests/CMakeFiles/navpath_tests.dir/shared_scan_test.cc.o.d"
+  "/root/repo/tests/store_test.cc" "tests/CMakeFiles/navpath_tests.dir/store_test.cc.o" "gcc" "tests/CMakeFiles/navpath_tests.dir/store_test.cc.o.d"
+  "/root/repo/tests/test_util.cc" "tests/CMakeFiles/navpath_tests.dir/test_util.cc.o" "gcc" "tests/CMakeFiles/navpath_tests.dir/test_util.cc.o.d"
+  "/root/repo/tests/tree_page_test.cc" "tests/CMakeFiles/navpath_tests.dir/tree_page_test.cc.o" "gcc" "tests/CMakeFiles/navpath_tests.dir/tree_page_test.cc.o.d"
+  "/root/repo/tests/update_test.cc" "tests/CMakeFiles/navpath_tests.dir/update_test.cc.o" "gcc" "tests/CMakeFiles/navpath_tests.dir/update_test.cc.o.d"
+  "/root/repo/tests/xmark_test.cc" "tests/CMakeFiles/navpath_tests.dir/xmark_test.cc.o" "gcc" "tests/CMakeFiles/navpath_tests.dir/xmark_test.cc.o.d"
+  "/root/repo/tests/xml_test.cc" "tests/CMakeFiles/navpath_tests.dir/xml_test.cc.o" "gcc" "tests/CMakeFiles/navpath_tests.dir/xml_test.cc.o.d"
+  "/root/repo/tests/xpath_test.cc" "tests/CMakeFiles/navpath_tests.dir/xpath_test.cc.o" "gcc" "tests/CMakeFiles/navpath_tests.dir/xpath_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/navpath_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchlib/CMakeFiles/navpath_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/navpath_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/navpath_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/navpath_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/navpath_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmark/CMakeFiles/navpath_xmark.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/navpath_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/navpath_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
