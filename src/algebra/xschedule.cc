@@ -74,10 +74,17 @@ Result<bool> XSchedule::SwitchToNextCluster() {
     if (db_->buffer()->HasPrefetchInFlight()) {
       // Block until the I/O subsystem completes *some* request; the disk
       // chooses which (shortest seek first).
-      NAVPATH_ASSIGN_OR_RETURN(const PageId page,
-                               db_->buffer()->WaitAnyPrefetch());
-      MarkReady(page);
-      continue;
+      Result<PageId> waited = db_->buffer()->WaitAnyPrefetch();
+      if (waited.ok()) {
+        MarkReady(*waited);
+        continue;
+      }
+      // Corruption (and anything else unrecoverable) fails the plan with a
+      // real Status; a transient I/O failure that outlasted the buffer's
+      // retry budget degrades to the synchronous entry path below instead
+      // of killing the query.
+      if (!waited.status().IsIOError()) return waited.status();
+      ++db_->metrics()->fault_fallbacks;
     }
     // Safety net: queued clusters whose ready marker was consumed early
     // (e.g. after eviction). Serve the first one synchronously.

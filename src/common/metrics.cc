@@ -5,13 +5,15 @@
 namespace navpath {
 
 std::string Metrics::ToString() const {
-  char buf[1024];
+  char buf[2048];
   std::snprintf(
       buf, sizeof(buf),
       "disk: reads=%llu (seq=%llu) writes=%llu seek_pages=%llu "
       "async=%llu (reordered=%llu)\n"
       "buffer: hits=%llu misses=%llu evictions=%llu swizzle=%llu "
       "unswizzle=%llu\n"
+      "faults: injected=%llu retries=%llu corruptions_detected=%llu "
+      "fallbacks=%llu\n"
       "nav: clusters=%llu intra=%llu inter=%llu tests=%llu\n"
       "algebra: instances=%llu full=%llu speculative=%llu r_probes=%llu "
       "s_probes=%llu fallbacks=%llu",
@@ -26,6 +28,10 @@ std::string Metrics::ToString() const {
       static_cast<unsigned long long>(buffer_evictions),
       static_cast<unsigned long long>(swizzle_ops),
       static_cast<unsigned long long>(unswizzle_ops),
+      static_cast<unsigned long long>(faults_injected),
+      static_cast<unsigned long long>(fault_retries),
+      static_cast<unsigned long long>(corruptions_detected),
+      static_cast<unsigned long long>(fault_fallbacks),
       static_cast<unsigned long long>(clusters_visited),
       static_cast<unsigned long long>(intra_cluster_hops),
       static_cast<unsigned long long>(inter_cluster_hops),

@@ -27,6 +27,12 @@ struct Metrics {
   std::uint64_t swizzle_ops = 0;    // NodeID -> pointer translations
   std::uint64_t unswizzle_ops = 0;  // pointer -> NodeID translations
 
+  // Fault handling (storage robustness layer).
+  std::uint64_t faults_injected = 0;       // fault events the disk injected
+  std::uint64_t fault_retries = 0;         // I/O attempts retried with backoff
+  std::uint64_t corruptions_detected = 0;  // page checksum mismatches caught
+  std::uint64_t fault_fallbacks = 0;       // async->sync degradations taken
+
   // Navigation level.
   std::uint64_t clusters_visited = 0;  // cluster entries by I/O operators
   std::uint64_t intra_cluster_hops = 0;

@@ -84,7 +84,9 @@ class Status {
     return code() == StatusCode::kInvalidArgument;
   }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsOutOfMemory() const { return code() == StatusCode::kOutOfMemory; }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;

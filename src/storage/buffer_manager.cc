@@ -54,14 +54,16 @@ void PageGuard::Release() {
 
 BufferManager::BufferManager(SimulatedDisk* disk, std::size_t capacity_pages,
                              const CpuCostModel& costs, SimClock* clock,
-                             Metrics* metrics)
+                             Metrics* metrics, const RetryPolicy& retry)
     : disk_(disk),
       capacity_(capacity_pages),
       costs_(costs),
       clock_(clock),
       metrics_(metrics),
+      retry_(retry),
       scratch_(std::make_unique<std::byte[]>(disk->page_size())) {
   NAVPATH_CHECK(capacity_pages > 0);
+  NAVPATH_CHECK(retry.max_attempts >= 1);
   frames_.resize(capacity_);
   free_frames_.reserve(capacity_);
   for (std::size_t i = 0; i < capacity_; ++i) {
@@ -69,7 +71,57 @@ BufferManager::BufferManager(SimulatedDisk* disk, std::size_t capacity_pages,
   }
 }
 
-BufferManager::~BufferManager() { FlushAll().AbortIfNotOk(); }
+BufferManager::~BufferManager() {
+  // Teardown must not abort on an injected (or real) write failure that
+  // survived its retries; callers who need durability call FlushAll()
+  // themselves and observe the Status.
+  (void)FlushAll();
+}
+
+bool BufferManager::VerifyChecksum(PageId id, const std::byte* payload) const {
+  return Crc32c(payload, disk_->page_size()) == disk_->PageCrc(id);
+}
+
+Status BufferManager::ReadPageWithRetry(PageId id, std::byte* out) {
+  SimTime backoff = retry_.initial_backoff;
+  Status last;
+  for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      clock_->WaitUntil(clock_->now() + backoff);
+      backoff = static_cast<SimTime>(static_cast<double>(backoff) *
+                                     retry_.multiplier);
+      ++metrics_->fault_retries;
+    }
+    Status s = disk_->ReadSync(id, out);
+    if (!s.ok()) {
+      last = std::move(s);
+      continue;
+    }
+    if (VerifyChecksum(id, out)) return Status::OK();
+    ++metrics_->corruptions_detected;
+    last = Status::Corruption("page " + std::to_string(id) +
+                              " failed checksum verification");
+  }
+  return last;
+}
+
+Status BufferManager::WritePageWithRetry(PageId id, const std::byte* data) {
+  const std::uint32_t crc = Crc32c(data, disk_->page_size());
+  SimTime backoff = retry_.initial_backoff;
+  Status last;
+  for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      clock_->WaitUntil(clock_->now() + backoff);
+      backoff = static_cast<SimTime>(static_cast<double>(backoff) *
+                                     retry_.multiplier);
+      ++metrics_->fault_retries;
+    }
+    Status s = disk_->WriteSync(id, data, crc);
+    if (s.ok()) return s;
+    last = std::move(s);
+  }
+  return last;
+}
 
 void BufferManager::Unpin(std::size_t frame_idx) {
   Frame& f = frames_[frame_idx];
@@ -98,7 +150,7 @@ Result<std::size_t> BufferManager::GetFreeFrame() {
   }
   Frame& f = frames_[victim];
   if (f.dirty) {
-    NAVPATH_RETURN_NOT_OK(disk_->WriteSync(f.page_id, f.data.get()));
+    NAVPATH_RETURN_NOT_OK(WritePageWithRetry(f.page_id, f.data.get()));
     f.dirty = false;
   }
   page_table_.erase(f.page_id);
@@ -136,7 +188,7 @@ Result<std::size_t> BufferManager::FixInternal(PageId id, bool charge_swizzle) {
     idx = it->second;
   } else {
     ++metrics_->buffer_misses;
-    NAVPATH_RETURN_NOT_OK(disk_->ReadSync(id, scratch_.get()));
+    NAVPATH_RETURN_NOT_OK(ReadPageWithRetry(id, scratch_.get()));
     NAVPATH_ASSIGN_OR_RETURN(idx, InstallFromScratch(id));
   }
   Frame& f = frames_[idx];
@@ -179,9 +231,18 @@ Result<PageId> BufferManager::WaitAnyPrefetch() {
   if (in_flight_.empty()) {
     return Status::NotFound("no prefetch in flight");
   }
-  NAVPATH_ASSIGN_OR_RETURN(const PageId id,
+  NAVPATH_ASSIGN_OR_RETURN(const SimulatedDisk::AsyncCompletion completion,
                            disk_->WaitForCompletion(scratch_.get()));
+  const PageId id = completion.page;
   in_flight_.erase(id);
+  if (!completion.io.ok() || !VerifyChecksum(id, scratch_.get())) {
+    // The asynchronous read failed or delivered a bad image: degrade to a
+    // synchronous re-read (with retries) so one lost completion does not
+    // fail the whole plan.
+    if (completion.io.ok()) ++metrics_->corruptions_detected;
+    ++metrics_->fault_fallbacks;
+    NAVPATH_RETURN_NOT_OK(ReadPageWithRetry(id, scratch_.get()));
+  }
   if (page_table_.count(id) == 0) {
     NAVPATH_RETURN_NOT_OK(InstallFromScratch(id).status());
   }
@@ -190,19 +251,26 @@ Result<PageId> BufferManager::WaitAnyPrefetch() {
 
 Result<PageId> BufferManager::PollAnyPrefetch() {
   if (in_flight_.empty()) return kInvalidPageId;
-  const std::optional<PageId> id = disk_->PollCompletion(scratch_.get());
-  if (!id.has_value()) return kInvalidPageId;
-  in_flight_.erase(*id);
-  if (page_table_.count(*id) == 0) {
-    NAVPATH_RETURN_NOT_OK(InstallFromScratch(*id).status());
+  const std::optional<SimulatedDisk::AsyncCompletion> completion =
+      disk_->PollCompletion(scratch_.get());
+  if (!completion.has_value()) return kInvalidPageId;
+  const PageId id = completion->page;
+  in_flight_.erase(id);
+  if (!completion->io.ok() || !VerifyChecksum(id, scratch_.get())) {
+    if (completion->io.ok()) ++metrics_->corruptions_detected;
+    ++metrics_->fault_fallbacks;
+    NAVPATH_RETURN_NOT_OK(ReadPageWithRetry(id, scratch_.get()));
   }
-  return *id;
+  if (page_table_.count(id) == 0) {
+    NAVPATH_RETURN_NOT_OK(InstallFromScratch(id).status());
+  }
+  return id;
 }
 
 Status BufferManager::FlushAll() {
   for (Frame& f : frames_) {
     if (f.page_id != kInvalidPageId && f.dirty) {
-      NAVPATH_RETURN_NOT_OK(disk_->WriteSync(f.page_id, f.data.get()));
+      NAVPATH_RETURN_NOT_OK(WritePageWithRetry(f.page_id, f.data.get()));
       f.dirty = false;
     }
   }

@@ -27,6 +27,18 @@ namespace navpath {
 
 class BufferManager;
 
+/// Bounded retry with exponential backoff in *simulated* time, applied by
+/// the buffer manager to transient I/O failures (injected or real). A
+/// failed attempt waits `initial_backoff * multiplier^attempt` before the
+/// next try; after `max_attempts` the last error is surfaced — IOError for
+/// persistent transient faults, Corruption for checksum mismatches that
+/// no re-read fixes.
+struct RetryPolicy {
+  int max_attempts = 4;
+  SimTime initial_backoff = 200 * kSimMicrosecond;
+  double multiplier = 2.0;
+};
+
 /// RAII pin on a buffer frame. While alive, the page cannot be evicted and
 /// `data()` stays valid. Movable, not copyable.
 class PageGuard {
@@ -59,7 +71,8 @@ class PageGuard {
 class BufferManager {
  public:
   BufferManager(SimulatedDisk* disk, std::size_t capacity_pages,
-                const CpuCostModel& costs, SimClock* clock, Metrics* metrics);
+                const CpuCostModel& costs, SimClock* clock, Metrics* metrics,
+                const RetryPolicy& retry = {});
   ~BufferManager();
 
   BufferManager(const BufferManager&) = delete;
@@ -97,7 +110,10 @@ class BufferManager {
 
   /// Blocks until some prefetch completes, installs the page in a frame,
   /// and returns its id. The page is NOT pinned; callers Fix() it next
-  /// (which will hit).
+  /// (which will hit). A completion that failed or arrived corrupted is
+  /// recovered by a synchronous re-read with retries; only an
+  /// unrecoverable page surfaces an error (Corruption for permanently bad
+  /// media, IOError if transient faults outlast the retry budget).
   Result<PageId> WaitAnyPrefetch();
 
   /// Non-blocking variant; returns kInvalidPageId if none completed yet.
@@ -138,11 +154,23 @@ class BufferManager {
 
   Result<std::size_t> FixInternal(PageId id, bool charge_swizzle);
 
+  /// True if `payload` matches the trailer checksum stored with `id`.
+  bool VerifyChecksum(PageId id, const std::byte* payload) const;
+
+  /// Synchronous read of `id` into `out` with checksum verification and
+  /// bounded retry/backoff for transient errors and transient corruption.
+  Status ReadPageWithRetry(PageId id, std::byte* out);
+
+  /// Write-back of `data` as page `id` (checksum computed here, end to
+  /// end) with bounded retry/backoff for transient write errors.
+  Status WritePageWithRetry(PageId id, const std::byte* data);
+
   SimulatedDisk* disk_;
   std::size_t capacity_;
   CpuCostModel costs_;
   SimClock* clock_;
   Metrics* metrics_;
+  RetryPolicy retry_;
 
   std::vector<Frame> frames_;
   std::vector<std::size_t> free_frames_;

@@ -1,0 +1,36 @@
+#include "storage/checksum.h"
+
+#include <array>
+
+namespace navpath {
+namespace {
+
+// Castagnoli polynomial, reflected.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+std::array<std::uint32_t, 256> BuildTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32c(const std::byte* data, std::size_t n,
+                     std::uint32_t init) {
+  static const std::array<std::uint32_t, 256> kTable = BuildTable();
+  std::uint32_t crc = ~init;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^
+          kTable[(crc ^ static_cast<std::uint32_t>(data[i])) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace navpath

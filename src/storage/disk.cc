@@ -16,7 +16,15 @@ SimulatedDisk::SimulatedDisk(const DiskModel& model, std::size_t page_size,
 PageId SimulatedDisk::AllocatePage() {
   auto buf = std::make_unique<std::byte[]>(page_size_);
   std::memset(buf.get(), 0, page_size_);
+  // All-zero pages share one checksum; compute it once per page size.
+  static thread_local std::size_t cached_size = 0;
+  static thread_local std::uint32_t cached_crc = 0;
+  if (cached_size != page_size_) {
+    cached_size = page_size_;
+    cached_crc = Crc32c(buf.get(), page_size_);
+  }
   pages_.push_back(std::move(buf));
+  trailers_.push_back(PageTrailer{cached_crc, 0});
   return static_cast<PageId>(pages_.size() - 1);
 }
 
@@ -40,22 +48,51 @@ Status SimulatedDisk::ReadSync(PageId id, std::byte* out) {
     return Status::IOError("read past end of segment: page " +
                            std::to_string(id));
   }
-  const SimTime done = ChargeAccess(id);
+  SimTime done = ChargeAccess(id);
   ++metrics_->disk_reads;
+  FaultInjector::ReadFault fault;
+  if (faults_ != nullptr) {
+    fault = faults_->NextReadFault(id);
+    if (fault.Any()) ++metrics_->faults_injected;
+    if (fault.extra_latency > 0) {
+      done += fault.extra_latency;
+      drive_free_at_ = done;
+    }
+  }
   clock_->WaitUntil(done);
+  if (fault.transient_error) {
+    return Status::IOError("injected transient read fault on page " +
+                           std::to_string(id));
+  }
   std::memcpy(out, pages_[id].get(), page_size_);
+  if (fault.corrupt) faults_->CorruptPayload(out, page_size_);
   return Status::OK();
 }
 
-Status SimulatedDisk::WriteSync(PageId id, const std::byte* data) {
+Status SimulatedDisk::WriteSync(PageId id, const std::byte* data,
+                                std::optional<std::uint32_t> crc) {
   if (id >= pages_.size()) {
     return Status::IOError("write past end of segment: page " +
                            std::to_string(id));
   }
-  const SimTime done = ChargeAccess(id);
+  SimTime done = ChargeAccess(id);
   ++metrics_->disk_writes;
+  FaultInjector::WriteFault fault;
+  if (faults_ != nullptr) {
+    fault = faults_->NextWriteFault(id);
+    if (fault.Any()) ++metrics_->faults_injected;
+    if (fault.extra_latency > 0) {
+      done += fault.extra_latency;
+      drive_free_at_ = done;
+    }
+  }
   clock_->WaitUntil(done);
+  if (fault.transient_error) {
+    return Status::IOError("injected transient write fault on page " +
+                           std::to_string(id));
+  }
   std::memcpy(pages_[id].get(), data, page_size_);
+  trailers_[id].crc32c = crc.has_value() ? *crc : Crc32c(data, page_size_);
   return Status::OK();
 }
 
@@ -129,10 +166,38 @@ void SimulatedDisk::ServeOnePending() {
   drive_free_at_ = start + cost;
   head_ = chosen.page;
   ++metrics_->disk_reads;
-  completed_.push(CompletedRequest{chosen.page, drive_free_at_});
+  CompletedRequest done{chosen.page, drive_free_at_};
+  if (faults_ != nullptr) {
+    const FaultInjector::ReadFault fault =
+        faults_->NextReadFault(chosen.page);
+    if (fault.Any()) ++metrics_->faults_injected;
+    if (fault.extra_latency > 0) {
+      drive_free_at_ += fault.extra_latency;
+      done.complete_time = drive_free_at_;
+    }
+    done.failed = fault.transient_error;
+    done.corrupt = fault.corrupt;
+  }
+  completed_.push(done);
 }
 
-Result<PageId> SimulatedDisk::WaitForCompletion(std::byte* out) {
+SimulatedDisk::AsyncCompletion SimulatedDisk::Deliver(
+    const CompletedRequest& req, std::byte* out) {
+  AsyncCompletion completion;
+  completion.page = req.page;
+  if (req.failed) {
+    completion.io =
+        Status::IOError("injected transient fault on async read of page " +
+                        std::to_string(req.page));
+    return completion;
+  }
+  std::memcpy(out, pages_[req.page].get(), page_size_);
+  if (req.corrupt) faults_->CorruptPayload(out, page_size_);
+  return completion;
+}
+
+Result<SimulatedDisk::AsyncCompletion> SimulatedDisk::WaitForCompletion(
+    std::byte* out) {
   if (completed_.empty()) {
     if (pending_.empty()) {
       return Status::NotFound("no asynchronous request in flight");
@@ -142,19 +207,18 @@ Result<PageId> SimulatedDisk::WaitForCompletion(std::byte* out) {
   const CompletedRequest req = completed_.top();
   completed_.pop();
   clock_->WaitUntil(req.complete_time);
-  std::memcpy(out, pages_[req.page].get(), page_size_);
-  return req.page;
+  return Deliver(req, out);
 }
 
-std::optional<PageId> SimulatedDisk::PollCompletion(std::byte* out) {
+std::optional<SimulatedDisk::AsyncCompletion> SimulatedDisk::PollCompletion(
+    std::byte* out) {
   const SimTime now = clock_->now();
   for (;;) {
     if (!completed_.empty()) {
       if (completed_.top().complete_time <= now) {
         const CompletedRequest req = completed_.top();
         completed_.pop();
-        std::memcpy(out, pages_[req.page].get(), page_size_);
-        return req.page;
+        return Deliver(req, out);
       }
       return std::nullopt;  // in progress but not done yet
     }

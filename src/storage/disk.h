@@ -26,7 +26,9 @@
 #include "common/metrics.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
+#include "storage/checksum.h"
 #include "storage/disk_model.h"
+#include "storage/fault_injector.h"
 #include "storage/page.h"
 
 namespace navpath {
@@ -46,12 +48,29 @@ class SimulatedDisk {
   /// Extends the segment by one zeroed page and returns its id.
   PageId AllocatePage();
 
+  /// Attaches (or detaches, with nullptr) a fault injector consulted on
+  /// every read service, async completion, and write. Without one the
+  /// disk never fails and simulated costs are exactly the fault-free ones.
+  void SetFaultInjector(FaultInjector* injector) { faults_ = injector; }
+
   /// Synchronous read: blocks the simulation until the transfer completes,
-  /// then copies the page image into `out` (page_size bytes).
+  /// then copies the page image into `out` (page_size bytes). An injected
+  /// transient fault charges the attempt's service time and returns
+  /// IOError without delivering data.
   Status ReadSync(PageId id, std::byte* out);
 
-  /// Synchronous write of `data` (page_size bytes).
-  Status WriteSync(PageId id, const std::byte* data);
+  /// Synchronous write of `data` (page_size bytes). `crc` is the page
+  /// trailer checksum to store out of band; when omitted the disk computes
+  /// it itself (callers that cannot vouch for the payload end to end).
+  Status WriteSync(PageId id, const std::byte* data,
+                   std::optional<std::uint32_t> crc = std::nullopt);
+
+  /// The out-of-band trailer checksum stored with page `id`. Reading it
+  /// costs nothing: the trailer travels with the sector it protects.
+  std::uint32_t PageCrc(PageId id) const {
+    NAVPATH_CHECK(id < trailers_.size());
+    return trailers_[id].crc32c;
+  }
 
   // --- Asynchronous interface (Sec. 3.7) -------------------------------
 
@@ -63,14 +82,23 @@ class SimulatedDisk {
     return pending_.size() + completed_.size();
   }
 
+  /// One finished asynchronous read. `io` is OK when the payload was
+  /// delivered into the caller's buffer; an injected transient fault
+  /// completes the request with IOError and no data (the page can be
+  /// re-read synchronously).
+  struct AsyncCompletion {
+    PageId page = kInvalidPageId;
+    Status io;
+  };
+
   /// Blocks (advances the clock) until some queued read completes, then
-  /// copies its data into `out` and returns its page id.
+  /// copies its data into `out` and returns the completion.
   /// Fails with NotFound if nothing is queued.
-  Result<PageId> WaitForCompletion(std::byte* out);
+  Result<AsyncCompletion> WaitForCompletion(std::byte* out);
 
   /// Returns a read that has already completed at the current simulated
   /// time, or nullopt. Never advances the clock.
-  std::optional<PageId> PollCompletion(std::byte* out);
+  std::optional<AsyncCompletion> PollCompletion(std::byte* out);
 
   /// Position of the head after the last access (for tests/inspection).
   PageId head_position() const { return head_; }
@@ -84,9 +112,12 @@ class SimulatedDisk {
   }
 
   /// Appends a page image without charging time (for loading from a file).
+  /// The trailer checksum is recomputed from the payload; persistence
+  /// verifies the file's stored trailer against the payload before calling.
   PageId LoadRawPage(const std::byte* data) {
     const PageId id = AllocatePage();
     std::memcpy(pages_[id].get(), data, page_size_);
+    trailers_[id].crc32c = Crc32c(data, page_size_);
     return id;
   }
 
@@ -111,6 +142,8 @@ class SimulatedDisk {
   struct CompletedRequest {
     PageId page;
     SimTime complete_time;
+    bool failed = false;   // injected transient fault: no data delivered
+    bool corrupt = false;  // injected corruption: deliver flipped bits
     bool operator>(const CompletedRequest& other) const {
       return complete_time > other.complete_time;
     }
@@ -120,14 +153,20 @@ class SimulatedDisk {
   /// time the drive is idle) and moves it to the completed queue.
   void ServeOnePending();
 
+  /// Copies a completed request's payload into `out` (unless its injected
+  /// fault suppressed delivery) and builds the caller-facing completion.
+  AsyncCompletion Deliver(const CompletedRequest& req, std::byte* out);
+
   SimTime ChargeAccess(PageId target);
 
   DiskModel model_;
   std::size_t page_size_;
   SimClock* clock_;
   Metrics* metrics_;
+  FaultInjector* faults_ = nullptr;
 
   std::vector<std::unique_ptr<std::byte[]>> pages_;
+  std::vector<PageTrailer> trailers_;  // out-of-band, parallel to pages_
 
   PageId head_ = kInvalidPageId;
   SimTime drive_free_at_ = 0;

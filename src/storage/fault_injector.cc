@@ -1,0 +1,44 @@
+#include "storage/fault_injector.h"
+
+namespace navpath {
+
+FaultInjector::FaultInjector(const FaultInjectorOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      permanent_(options.permanent_bad_pages.begin(),
+                 options.permanent_bad_pages.end()) {}
+
+FaultInjector::ReadFault FaultInjector::NextReadFault(PageId page) {
+  ++decisions_;
+  ReadFault fault;
+  // Draw every category unconditionally so the stream position depends
+  // only on how many attempts were served, not on which faults fired.
+  const bool transient = rng_.NextBool(options_.transient_read_error_rate);
+  const bool corrupt = rng_.NextBool(options_.corruption_rate);
+  const bool spike = rng_.NextBool(options_.latency_spike_rate);
+  fault.transient_error = transient;
+  fault.corrupt = !transient && (corrupt || IsPermanentlyBad(page));
+  if (spike) fault.extra_latency = options_.latency_spike;
+  return fault;
+}
+
+FaultInjector::WriteFault FaultInjector::NextWriteFault(PageId) {
+  ++decisions_;
+  WriteFault fault;
+  const bool transient = rng_.NextBool(options_.transient_write_error_rate);
+  const bool spike = rng_.NextBool(options_.latency_spike_rate);
+  fault.transient_error = transient;
+  if (spike) fault.extra_latency = options_.latency_spike;
+  return fault;
+}
+
+void FaultInjector::CorruptPayload(std::byte* payload, std::size_t n) {
+  if (n == 0) return;
+  const int flips = 1 + static_cast<int>(rng_.NextBounded(4));
+  for (int i = 0; i < flips; ++i) {
+    const std::size_t bit = rng_.NextBounded(n * 8);
+    payload[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+  }
+}
+
+}  // namespace navpath

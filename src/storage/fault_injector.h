@@ -1,0 +1,117 @@
+// Deterministic, seedable fault injection for the simulated disk.
+//
+// The paper's experiments assume a drive that always succeeds; real pagers
+// do not get that luxury. The injector models the failure modes a storage
+// stack must survive:
+//   * transient I/O errors   — a read or write attempt fails outright and
+//                              may succeed when retried,
+//   * silent corruption      — the payload is delivered (or kept) with
+//                              flipped bits and no error indication; only
+//                              the page checksum can catch it,
+//   * permanent bad pages    — every read of the page delivers corrupt
+//                              data (unrecoverable media damage),
+//   * latency spikes         — the access completes but takes far longer
+//                              than the disk model predicts.
+//
+// All decisions are drawn from one seeded xoshiro256** stream in service
+// order, so a given (seed, workload) pair reproduces the exact same fault
+// schedule: tests can assert on recovery behaviour bit-for-bit.
+//
+// The injector is consulted by SimulatedDisk on every sync read, async
+// completion, and write. When no injector is attached the disk behaves
+// exactly as before — zero overhead, identical simulated costs.
+#ifndef NAVPATH_STORAGE_FAULT_INJECTOR_H_
+#define NAVPATH_STORAGE_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "storage/page.h"
+
+namespace navpath {
+
+struct FaultInjectorOptions {
+  /// Seed of the fault schedule; same seed + same workload => same faults.
+  std::uint64_t seed = 0;
+
+  /// Probability that a read attempt fails with a transient IOError
+  /// (data not delivered; a retry redraws).
+  double transient_read_error_rate = 0.0;
+
+  /// Probability that a write attempt fails with a transient IOError
+  /// (page image unchanged; a retry redraws).
+  double transient_write_error_rate = 0.0;
+
+  /// Probability that a read silently delivers a corrupted payload
+  /// (bit flips, no error indication). A retry re-reads intact media.
+  double corruption_rate = 0.0;
+
+  /// Probability of a latency spike on any access, and its size.
+  double latency_spike_rate = 0.0;
+  SimTime latency_spike = 20 * kSimMillisecond;
+
+  /// Pages whose media is damaged: every read delivers corrupt data, no
+  /// matter how often it is retried.
+  std::vector<PageId> permanent_bad_pages;
+
+  bool AnyEnabled() const {
+    return transient_read_error_rate > 0.0 ||
+           transient_write_error_rate > 0.0 || corruption_rate > 0.0 ||
+           latency_spike_rate > 0.0 || !permanent_bad_pages.empty();
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultInjectorOptions& options);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// The disk's verdict for one read service attempt of `page`.
+  struct ReadFault {
+    bool transient_error = false;  // fail the attempt with IOError
+    bool corrupt = false;          // deliver the payload with flipped bits
+    SimTime extra_latency = 0;     // added to the access's service time
+    bool Any() const {
+      return transient_error || corrupt || extra_latency > 0;
+    }
+  };
+
+  /// The verdict for one write attempt of `page`.
+  struct WriteFault {
+    bool transient_error = false;
+    SimTime extra_latency = 0;
+    bool Any() const { return transient_error || extra_latency > 0; }
+  };
+
+  /// Draws the next fault decision. Must be called once per service
+  /// attempt, in service order, so the schedule is reproducible.
+  ReadFault NextReadFault(PageId page);
+  WriteFault NextWriteFault(PageId page);
+
+  /// Deterministically flips 1-4 bits of `payload`. Same seed and same
+  /// decision index flip the same bits.
+  void CorruptPayload(std::byte* payload, std::size_t n);
+
+  bool IsPermanentlyBad(PageId page) const {
+    return permanent_.count(page) > 0;
+  }
+
+  /// Number of decisions drawn so far (for determinism assertions).
+  std::uint64_t decisions() const { return decisions_; }
+
+ private:
+  FaultInjectorOptions options_;
+  Random rng_;
+  std::unordered_set<PageId> permanent_;
+  std::uint64_t decisions_ = 0;
+};
+
+}  // namespace navpath
+
+#endif  // NAVPATH_STORAGE_FAULT_INJECTOR_H_

@@ -6,10 +6,14 @@ Database::Database(const DatabaseOptions& options) : options_(options) {
   disk_ = std::make_unique<SimulatedDisk>(options_.disk_model,
                                           options_.page_size, &clock_,
                                           &metrics_);
+  if (options_.faults.AnyEnabled()) {
+    fault_injector_ = std::make_unique<FaultInjector>(options_.faults);
+    disk_->SetFaultInjector(fault_injector_.get());
+  }
   buffer_ = std::make_unique<BufferManager>(disk_.get(),
                                             options_.buffer_pages,
                                             options_.cpu_costs, &clock_,
-                                            &metrics_);
+                                            &metrics_, options_.retry);
 }
 
 Result<ImportedDocument> Database::Import(const DomTree& tree,

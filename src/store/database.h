@@ -15,6 +15,7 @@
 #include "storage/buffer_manager.h"
 #include "storage/cpu_cost_model.h"
 #include "storage/disk.h"
+#include "storage/fault_injector.h"
 #include "store/cluster_view.h"
 #include "store/clustering.h"
 #include "store/import.h"
@@ -30,6 +31,11 @@ struct DatabaseOptions {
   DiskModel disk_model;
   CpuCostModel cpu_costs;
   ImportOptions import;
+  /// Storage fault injection (off by default: all rates zero). When any
+  /// knob is enabled a seeded injector is attached to the disk.
+  FaultInjectorOptions faults;
+  /// Buffer-level retry/backoff for transient I/O failures.
+  RetryPolicy retry;
 };
 
 class Database {
@@ -44,6 +50,8 @@ class Database {
   Metrics* metrics() { return &metrics_; }
   SimulatedDisk* disk() { return disk_.get(); }
   BufferManager* buffer() { return buffer_.get(); }
+  /// nullptr when fault injection is disabled.
+  FaultInjector* fault_injector() { return fault_injector_.get(); }
   const CpuCostModel& costs() const { return options_.cpu_costs; }
   const DatabaseOptions& options() const { return options_; }
 
@@ -67,6 +75,7 @@ class Database {
   Metrics metrics_;
   TagRegistry tags_;
   std::unique_ptr<SimulatedDisk> disk_;
+  std::unique_ptr<FaultInjector> fault_injector_;
   std::unique_ptr<BufferManager> buffer_;
 };
 

@@ -5,11 +5,14 @@
 #include <fstream>
 #include <vector>
 
+#include "storage/checksum.h"
+
 namespace navpath {
 namespace {
 
 constexpr char kMagic[4] = {'N', 'V', 'P', 'H'};
-constexpr std::uint32_t kVersion = 1;
+// Version 2: every page image is followed by its 8-byte integrity trailer.
+constexpr std::uint32_t kVersion = 2;
 
 void WriteU32(std::ostream& out, std::uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -66,6 +69,9 @@ Status SaveDatabase(Database* db, const ImportedDocument& doc,
   for (PageId p = 0; p < page_count; ++p) {
     out.write(reinterpret_cast<const char*>(db->disk()->RawPage(p)),
               static_cast<std::streamsize>(db->options().page_size));
+    // The page's trailer, as maintained by the buffer manager / disk.
+    WriteU32(out, db->disk()->PageCrc(p));
+    WriteU32(out, 0);  // reserved
   }
   out.flush();
   if (!out) return Status::IOError("write failed: " + path);
@@ -127,6 +133,14 @@ Result<LoadedDatabase> LoadDatabase(const std::string& path,
   for (std::uint32_t p = 0; p < page_count; ++p) {
     in.read(reinterpret_cast<char*>(buf.data()), page_size);
     if (!in) return Status::Corruption("truncated page data");
+    std::uint32_t stored_crc = 0, reserved = 0;
+    if (!ReadU32(in, &stored_crc) || !ReadU32(in, &reserved)) {
+      return Status::Corruption("truncated page trailer");
+    }
+    if (Crc32c(buf.data(), page_size) != stored_crc) {
+      return Status::Corruption("page " + std::to_string(p) +
+                                " failed checksum verification");
+    }
     loaded.db->disk()->LoadRawPage(buf.data());
   }
   return loaded;

@@ -9,7 +9,13 @@
 //   [magic "NVPH"][u32 version][u32 page_size][u32 page_count]
 //   [u32 tag_count][tag_count x (u32 len, bytes)]      -- tag registry
 //   [catalog: root NodeID, root order, page range, record counts]
-//   [page_count x page_size bytes]                     -- raw pages
+//   [page_count x (page_size bytes + 8-byte trailer)]  -- raw pages
+//
+// Since version 2 every page image is followed by its trailer (CRC32C of
+// the payload + a reserved word). Load verifies each page against its
+// trailer and fails with Status::Corruption on the first mismatch, so a
+// damaged database file is detected at open time rather than surfacing as
+// undefined navigation behaviour later.
 #ifndef NAVPATH_STORE_PERSISTENCE_H_
 #define NAVPATH_STORE_PERSISTENCE_H_
 

@@ -35,6 +35,21 @@ TEST(StatusTest, CopySemantics) {
   EXPECT_TRUE(s.IsNotFound());
 }
 
+TEST(StatusTest, CodePredicatesMatchOnlyTheirCode) {
+  const Status corruption = Status::Corruption("bad page");
+  EXPECT_TRUE(corruption.IsCorruption());
+  EXPECT_FALSE(corruption.IsIOError());
+  EXPECT_FALSE(corruption.IsOutOfMemory());
+
+  const Status oom = Status::OutOfMemory("no frames");
+  EXPECT_TRUE(oom.IsOutOfMemory());
+  EXPECT_FALSE(oom.IsCorruption());
+
+  const Status ok = Status::OK();
+  EXPECT_FALSE(ok.IsCorruption());
+  EXPECT_FALSE(ok.IsOutOfMemory());
+}
+
 TEST(StatusTest, AllCodesHaveNames) {
   for (int c = 0; c <= 9; ++c) {
     EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)),

@@ -33,7 +33,7 @@ struct Fixture {
     while (disk.pending_requests() > 0) {
       auto page = disk.WaitForCompletion(buf.data());
       page.status().AbortIfNotOk();
-      order.push_back(*page);
+      order.push_back(page->page);
     }
     return order;
   }
@@ -105,11 +105,11 @@ TEST(DiskSchedulingTest, LateSubmissionsDoNotTimeTravel) {
   // much later cannot be serviced before it even though it is nearer.
   auto first = f.disk.WaitForCompletion(buf.data());
   ASSERT_TRUE(first.ok());
-  EXPECT_EQ(*first, 100u);
+  EXPECT_EQ(first->page, 100u);
   ASSERT_TRUE(f.disk.SubmitRead(99).ok());
   auto second = f.disk.WaitForCompletion(buf.data());
   ASSERT_TRUE(second.ok());
-  EXPECT_EQ(*second, 99u);
+  EXPECT_EQ(second->page, 99u);
 }
 
 TEST(DiskSchedulingTest, TraceRecordsServiceOrder) {

@@ -99,10 +99,10 @@ TEST(DiskTest, AsyncServesShortestSeekFirst) {
   ASSERT_TRUE(f.disk.SubmitRead(52).ok());
   auto first = f.disk.WaitForCompletion(buf.data());
   ASSERT_TRUE(first.ok());
-  EXPECT_EQ(*first, 52u);
+  EXPECT_EQ(first->page, 52u);
   auto second = f.disk.WaitForCompletion(buf.data());
   ASSERT_TRUE(second.ok());
-  EXPECT_EQ(*second, 5u);
+  EXPECT_EQ(second->page, 5u);
   EXPECT_GE(f.metrics.async_reorderings, 1u);
 }
 
@@ -154,7 +154,7 @@ TEST(DiskTest, PollDoesNotAdvanceClock) {
   f.clock.ChargeCpu(10 * kSimSecond);
   auto polled = f.disk.PollCompletion(buf.data());
   ASSERT_TRUE(polled.has_value());
-  EXPECT_EQ(*polled, 7u);
+  EXPECT_EQ(polled->page, 7u);
 }
 
 TEST(DiskTest, AsyncOverlapsWithCpuWork) {

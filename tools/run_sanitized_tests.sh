@@ -1,0 +1,12 @@
+#!/bin/sh
+# Configures and runs the full test suite under ASan+UBSan so the storage
+# error/recovery paths (fault injection, retries, corruption handling) are
+# exercised with memory and UB checking enabled.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="${repo_root}/build-sanitize"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DNAVPATH_SANITIZE=ON
+cmake --build "${build_dir}" -j "$(nproc)"
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
