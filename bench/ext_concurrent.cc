@@ -4,53 +4,29 @@
 // pending requests.")
 //
 // Two XSchedule plans are executed (a) back-to-back and (b) interleaved
-// pull-by-pull on the same database: interleaving deepens the pending
-// request pool the elevator chooses from and overlaps one query's CPU
-// with the other's I/O.
+// pull-by-pull on the same database, both through the WorkloadExecutor:
+// interleaving deepens the pending request pool the elevator chooses from
+// and overlaps one query's CPU with the other's I/O. The wider N-query
+// sweep with policies and a JSON trajectory lives in workload_throughput.
 #include <cstdio>
 
 #include "benchlib/experiments.h"
-#include "xpath/parser.h"
+#include "compiler/workload_executor.h"
 
 namespace {
 
 using namespace navpath;
 
-Result<SimTime> RunPair(XMarkFixture* fixture, const LocationPath& a,
-                        const LocationPath& b, bool interleaved) {
-  Database* db = fixture->db();
-  NAVPATH_RETURN_NOT_OK(db->ResetMeasurement());
-  PlanOptions options = PaperPlan(PlanKind::kXSchedule);
-  NAVPATH_ASSIGN_OR_RETURN(PathPlan plan_a,
-                           BuildPlan(db, fixture->doc(), a, {}, options));
-  NAVPATH_ASSIGN_OR_RETURN(PathPlan plan_b,
-                           BuildPlan(db, fixture->doc(), b, {}, options));
-  NAVPATH_RETURN_NOT_OK(plan_a.root()->Open());
-  NAVPATH_RETURN_NOT_OK(plan_b.root()->Open());
-  PathInstance inst;
-  if (interleaved) {
-    bool a_live = true, b_live = true;
-    while (a_live || b_live) {
-      if (a_live) {
-        NAVPATH_ASSIGN_OR_RETURN(a_live, plan_a.root()->Next(&inst));
-      }
-      if (b_live) {
-        NAVPATH_ASSIGN_OR_RETURN(b_live, plan_b.root()->Next(&inst));
-      }
-    }
-  } else {
-    for (;;) {
-      NAVPATH_ASSIGN_OR_RETURN(const bool more, plan_a.root()->Next(&inst));
-      if (!more) break;
-    }
-    for (;;) {
-      NAVPATH_ASSIGN_OR_RETURN(const bool more, plan_b.root()->Next(&inst));
-      if (!more) break;
-    }
-  }
-  NAVPATH_RETURN_NOT_OK(plan_a.root()->Close());
-  NAVPATH_RETURN_NOT_OK(plan_b.root()->Close());
-  return db->clock()->now();
+Result<WorkloadResult> RunPair(XMarkFixture* fixture, const char* a,
+                               const char* b, bool interleaved) {
+  WorkloadOptions options;
+  options.policy = WorkloadPolicy::kRoundRobin;
+  options.max_concurrent = interleaved ? 2 : 1;
+  WorkloadExecutor executor(fixture->db(), fixture->doc(), options);
+  const PlanOptions plan = PaperPlan(PlanKind::kXSchedule);
+  NAVPATH_RETURN_NOT_OK(executor.Add(a, plan));
+  NAVPATH_RETURN_NOT_OK(executor.Add(b, plan));
+  return executor.Run();
 }
 
 }  // namespace
@@ -66,7 +42,6 @@ int main() {
                  fixture.status().ToString().c_str());
     return 1;
   }
-  TagRegistry* tags = (*fixture)->db()->tags();
   const struct {
     const char* label;
     const char* a;
@@ -82,24 +57,27 @@ int main() {
   };
 
   PrintTableHeader("two XSchedule queries",
-                   {"pair", "back-to-back[s]", "interleaved[s]", "speedup"});
+                   {"pair", "back-to-back[s]", "interleaved[s]", "speedup",
+                    "merged", "depth"});
   for (const auto& pair : pairs) {
-    auto path_a = ParsePath(pair.a, tags);
-    auto path_b = ParsePath(pair.b, tags);
-    path_a.status().AbortIfNotOk();
-    path_b.status().AbortIfNotOk();
-    auto sequential = RunPair(fixture->get(), *path_a, *path_b, false);
+    auto sequential = RunPair(fixture->get(), pair.a, pair.b, false);
     sequential.status().AbortIfNotOk();
-    auto interleaved = RunPair(fixture->get(), *path_a, *path_b, true);
+    auto interleaved = RunPair(fixture->get(), pair.a, pair.b, true);
     interleaved.status().AbortIfNotOk();
-    char speedup[16];
+    char speedup[16], merged[24], depth[32];
     std::snprintf(speedup, sizeof(speedup), "%.2fx",
-                  static_cast<double>(*sequential) /
-                      static_cast<double>(*interleaved));
+                  sequential->total_seconds() /
+                      interleaved->total_seconds());
+    std::snprintf(merged, sizeof(merged), "%llu",
+                  static_cast<unsigned long long>(
+                      interleaved->metrics.requests_merged));
+    std::snprintf(depth, sizeof(depth), "%.1f->%.1f",
+                  sequential->mean_elevator_depth(),
+                  interleaved->mean_elevator_depth());
     PrintTableRow({pair.label,
-                   FormatSeconds(SimClock::ToSeconds(*sequential)),
-                   FormatSeconds(SimClock::ToSeconds(*interleaved)),
-                   speedup});
+                   FormatSeconds(sequential->total_seconds()),
+                   FormatSeconds(interleaved->total_seconds()), speedup,
+                   merged, depth});
   }
   return 0;
 }

@@ -1,0 +1,165 @@
+// Workload throughput: N concurrent XPath queries over one shared I/O
+// subsystem (paper Sec. 7: "We also expect concurrent queries to strongly
+// benefit from asynchronous I/O, as scheduling decisions can be made based
+// on more pending requests.")
+//
+// Sweeps N in {1, 2, 4, 8} mixed XMark queries, all as XSchedule plans,
+// and compares back-to-back execution (WorkloadExecutor with one active
+// slot) against cooperative interleaving under each scheduling policy.
+// Interleaving pools every query's pending asynchronous reads in the
+// disk's elevator: the pending pool deepens, seeks shorten, duplicate
+// reads across queries merge into single submissions.
+//
+// Emits the machine-readable trajectory BENCH_workload.json (schema note
+// in DESIGN.md, "The workload layer") for later PRs to diff against.
+#include <cstdio>
+
+#include "benchlib/experiments.h"
+#include "compiler/workload_executor.h"
+
+namespace {
+
+using namespace navpath;
+
+constexpr const char* kWorkloadQueries[] = {
+    "/site/regions//item",
+    "/site/regions//name",
+    "/site/people/person/email",
+    "/site//description",
+    "/site/open_auctions/open_auction/bidder",
+    "/site/closed_auctions/closed_auction/annotation/description",
+    "/site//keyword",
+    "/site/people/person/address/city",
+};
+
+Result<WorkloadResult> RunWorkload(XMarkFixture* fixture, std::size_t n,
+                                   std::size_t max_concurrent,
+                                   WorkloadPolicy policy) {
+  WorkloadOptions options;
+  options.policy = policy;
+  options.max_concurrent = max_concurrent;
+  options.stats = &fixture->stats();
+  WorkloadExecutor executor(fixture->db(), fixture->doc(), options);
+  for (std::size_t i = 0; i < n; ++i) {
+    NAVPATH_RETURN_NOT_OK(executor.Add(kWorkloadQueries[i],
+                                       PaperPlan(PlanKind::kXSchedule)));
+  }
+  return executor.Run();
+}
+
+void RecordRun(JsonWriter* json, std::size_t n, const char* mode,
+               WorkloadPolicy policy, const WorkloadResult& result) {
+  json->BeginObject();
+  json->Key("n").Value(static_cast<std::uint64_t>(n));
+  json->Key("mode").Value(mode);
+  json->Key("policy").Value(WorkloadPolicyName(policy));
+  json->Key("total_seconds").Value(result.total_seconds());
+  json->Key("cpu_seconds").Value(SimClock::ToSeconds(result.cpu_time));
+  json->Key("disk_reads").Value(result.metrics.disk_reads);
+  json->Key("async_requests").Value(result.metrics.async_requests);
+  json->Key("requests_merged").Value(result.metrics.requests_merged);
+  json->Key("elevator_depth_mean").Value(result.mean_elevator_depth());
+  json->Key("elevator_depth_max")
+      .Value(result.metrics.elevator_depth_max);
+  json->Key("seek_pages").Value(result.metrics.disk_seek_pages);
+  json->Key("turnaround_seconds").BeginArray();
+  for (const WorkloadQueryResult& q : result.queries) {
+    json->Value(q.turnaround_seconds());
+  }
+  json->EndArray();
+  json->Key("counts").BeginArray();
+  for (const WorkloadQueryResult& q : result.queries) {
+    json->Value(q.count);
+  }
+  json->EndArray();
+  json->EndObject();
+}
+
+}  // namespace
+
+int main() {
+  using namespace navpath;
+  const double sf = FastBenchMode() ? 0.1 : 0.25;
+  std::printf("Workload throughput — N concurrent XSchedule queries, "
+              "scale %.2f\n", sf);
+  auto fixture = XMarkFixture::Create(sf);
+  if (!fixture.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n",
+                 fixture.status().ToString().c_str());
+    return 1;
+  }
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").Value("workload_throughput");
+  json.Key("schema_version").Value(static_cast<std::uint64_t>(1));
+  json.Key("scale_factor").Value(sf);
+  json.Key("plan").Value("XSchedule");
+  json.Key("queries").BeginArray();
+  for (const char* q : kWorkloadQueries) json.Value(q);
+  json.EndArray();
+  json.Key("runs").BeginArray();
+
+  PrintTableHeader(
+      "sequential vs interleaved (round-robin / fewest-I/O / SJF)",
+      {"N", "seq[s]", "rr[s]", "fewest[s]", "sjf[s]", "speedup", "merged",
+       "depth"});
+
+  bool n4_ok = false;
+  for (const std::size_t n : {1u, 2u, 4u, 8u}) {
+    auto sequential =
+        RunWorkload(fixture->get(), n, 1, WorkloadPolicy::kRoundRobin);
+    sequential.status().AbortIfNotOk();
+    RecordRun(&json, n, "sequential", WorkloadPolicy::kRoundRobin,
+              *sequential);
+
+    const WorkloadPolicy policies[] = {
+        WorkloadPolicy::kRoundRobin,
+        WorkloadPolicy::kFewestPendingIos,
+        WorkloadPolicy::kShortestRemainingCost,
+    };
+    double seconds[3] = {0, 0, 0};
+    WorkloadResult rr;
+    for (int p = 0; p < 3; ++p) {
+      auto interleaved = RunWorkload(fixture->get(), n, 0, policies[p]);
+      interleaved.status().AbortIfNotOk();
+      RecordRun(&json, n, "interleaved", policies[p], *interleaved);
+      seconds[p] = interleaved->total_seconds();
+      if (p == 0) rr = std::move(*interleaved);
+    }
+
+    char speedup[16], merged[24], depth[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  sequential->total_seconds() / seconds[0]);
+    std::snprintf(merged, sizeof(merged), "%llu",
+                  static_cast<unsigned long long>(
+                      rr.metrics.requests_merged));
+    std::snprintf(depth, sizeof(depth), "%.1f->%.1f",
+                  sequential->mean_elevator_depth(),
+                  rr.mean_elevator_depth());
+    PrintTableRow({std::to_string(n),
+                   FormatSeconds(sequential->total_seconds()),
+                   FormatSeconds(seconds[0]), FormatSeconds(seconds[1]),
+                   FormatSeconds(seconds[2]), speedup, merged, depth});
+
+    if (n == 4) {
+      n4_ok = seconds[0] < sequential->total_seconds() &&
+              rr.mean_elevator_depth() >
+                  sequential->mean_elevator_depth();
+    }
+  }
+
+  json.EndArray();
+  json.EndObject();
+  const std::string path = BenchTrajectoryPath("BENCH_workload.json");
+  const Status wrote = WriteTextFile(path, json.str() + "\n");
+  if (!wrote.ok()) {
+    std::fprintf(stderr, "FAILED writing %s: %s\n", path.c_str(),
+                 wrote.ToString().c_str());
+    return 1;
+  }
+  std::printf("\ntrajectory written to %s\n", path.c_str());
+  std::printf("N=4 interleaved beats sequential with deeper elevator "
+              "pool: %s\n", n4_ok ? "yes" : "NO");
+  return n4_ok ? 0 : 1;
+}

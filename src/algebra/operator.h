@@ -75,6 +75,29 @@ struct PlanSharedState {
   /// Clusters already visited by the I/O operator (used by speculative
   /// XSchedule to avoid scheduling visits whose answers are already in S).
   std::unordered_set<PageId> visited_clusters;
+
+  /// Identity of the query this plan belongs to within a multi-query
+  /// workload (0 = standalone execution). The buffer manager attributes
+  /// prefetch interest to it, so duplicate reads issued by *different*
+  /// queries are detected and merged.
+  std::uint32_t owner_id = 0;
+
+  /// Set by the WorkloadExecutor: sibling queries share the buffer and
+  /// disk, so a wait by one query can install a cluster another query
+  /// asked for. Cooperative plans check for such already-resident queued
+  /// clusters before blocking on their own prefetches.
+  bool cooperative = false;
+
+  /// Granted by the WorkloadExecutor per pull: instead of blocking on its
+  /// own prefetches, the I/O operator polls for due completions and, if
+  /// none arrived yet, reports exhaustion with `yielded` set. The
+  /// scheduler then runs a sibling query, letting submissions pool at the
+  /// disk instead of being drained one-by-one by blocking waits.
+  bool yield_on_block = false;
+  /// Out-parameter of a yielding Next(): the stream is NOT exhausted, the
+  /// plan merely refused to block. The scheduler clears it and retries
+  /// the query later.
+  bool yielded = false;
 };
 
 }  // namespace navpath

@@ -8,6 +8,8 @@ Status XSchedule::Open() {
   producer_done_ = false;
   ready_.clear();
   ready_set_.clear();
+  deferred_.clear();
+  deferred_set_.clear();
   seeding_ = false;
   clusters_entered_ = 0;
   NAVPATH_CHECK(options_.k >= 1);
@@ -28,10 +30,40 @@ Status XSchedule::Enqueue(const PathInstance& inst) {
   db_->clock()->ChargeCpu(db_->costs().set_op);
   q_[cluster].push_back(inst);
   ++q_size_;
-  NAVPATH_ASSIGN_OR_RETURN(const BufferManager::PrefetchOutcome outcome,
-                           db_->buffer()->Prefetch(cluster));
+  return SchedulePrefetch(cluster);
+}
+
+Status XSchedule::SchedulePrefetch(PageId page) {
+  if (options_.max_inflight > 0 && deferred_set_.count(page) == 0 &&
+      db_->buffer()->PendingFor(shared_->owner_id) >=
+          options_.max_inflight &&
+      !db_->buffer()->IsResident(page)) {
+    deferred_.push_back(page);
+    deferred_set_.insert(page);
+    return Status::OK();
+  }
+  NAVPATH_ASSIGN_OR_RETURN(
+      const BufferManager::PrefetchOutcome outcome,
+      db_->buffer()->Prefetch(page, shared_->owner_id));
   if (outcome == BufferManager::PrefetchOutcome::kResident) {
-    MarkReady(cluster);
+    MarkReady(page);
+  }
+  return Status::OK();
+}
+
+Status XSchedule::TopUpPrefetches() {
+  while (!deferred_.empty() &&
+         db_->buffer()->PendingFor(shared_->owner_id) <
+             options_.max_inflight) {
+    const PageId page = deferred_.front();
+    deferred_.pop_front();
+    deferred_set_.erase(page);
+    NAVPATH_ASSIGN_OR_RETURN(
+        const BufferManager::PrefetchOutcome outcome,
+        db_->buffer()->Prefetch(page, shared_->owner_id));
+    if (outcome == BufferManager::PrefetchOutcome::kResident) {
+      MarkReady(page);
+    }
   }
   return Status::OK();
 }
@@ -56,6 +88,20 @@ Status XSchedule::Replenish() {
 
 Result<bool> XSchedule::SwitchToNextCluster() {
   for (;;) {
+    // Keep the submission pipeline full: completions since the last
+    // switch freed in-flight slots for deferred clusters.
+    NAVPATH_RETURN_NOT_OK(TopUpPrefetches());
+    if (shared_->cooperative) {
+      // A sibling query's wait may already have installed clusters we
+      // queued (completions are delivered to whichever query blocks
+      // first); pick those up instead of blocking on our own prefetches.
+      for (const auto& [page, entries] : q_) {
+        if (!entries.empty() && ready_set_.count(page) == 0 &&
+            db_->buffer()->IsResident(page)) {
+          MarkReady(page);
+        }
+      }
+    }
     // Prefer clusters whose I/O already completed (or that are resident).
     while (!ready_.empty()) {
       const PageId page = ready_.front();
@@ -72,6 +118,24 @@ Result<bool> XSchedule::SwitchToNextCluster() {
       return true;
     }
     if (db_->buffer()->HasPrefetchInFlight()) {
+      if (shared_->cooperative && shared_->yield_on_block) {
+        // Collect whatever the drive finished by now without forcing it
+        // to serve; if nothing is due, hand control back to the workload
+        // scheduler instead of draining the pending pool with a blocking
+        // wait. The pool keeps deepening while sibling queries run.
+        Result<PageId> polled = db_->buffer()->PollAnyPrefetch();
+        if (polled.ok()) {
+          if (*polled != kInvalidPageId) {
+            MarkReady(*polled);
+            continue;
+          }
+          shared_->yielded = true;
+          return false;
+        }
+        if (!polled.status().IsIOError()) return polled.status();
+        ++db_->metrics()->fault_fallbacks;
+        continue;
+      }
       // Block until the I/O subsystem completes *some* request; the disk
       // chooses which (shortest seek first).
       Result<PageId> waited = db_->buffer()->WaitAnyPrefetch();

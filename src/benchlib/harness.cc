@@ -1,6 +1,7 @@
 #include "benchlib/harness.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "xpath/parser.h"
 
@@ -89,6 +90,135 @@ std::string FormatPercent(double fraction) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.0f%%", fraction * 100.0);
   return buf;
+}
+
+void JsonWriter::Separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (first_in_scope_.empty()) return;
+  if (first_in_scope_.back()) {
+    first_in_scope_.back() = false;
+  } else {
+    out_ += ',';
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Separate();
+  out_ += '{';
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  first_in_scope_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Separate();
+  out_ += '[';
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  first_in_scope_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& v) {
+  *out += '"';
+  for (const char c : v) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+  *out += '"';
+}
+
+}  // namespace
+
+JsonWriter& JsonWriter::Key(const std::string& name) {
+  Separate();
+  AppendJsonString(&out_, name);
+  out_ += ':';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const std::string& v) {
+  Separate();
+  AppendJsonString(&out_, v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const char* v) {
+  return Value(std::string(v));
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  Separate();
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::uint64_t v) {
+  Separate();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::int64_t v) {
+  Separate();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  Separate();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+std::string BenchTrajectoryPath(const std::string& name) {
+  const char* dir = std::getenv("NAVPATH_BENCH_DIR");
+  if (dir == nullptr || dir[0] == '\0') return name;
+  std::string path(dir);
+  if (path.back() != '/') path += '/';
+  return path + name;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  const std::size_t written =
+      std::fwrite(content.data(), 1, content.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != content.size() || !close_ok) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
 }
 
 }  // namespace navpath

@@ -2,6 +2,7 @@
 #ifndef NAVPATH_BENCHLIB_HARNESS_H_
 #define NAVPATH_BENCHLIB_HARNESS_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -74,6 +75,47 @@ void PrintTableHeader(const std::string& title,
 void PrintTableRow(const std::vector<std::string>& cells);
 std::string FormatSeconds(double seconds);
 std::string FormatPercent(double fraction);
+
+// --- Machine-readable benchmark trajectories ------------------------------
+//
+// Benchmarks that feed the perf trajectory emit a BENCH_<name>.json file
+// next to their table output, so later PRs can diff against a recorded
+// baseline. The file layout is documented in DESIGN.md ("Workload layer");
+// every file carries a top-level "bench" name and "schema_version".
+
+/// Minimal streaming JSON emitter (objects, arrays, strings, numbers,
+/// booleans). The caller is responsible for well-formed nesting; keys are
+/// escaped for the characters benchmarks actually use.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(const std::string& name);
+  JsonWriter& Value(const std::string& v);
+  JsonWriter& Value(const char* v);
+  JsonWriter& Value(double v);
+  JsonWriter& Value(std::uint64_t v);
+  JsonWriter& Value(std::int64_t v);
+  JsonWriter& Value(bool v);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void Separate();
+
+  std::string out_;
+  std::vector<bool> first_in_scope_;
+  bool after_key_ = false;
+};
+
+/// Destination for a trajectory file `name` (e.g. "BENCH_workload.json"):
+/// $NAVPATH_BENCH_DIR/name when the variable is set, ./name otherwise.
+std::string BenchTrajectoryPath(const std::string& name);
+
+/// Writes `content` to `path` (overwriting).
+Status WriteTextFile(const std::string& path, const std::string& content);
 
 }  // namespace navpath
 

@@ -10,6 +10,8 @@ std::string Metrics::ToString() const {
       buf, sizeof(buf),
       "disk: reads=%llu (seq=%llu) writes=%llu seek_pages=%llu "
       "async=%llu (reordered=%llu)\n"
+      "sched: merged=%llu elevator_batches=%llu depth_sum=%llu "
+      "depth_max=%llu\n"
       "buffer: hits=%llu misses=%llu evictions=%llu swizzle=%llu "
       "unswizzle=%llu\n"
       "faults: injected=%llu retries=%llu corruptions_detected=%llu "
@@ -23,6 +25,10 @@ std::string Metrics::ToString() const {
       static_cast<unsigned long long>(disk_seek_pages),
       static_cast<unsigned long long>(async_requests),
       static_cast<unsigned long long>(async_reorderings),
+      static_cast<unsigned long long>(requests_merged),
+      static_cast<unsigned long long>(elevator_batches),
+      static_cast<unsigned long long>(elevator_depth_sum),
+      static_cast<unsigned long long>(elevator_depth_max),
       static_cast<unsigned long long>(buffer_hits),
       static_cast<unsigned long long>(buffer_misses),
       static_cast<unsigned long long>(buffer_evictions),

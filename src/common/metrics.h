@@ -20,6 +20,14 @@ struct Metrics {
   std::uint64_t async_requests = 0;    // async read requests issued
   std::uint64_t async_reorderings = 0; // async requests served out of order
 
+  // Cross-query I/O scheduling (workload layer). The elevator depth
+  // counters sample the pending pool visible to the drive at each service
+  // decision; deeper pools mean more reordering freedom (Sec. 7).
+  std::uint64_t requests_merged = 0;    // duplicate async reads coalesced
+  std::uint64_t elevator_batches = 0;   // async service decisions taken
+  std::uint64_t elevator_depth_sum = 0; // pending pool size, summed
+  std::uint64_t elevator_depth_max = 0; // deepest pool observed
+
   // Buffer level.
   std::uint64_t buffer_hits = 0;
   std::uint64_t buffer_misses = 0;
@@ -46,6 +54,14 @@ struct Metrics {
   std::uint64_t r_set_probes = 0;
   std::uint64_t s_set_probes = 0;
   std::uint64_t fallback_activations = 0;
+
+  /// Mean pending-pool depth over all elevator service decisions.
+  double MeanElevatorDepth() const {
+    return elevator_batches == 0
+               ? 0.0
+               : static_cast<double>(elevator_depth_sum) /
+                     static_cast<double>(elevator_batches);
+  }
 
   void Reset() { *this = Metrics(); }
 

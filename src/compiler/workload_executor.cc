@@ -1,0 +1,312 @@
+#include "compiler/workload_executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "xpath/parser.h"
+
+namespace navpath {
+namespace {
+
+/// Buffer pages a plan's prefetch/speculative state may occupy while the
+/// query is active: XSchedule keeps its in-flight reads (bounded by
+/// prefetch_inflight_cap once the workload sets one, queue_k-ish
+/// otherwise) plus the pinned current cluster; XScan and Simple touch one
+/// page at a time.
+std::size_t EstimateFootprint(const PlanOptions& plan) {
+  switch (plan.kind) {
+    case PlanKind::kXSchedule:
+      return (plan.prefetch_inflight_cap > 0
+                  ? std::min(plan.queue_k, plan.prefetch_inflight_cap)
+                  : plan.queue_k) +
+             2;
+    case PlanKind::kXScan:
+    case PlanKind::kSimple:
+      return 2;
+  }
+  return 2;
+}
+
+}  // namespace
+
+const char* WorkloadPolicyName(WorkloadPolicy policy) {
+  switch (policy) {
+    case WorkloadPolicy::kRoundRobin:
+      return "round-robin";
+    case WorkloadPolicy::kFewestPendingIos:
+      return "fewest-pending-ios";
+    case WorkloadPolicy::kShortestRemainingCost:
+      return "shortest-remaining-cost";
+  }
+  return "?";
+}
+
+WorkloadExecutor::WorkloadExecutor(Database* db, const ImportedDocument& doc,
+                                   const WorkloadOptions& options)
+    : db_(db), doc_(&doc), options_(options) {
+  NAVPATH_CHECK(db != nullptr);
+}
+
+Status WorkloadExecutor::Add(const PathQuery& query, const PlanOptions& plan,
+                             std::vector<LogicalNode> contexts) {
+  if (query.paths.empty()) {
+    return Status::InvalidArgument("query without paths");
+  }
+  for (const LocationPath& path : query.paths) {
+    if (path.HasPredicates()) {
+      return Status::InvalidArgument(
+          "workload executor supports predicate-free paths only");
+    }
+    if (!path.absolute && contexts.empty()) {
+      return Status::InvalidArgument("relative path without context nodes");
+    }
+  }
+  Job job;
+  job.query = query;
+  job.plan_options = plan;
+  job.contexts = std::move(contexts);
+  // Owner 0 is reserved for standalone execution, so merges are only ever
+  // attributed to genuine cross-query interest.
+  job.owner_id = static_cast<std::uint32_t>(jobs_.size()) + 1;
+  job.footprint = EstimateFootprint(plan);
+  if (options_.stats != nullptr) {
+    for (const LocationPath& path : query.paths) {
+      const PlanCosts costs = EstimatePlanCosts(
+          *options_.stats, path, db_->options().disk_model, db_->costs());
+      double cost = costs.simple;
+      if (plan.kind == PlanKind::kXSchedule) cost = costs.xschedule;
+      if (plan.kind == PlanKind::kXScan) cost = costs.xscan;
+      job.path_costs.push_back(cost);
+      job.path_cards.push_back(
+          EstimatePath(*options_.stats, path).result_cardinality);
+    }
+  }
+  jobs_.push_back(std::move(job));
+  return Status::OK();
+}
+
+Status WorkloadExecutor::Add(const std::string& query,
+                             const PlanOptions& plan) {
+  NAVPATH_ASSIGN_OR_RETURN(const PathQuery parsed,
+                           ParseQuery(query, db_->tags()));
+  return Add(parsed, plan);
+}
+
+Status WorkloadExecutor::StartNextPath(Job* job) {
+  const LocationPath& path = job->query.paths[job->path_index];
+  NAVPATH_ASSIGN_OR_RETURN(
+      PathPlan plan,
+      BuildPlan(db_, *doc_, path, job->contexts, job->plan_options));
+  plan.shared()->owner_id = job->owner_id;
+  plan.shared()->cooperative = true;
+  job->plan = std::move(plan);
+  job->seen.clear();
+  job->produced_in_path = 0;
+  return job->plan.root()->Open();
+}
+
+double WorkloadExecutor::RemainingCost(const Job& job) const {
+  if (job.path_costs.empty()) return 0.0;
+  double remaining = 0.0;
+  for (std::size_t i = job.path_index; i < job.query.paths.size(); ++i) {
+    double cost = job.path_costs[i];
+    if (i == job.path_index && job.path_cards[i] >= 1.0) {
+      const double progress =
+          std::min(1.0, static_cast<double>(job.produced_in_path) /
+                            job.path_cards[i]);
+      cost *= 1.0 - progress;
+    }
+    remaining += cost;
+  }
+  return remaining;
+}
+
+std::size_t WorkloadExecutor::PickNext(
+    const std::vector<std::size_t>& active, std::uint64_t decisions) {
+  NAVPATH_DCHECK(!active.empty());
+  switch (options_.policy) {
+    case WorkloadPolicy::kRoundRobin:
+      return static_cast<std::size_t>(decisions % active.size());
+    case WorkloadPolicy::kFewestPendingIos: {
+      // Queries with few reads on order are either near completion or
+      // starved for I/O; pulling them makes them submit, keeping the
+      // elevator pool deep. Ties go to the least recently pulled.
+      std::size_t best = 0;
+      std::size_t best_pending = std::numeric_limits<std::size_t>::max();
+      std::uint64_t best_stamp = std::numeric_limits<std::uint64_t>::max();
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        const Job& job = jobs_[active[i]];
+        const std::size_t pending =
+            db_->buffer()->PendingFor(job.owner_id);
+        if (pending < best_pending ||
+            (pending == best_pending && job.last_pull < best_stamp)) {
+          best = i;
+          best_pending = pending;
+          best_stamp = job.last_pull;
+        }
+      }
+      return best;
+    }
+    case WorkloadPolicy::kShortestRemainingCost: {
+      std::size_t best = 0;
+      double best_cost = std::numeric_limits<double>::infinity();
+      std::uint64_t best_stamp = std::numeric_limits<std::uint64_t>::max();
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        const Job& job = jobs_[active[i]];
+        const double cost = RemainingCost(job);
+        if (cost < best_cost ||
+            (cost == best_cost && job.last_pull < best_stamp)) {
+          best = i;
+          best_cost = cost;
+          best_stamp = job.last_pull;
+        }
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+Result<WorkloadResult> WorkloadExecutor::Run() {
+  if (jobs_.empty()) {
+    return Status::InvalidArgument("empty workload");
+  }
+  if (options_.cold_start) {
+    NAVPATH_RETURN_NOT_OK(db_->ResetMeasurement());
+  }
+
+  // Optionally bound each query's outstanding prefetches. Unbounded is
+  // the default and usually the right call: claimed-frame protection in
+  // the buffer keeps install-ahead pages alive, and yielding (below)
+  // means deep pools are an asset, not a liability. The explicit cap
+  // exists for configurations whose buffer genuinely cannot hold the
+  // aggregate in-flight set.
+  const std::size_t n_target =
+      options_.max_concurrent == 0
+          ? jobs_.size()
+          : std::min(jobs_.size(), options_.max_concurrent);
+  if (n_target > 1 && options_.prefetch_inflight_cap > 0) {
+    for (Job& job : jobs_) {
+      if (job.plan_options.kind == PlanKind::kXSchedule) {
+        job.plan_options.prefetch_inflight_cap =
+            options_.prefetch_inflight_cap;
+        job.footprint = EstimateFootprint(job.plan_options);
+      }
+    }
+  }
+
+  const std::size_t budget = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             static_cast<double>(db_->buffer()->capacity()) *
+             options_.buffer_budget_fraction));
+
+  std::vector<std::size_t> active;  // indices into jobs_
+  std::size_t next_admit = 0;
+  std::size_t footprint_used = 0;
+
+  auto admit = [&]() -> Status {
+    while (next_admit < jobs_.size()) {
+      Job& job = jobs_[next_admit];
+      const bool have_slot = options_.max_concurrent == 0 ||
+                             active.size() < options_.max_concurrent;
+      const bool fits =
+          active.empty() || footprint_used + job.footprint <= budget;
+      if (!have_slot || !fits) break;
+      NAVPATH_RETURN_NOT_OK(StartNextPath(&job));
+      job.result.admitted_at = db_->clock()->now();
+      footprint_used += job.footprint;
+      active.push_back(next_admit);
+      ++next_admit;
+    }
+    return Status::OK();
+  };
+  NAVPATH_RETURN_NOT_OK(admit());
+
+  std::uint64_t decisions = 0;
+  std::size_t consecutive_yields = 0;
+  PathInstance inst;
+  while (!active.empty()) {
+    const std::size_t pick = PickNext(active, decisions);
+    Job& job = jobs_[active[pick]];
+    // One scheduling decision per pull: picking the query is a set probe
+    // over the active list, not free.
+    db_->clock()->ChargeCpu(db_->costs().set_op);
+    job.last_pull = ++decisions;
+    ++job.result.pulls;
+
+    // An I/O-bound query yields instead of blocking while siblings still
+    // have CPU work — its pending reads keep pooling at the disk. Once a
+    // full round of active queries yielded, everyone is I/O bound: let
+    // this one block, serving the deepest possible pool.
+    PlanSharedState* shared = job.plan.shared();
+    shared->yield_on_block =
+        active.size() > 1 && consecutive_yields < active.size();
+
+    NAVPATH_ASSIGN_OR_RETURN(const bool have, job.plan.root()->Next(&inst));
+    if (!have && shared->yielded) {
+      shared->yielded = false;
+      ++consecutive_yields;
+      continue;
+    }
+    consecutive_yields = 0;
+    if (have) {
+      // Final duplicate elimination, as in single-query execution.
+      db_->clock()->ChargeCpu(db_->costs().set_op);
+      if (!job.seen.insert(inst.right.node.Pack()).second) continue;
+      ++job.result.count;
+      ++job.produced_in_path;
+      if (options_.collect_nodes &&
+          job.query.mode == PathQuery::Mode::kNodes) {
+        job.result.nodes.push_back(
+            LogicalNode{inst.right.node, 0, inst.right.order});
+      }
+      continue;
+    }
+
+    NAVPATH_RETURN_NOT_OK(job.plan.root()->Close());
+    ++job.path_index;
+    if (job.path_index < job.query.paths.size()) {
+      NAVPATH_RETURN_NOT_OK(StartNextPath(&job));
+      continue;
+    }
+
+    // Query finished: order its results, free its plan and footprint,
+    // and let the admission controller top the active set back up.
+    if (job.result.nodes.size() > 1) {
+      const double n = static_cast<double>(job.result.nodes.size());
+      db_->clock()->ChargeCpu(static_cast<SimTime>(
+          n * std::max(1.0, std::log2(n)) *
+          static_cast<double>(db_->costs().sort_op)));
+      std::sort(job.result.nodes.begin(), job.result.nodes.end(),
+                [](const LogicalNode& a, const LogicalNode& b) {
+                  return a.order < b.order;
+                });
+    }
+    job.result.finished_at = db_->clock()->now();
+    job.plan = PathPlan();
+    job.seen.clear();
+    footprint_used -= job.footprint;
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(pick));
+    NAVPATH_RETURN_NOT_OK(admit());
+  }
+
+  // Drain speculative reads no query consumed (cross-query completion
+  // stealing can leave a closed plan's prefetches in flight), so the
+  // database is reusable and the device-busy tail is accounted for.
+  while (db_->buffer()->HasPrefetchInFlight()) {
+    (void)db_->buffer()->WaitAnyPrefetch();
+  }
+
+  WorkloadResult result;
+  for (Job& job : jobs_) {
+    result.queries.push_back(std::move(job.result));
+  }
+  jobs_.clear();
+  result.total_time = db_->clock()->now();
+  result.cpu_time = db_->clock()->cpu_time();
+  result.metrics = *db_->metrics();
+  return result;
+}
+
+}  // namespace navpath

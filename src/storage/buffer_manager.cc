@@ -135,20 +135,33 @@ Result<std::size_t> BufferManager::GetFreeFrame() {
     free_frames_.pop_back();
     return idx;
   }
-  // Evict the least-recently-used unpinned frame.
+  // Evict the least-recently-used unpinned frame. Frames claimed by a
+  // concurrent query (prefetched, not yet consumed) are spared unless
+  // every unpinned frame is claimed — evicting one forces its owner into
+  // a synchronous re-read later, the costliest outcome.
   std::size_t victim = capacity_;
   std::uint64_t oldest = ~0ull;
+  std::size_t claimed_victim = capacity_;
+  std::uint64_t claimed_oldest = ~0ull;
   for (std::size_t i = 0; i < frames_.size(); ++i) {
     const Frame& f = frames_[i];
-    if (f.pin_count == 0 && f.last_use < oldest) {
+    if (f.pin_count != 0) continue;
+    if (f.claimed) {
+      if (f.last_use < claimed_oldest) {
+        claimed_oldest = f.last_use;
+        claimed_victim = i;
+      }
+    } else if (f.last_use < oldest) {
       oldest = f.last_use;
       victim = i;
     }
   }
+  if (victim == capacity_) victim = claimed_victim;
   if (victim == capacity_) {
     return Status::ResourceExhausted("all buffer frames are pinned");
   }
   Frame& f = frames_[victim];
+  f.claimed = false;
   if (f.dirty) {
     NAVPATH_RETURN_NOT_OK(WritePageWithRetry(f.page_id, f.data.get()));
     f.dirty = false;
@@ -169,6 +182,7 @@ Result<std::size_t> BufferManager::InstallFromScratch(PageId id) {
   f.page_id = id;
   f.pin_count = 0;
   f.dirty = false;
+  f.claimed = false;
   f.last_use = ++use_counter_;
   page_table_[id] = idx;
   clock_->ChargeCpu(costs_.page_install);
@@ -193,6 +207,7 @@ Result<std::size_t> BufferManager::FixInternal(PageId id, bool charge_swizzle) {
   }
   Frame& f = frames_[idx];
   ++f.pin_count;
+  f.claimed = false;  // first fix consumes a concurrent query's claim
   f.last_use = ++use_counter_;
   return idx;
 }
@@ -219,12 +234,48 @@ Result<PageGuard> BufferManager::NewPage() {
   return PageGuard(this, idx);
 }
 
-Result<BufferManager::PrefetchOutcome> BufferManager::Prefetch(PageId id) {
-  if (page_table_.count(id) > 0) return PrefetchOutcome::kResident;
-  if (in_flight_.count(id) > 0) return PrefetchOutcome::kInFlight;
+Result<BufferManager::PrefetchOutcome> BufferManager::Prefetch(
+    PageId id, std::uint32_t owner) {
+  const auto resident = page_table_.find(id);
+  if (resident != page_table_.end()) {
+    // A concurrent query will come back for this page once its scheduler
+    // pulls the corresponding cluster; shield it from eviction until
+    // then, exactly like a prefetch it had paid I/O for.
+    if (owner != 0) frames_[resident->second].claimed = true;
+    return PrefetchOutcome::kResident;
+  }
+  const auto it = in_flight_.find(id);
+  if (it != in_flight_.end()) {
+    std::vector<std::uint32_t>& owners = it->second;
+    if (std::find(owners.begin(), owners.end(), owner) == owners.end()) {
+      // A different query already has this page on order: register
+      // interest on the existing request instead of double-submitting.
+      owners.push_back(owner);
+      ++metrics_->requests_merged;
+    }
+    return PrefetchOutcome::kInFlight;
+  }
   NAVPATH_RETURN_NOT_OK(disk_->SubmitRead(id));
-  in_flight_.insert(id);
+  in_flight_.emplace(id, std::vector<std::uint32_t>{owner});
   return PrefetchOutcome::kSubmitted;
+}
+
+bool BufferManager::ClaimedByQuery(PageId id) const {
+  const auto it = in_flight_.find(id);
+  if (it == in_flight_.end()) return false;
+  for (const std::uint32_t owner : it->second) {
+    if (owner != 0) return true;
+  }
+  return false;
+}
+
+std::size_t BufferManager::PendingFor(std::uint32_t owner) const {
+  std::size_t n = 0;
+  for (const auto& [page, owners] : in_flight_) {
+    (void)page;
+    if (std::find(owners.begin(), owners.end(), owner) != owners.end()) ++n;
+  }
+  return n;
 }
 
 Result<PageId> BufferManager::WaitAnyPrefetch() {
@@ -234,6 +285,7 @@ Result<PageId> BufferManager::WaitAnyPrefetch() {
   NAVPATH_ASSIGN_OR_RETURN(const SimulatedDisk::AsyncCompletion completion,
                            disk_->WaitForCompletion(scratch_.get()));
   const PageId id = completion.page;
+  const bool claim = ClaimedByQuery(id);
   in_flight_.erase(id);
   if (!completion.io.ok() || !VerifyChecksum(id, scratch_.get())) {
     // The asynchronous read failed or delivered a bad image: degrade to a
@@ -244,7 +296,8 @@ Result<PageId> BufferManager::WaitAnyPrefetch() {
     NAVPATH_RETURN_NOT_OK(ReadPageWithRetry(id, scratch_.get()));
   }
   if (page_table_.count(id) == 0) {
-    NAVPATH_RETURN_NOT_OK(InstallFromScratch(id).status());
+    NAVPATH_ASSIGN_OR_RETURN(const std::size_t idx, InstallFromScratch(id));
+    frames_[idx].claimed = claim;
   }
   return id;
 }
@@ -255,6 +308,7 @@ Result<PageId> BufferManager::PollAnyPrefetch() {
       disk_->PollCompletion(scratch_.get());
   if (!completion.has_value()) return kInvalidPageId;
   const PageId id = completion->page;
+  const bool claim = ClaimedByQuery(id);
   in_flight_.erase(id);
   if (!completion->io.ok() || !VerifyChecksum(id, scratch_.get())) {
     if (completion->io.ok()) ++metrics_->corruptions_detected;
@@ -262,7 +316,8 @@ Result<PageId> BufferManager::PollAnyPrefetch() {
     NAVPATH_RETURN_NOT_OK(ReadPageWithRetry(id, scratch_.get()));
   }
   if (page_table_.count(id) == 0) {
-    NAVPATH_RETURN_NOT_OK(InstallFromScratch(id).status());
+    NAVPATH_ASSIGN_OR_RETURN(const std::size_t idx, InstallFromScratch(id));
+    frames_[idx].claimed = claim;
   }
   return id;
 }
@@ -287,6 +342,7 @@ Status BufferManager::InvalidateAll() {
     }
     page_table_.erase(f.page_id);
     f.page_id = kInvalidPageId;
+    f.claimed = false;
     free_frames_.push_back(i);
   }
   return Status::OK();

@@ -13,7 +13,6 @@
 #include <list>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/metrics.h"
@@ -100,13 +99,27 @@ class BufferManager {
   };
 
   /// Submits an async read unless the page is resident or already in
-  /// flight. Never blocks.
-  Result<PrefetchOutcome> Prefetch(PageId id);
+  /// flight. Never blocks. `owner` identifies the requesting query in a
+  /// multi-query workload (0 = standalone): a prefetch of a page another
+  /// owner already has in flight registers interest on the existing
+  /// request instead of double-submitting, and counts a request merge.
+  /// Repeated prefetches by the same owner are neither merges nor
+  /// resubmissions, so single-query plans report requests_merged == 0.
+  Result<PrefetchOutcome> Prefetch(PageId id, std::uint32_t owner = 0);
 
   bool IsResident(PageId id) const { return page_table_.count(id) > 0; }
 
   /// True if any prefetch has been submitted and not yet consumed.
   bool HasPrefetchInFlight() const { return !in_flight_.empty(); }
+
+  /// Number of in-flight prefetched pages `owner` registered interest in
+  /// (workload scheduling policies pick queries by this).
+  std::size_t PendingFor(std::uint32_t owner) const;
+
+  /// True if any non-standalone owner (!= 0) has interest in the
+  /// in-flight page `id` (such pages are eviction-protected after
+  /// installation until first fixed).
+  bool ClaimedByQuery(PageId id) const;
 
   /// Blocks until some prefetch completes, installs the page in a frame,
   /// and returns its id. The page is NOT pinned; callers Fix() it next
@@ -143,10 +156,16 @@ class BufferManager {
     std::unique_ptr<std::byte[]> data;
     std::uint32_t pin_count = 0;
     bool dirty = false;
+    /// Installed for a concurrent query (owner != 0) that has not fixed
+    /// it yet. Claimed frames are evicted only when every unpinned frame
+    /// is claimed; the first Fix consumes the claim. Standalone execution
+    /// (owner 0) never claims, so its eviction order is untouched.
+    bool claimed = false;
     std::uint64_t last_use = 0;  // LRU stamp
   };
 
   /// Finds a frame to (re)use, evicting the LRU unpinned page if needed.
+  /// Unclaimed frames are preferred victims (see Frame::claimed).
   Result<std::size_t> GetFreeFrame();
 
   /// Installs disk data already placed in scratch_ as page `id`.
@@ -175,7 +194,9 @@ class BufferManager {
   std::vector<Frame> frames_;
   std::vector<std::size_t> free_frames_;
   std::unordered_map<PageId, std::size_t> page_table_;
-  std::unordered_set<PageId> in_flight_;
+  // In-flight prefetches, each with the owners interested in the page
+  // (small vectors: a handful of concurrent queries at most).
+  std::unordered_map<PageId, std::vector<std::uint32_t>> in_flight_;
   std::uint64_t use_counter_ = 0;
   std::unique_ptr<std::byte[]> scratch_;  // staging buffer for disk I/O
 };

@@ -101,6 +101,14 @@ Status SimulatedDisk::SubmitRead(PageId id) {
     return Status::IOError("async read past end of segment: page " +
                            std::to_string(id));
   }
+  for (const PendingRequest& p : pending_) {
+    if (p.page == id) {
+      // Coalesce with the queued request (which keeps its earlier submit
+      // time, so the merge never delays the elevator's visibility of it).
+      ++metrics_->requests_merged;
+      return Status::OK();
+    }
+  }
   pending_.push_back(PendingRequest{id, clock_->now()});
   ++metrics_->async_requests;
   return Status::OK();
@@ -119,6 +127,18 @@ void SimulatedDisk::ServeOnePending() {
     }
   }
   const SimTime t_start = std::max(drive_free_at_, earliest_submit);
+
+  // Sample the pending pool visible to the drive at this decision: the
+  // paper predicts concurrent queries deepen it (Sec. 7), which is what
+  // gives the elevator its reordering freedom.
+  std::uint64_t visible = 0;
+  for (const auto& p : pending_) {
+    if (p.submit_time <= t_start) ++visible;
+  }
+  ++metrics_->elevator_batches;
+  metrics_->elevator_depth_sum += visible;
+  metrics_->elevator_depth_max =
+      std::max(metrics_->elevator_depth_max, visible);
 
   // Elevator (C-SCAN) among the requests visible to the drive at t_start:
   // serve the lowest page at or above the head; when the sweep passes the

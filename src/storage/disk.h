@@ -75,6 +75,11 @@ class SimulatedDisk {
   // --- Asynchronous interface (Sec. 3.7) -------------------------------
 
   /// Queues an asynchronous read of `id` at the current simulated time.
+  /// A read of a page that is already pending is *merged* into the queued
+  /// request instead of occupying a second elevator slot: the pair costs
+  /// one disk service and produces one completion (requests_merged counts
+  /// the coalesced submissions). Concurrent queries interested in the same
+  /// page therefore share a single physical read.
   Status SubmitRead(PageId id);
 
   /// Number of submitted reads whose completion has not been consumed.

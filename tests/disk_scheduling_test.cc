@@ -1,9 +1,11 @@
 // Tests for the asynchronous scheduler details: C-SCAN elevator order,
-// bounded queue window, trace hook, timeline reset discipline.
+// bounded queue window, trace hook, timeline reset discipline, duplicate
+// request merging, and elevator pool depth accounting.
 #include <gtest/gtest.h>
 
 #include <vector>
 
+#include "benchlib/harness.h"
 #include "storage/disk.h"
 
 namespace navpath {
@@ -126,6 +128,47 @@ TEST(DiskSchedulingTest, TraceRecordsServiceOrder) {
   // After detaching, accesses are no longer recorded.
   ASSERT_TRUE(f.disk.ReadSync(9, buf.data()).ok());
   EXPECT_EQ(trace.size(), 3u);
+}
+
+TEST(DiskSchedulingTest, DuplicateSubmissionsMergeIntoOneRequest) {
+  Fixture f;
+  ASSERT_TRUE(f.disk.SubmitRead(42).ok());
+  ASSERT_TRUE(f.disk.SubmitRead(42).ok());  // merged, not queued twice
+  ASSERT_TRUE(f.disk.SubmitRead(17).ok());
+  EXPECT_EQ(f.disk.pending_requests(), 2u);
+  EXPECT_EQ(f.metrics.requests_merged, 1u);
+  // One disk service produces one completion for the merged pair.
+  const std::vector<PageId> served = f.DrainAll();
+  EXPECT_EQ(served.size(), 2u);
+  EXPECT_EQ(f.metrics.disk_reads, 2u);
+}
+
+TEST(DiskSchedulingTest, ElevatorDepthIsSampledPerServiceDecision) {
+  Fixture f;
+  for (const PageId p : {80, 60, 70, 55, 90}) {
+    ASSERT_TRUE(f.disk.SubmitRead(p).ok());
+  }
+  f.DrainAll();
+  // One sample per service decision; the first decision saw all five
+  // pending requests, later ones progressively fewer.
+  EXPECT_EQ(f.metrics.elevator_batches, 5u);
+  EXPECT_EQ(f.metrics.elevator_depth_max, 5u);
+  EXPECT_EQ(f.metrics.elevator_depth_sum, 5u + 4u + 3u + 2u + 1u);
+  EXPECT_DOUBLE_EQ(f.metrics.MeanElevatorDepth(), 3.0);
+}
+
+TEST(DiskSchedulingTest, SoloQueryPlansReportNoMerges) {
+  // A single query never has two owners interested in one page, so the
+  // merge counter must stay zero for every plan kind (the workload layer
+  // relies on this to attribute merges to genuine cross-query overlap).
+  auto fixture = XMarkFixture::Create(0.005);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  for (const PlanKind kind :
+       {PlanKind::kSimple, PlanKind::kXScan, PlanKind::kXSchedule}) {
+    auto result = (*fixture)->Run("/site/regions//item", PaperPlan(kind));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->metrics.requests_merged, 0u) << PlanKindName(kind);
+  }
 }
 
 TEST(DiskSchedulingTest, SequentialForwardSkipRotatesInsteadOfSeeking) {

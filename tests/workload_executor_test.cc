@@ -1,0 +1,250 @@
+// Tests for the multi-query workload executor: interleaved execution must
+// be invisible in the results (byte-identical to back-to-back runs for
+// every plan kind and policy), cross-query request merging must never
+// serve stale data, admission control must respect the buffer budget, and
+// the whole machinery must survive injected transient faults.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "benchlib/harness.h"
+#include "compiler/workload_executor.h"
+#include "storage/fault_injector.h"
+#include "xmark/generator.h"
+#include "xpath/parser.h"
+
+namespace navpath {
+namespace {
+
+const char* const kQueries[] = {
+    "/site/regions//item",
+    "/site/people/person/email",
+    "/site//keyword",
+};
+
+std::vector<std::uint64_t> OrdersOf(const std::vector<LogicalNode>& nodes) {
+  std::vector<std::uint64_t> orders;
+  orders.reserve(nodes.size());
+  for (const LogicalNode& node : nodes) orders.push_back(node.order);
+  return orders;
+}
+
+/// Runs `queries` through a WorkloadExecutor and returns the result.
+Result<WorkloadResult> RunWorkload(XMarkFixture* fixture,
+                                   const std::vector<std::string>& queries,
+                                   PlanKind kind, WorkloadPolicy policy,
+                                   std::size_t max_concurrent) {
+  WorkloadOptions options;
+  options.policy = policy;
+  options.max_concurrent = max_concurrent;
+  options.collect_nodes = true;
+  options.stats = &fixture->stats();
+  WorkloadExecutor executor(fixture->db(), fixture->doc(), options);
+  for (const std::string& q : queries) {
+    NAVPATH_RETURN_NOT_OK(executor.Add(q, PaperPlan(kind)));
+  }
+  return executor.Run();
+}
+
+TEST(WorkloadExecutorTest, InterleavedMatchesSequentialForAllPlanKinds) {
+  auto fixture = XMarkFixture::Create(0.02);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  const std::vector<std::string> queries(std::begin(kQueries),
+                                         std::end(kQueries));
+  for (const PlanKind kind :
+       {PlanKind::kSimple, PlanKind::kXScan, PlanKind::kXSchedule}) {
+    // Ground truth: each query standalone through the ordinary executor.
+    std::vector<QueryRunResult> solo;
+    for (const std::string& q : queries) {
+      auto result = (*fixture)->Run(q, PaperPlan(kind));
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ASSERT_GT(result->count, 0u);
+      solo.push_back(*std::move(result));
+    }
+
+    auto interleaved = RunWorkload(fixture->get(), queries, kind,
+                                   WorkloadPolicy::kRoundRobin, 0);
+    ASSERT_TRUE(interleaved.ok())
+        << PlanKindName(kind) << ": " << interleaved.status().ToString();
+    ASSERT_EQ(interleaved->queries.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(interleaved->queries[i].count, solo[i].count)
+          << PlanKindName(kind) << " " << queries[i];
+      EXPECT_EQ(OrdersOf(interleaved->queries[i].nodes),
+                OrdersOf(solo[i].nodes))
+          << PlanKindName(kind) << " " << queries[i];
+    }
+  }
+}
+
+TEST(WorkloadExecutorTest, AllPoliciesProduceIdenticalResults) {
+  auto fixture = XMarkFixture::Create(0.02);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  const std::vector<std::string> queries(std::begin(kQueries),
+                                         std::end(kQueries));
+
+  auto baseline = RunWorkload(fixture->get(), queries, PlanKind::kXSchedule,
+                              WorkloadPolicy::kRoundRobin, 1);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  for (const WorkloadPolicy policy :
+       {WorkloadPolicy::kRoundRobin, WorkloadPolicy::kFewestPendingIos,
+        WorkloadPolicy::kShortestRemainingCost}) {
+    auto run = RunWorkload(fixture->get(), queries, PlanKind::kXSchedule,
+                           policy, 0);
+    ASSERT_TRUE(run.ok())
+        << WorkloadPolicyName(policy) << ": " << run.status().ToString();
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(run->queries[i].count, baseline->queries[i].count)
+          << WorkloadPolicyName(policy) << " " << queries[i];
+      EXPECT_EQ(OrdersOf(run->queries[i].nodes),
+                OrdersOf(baseline->queries[i].nodes))
+          << WorkloadPolicyName(policy) << " " << queries[i];
+    }
+  }
+}
+
+TEST(WorkloadExecutorTest, CrossQueryMergingIsCountedAndNeverStale) {
+  auto fixture = XMarkFixture::Create(0.02);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  // Two queries over the same document region: their XSchedule prefetch
+  // sets overlap heavily, so duplicate reads must be merged at the disk.
+  const std::vector<std::string> overlapping = {"/site/regions//item",
+                                                "/site/regions//name"};
+
+  auto sequential = RunWorkload(fixture->get(), overlapping,
+                                PlanKind::kXSchedule,
+                                WorkloadPolicy::kRoundRobin, 1);
+  ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+  EXPECT_EQ(sequential->metrics.requests_merged, 0u)
+      << "back-to-back queries never overlap in flight";
+
+  auto interleaved = RunWorkload(fixture->get(), overlapping,
+                                 PlanKind::kXSchedule,
+                                 WorkloadPolicy::kRoundRobin, 0);
+  ASSERT_TRUE(interleaved.ok()) << interleaved.status().ToString();
+  EXPECT_GT(interleaved->metrics.requests_merged, 0u);
+  // A merged completion serves every interested query with the same
+  // installed page; results must stay exact.
+  for (std::size_t i = 0; i < overlapping.size(); ++i) {
+    EXPECT_EQ(interleaved->queries[i].count, sequential->queries[i].count);
+    EXPECT_EQ(OrdersOf(interleaved->queries[i].nodes),
+              OrdersOf(sequential->queries[i].nodes));
+  }
+}
+
+TEST(WorkloadExecutorTest, AdmissionControlRespectsBufferBudget) {
+  const std::vector<std::string> queries = {"/site/regions//item",
+                                            "/site/regions//name"};
+  // XSchedule's admission footprint is queue_k + 2 = 102 pages. A 64-page
+  // buffer cannot hold two such queries, so the second is admitted only
+  // after the first finishes.
+  FixtureOptions tight;
+  tight.db.buffer_pages = 64;
+  auto small = XMarkFixture::Create(0.005, tight);
+  ASSERT_TRUE(small.ok()) << small.status().ToString();
+  auto serialized = RunWorkload(small->get(), queries, PlanKind::kXSchedule,
+                                WorkloadPolicy::kRoundRobin, 0);
+  ASSERT_TRUE(serialized.ok()) << serialized.status().ToString();
+  EXPECT_EQ(serialized->queries[0].admitted_at, 0u);
+  EXPECT_GE(serialized->queries[1].admitted_at,
+            serialized->queries[0].finished_at);
+
+  // With the default 1000-page buffer both fit the budget immediately.
+  auto roomy = XMarkFixture::Create(0.005);
+  ASSERT_TRUE(roomy.ok()) << roomy.status().ToString();
+  auto concurrent = RunWorkload(roomy->get(), queries, PlanKind::kXSchedule,
+                                WorkloadPolicy::kRoundRobin, 0);
+  ASSERT_TRUE(concurrent.ok()) << concurrent.status().ToString();
+  EXPECT_EQ(concurrent->queries[0].admitted_at, 0u);
+  EXPECT_EQ(concurrent->queries[1].admitted_at, 0u);
+
+  // Admission changes scheduling, never answers.
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(serialized->queries[i].count, concurrent->queries[i].count);
+  }
+}
+
+TEST(WorkloadExecutorTest, SurvivesTransientFaults) {
+  FaultInjectorOptions faults;
+  faults.seed = 1234;
+  faults.transient_read_error_rate = 0.10;
+  faults.corruption_rate = 0.02;
+  faults.latency_spike_rate = 0.02;
+
+  FixtureOptions clean_options;
+  clean_options.db.page_size = 1024;
+  clean_options.db.buffer_pages = 256;
+  auto clean = XMarkFixture::Create(0.005, clean_options);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  FixtureOptions faulty_options = clean_options;
+  faulty_options.db.faults = faults;
+  // Injection rates far above any real device; give the retry loop room.
+  faulty_options.db.retry.max_attempts = 8;
+  auto faulty = XMarkFixture::Create(0.005, faulty_options);
+  ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+
+  const std::vector<std::string> queries(std::begin(kQueries),
+                                         std::end(kQueries));
+  auto expected = RunWorkload(clean->get(), queries, PlanKind::kXSchedule,
+                              WorkloadPolicy::kRoundRobin, 0);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+  EXPECT_EQ(expected->metrics.faults_injected, 0u);
+
+  auto survived = RunWorkload(faulty->get(), queries, PlanKind::kXSchedule,
+                              WorkloadPolicy::kRoundRobin, 0);
+  ASSERT_TRUE(survived.ok()) << survived.status().ToString();
+  EXPECT_GT(survived->metrics.faults_injected, 0u);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(survived->queries[i].count, expected->queries[i].count)
+        << queries[i];
+    EXPECT_EQ(OrdersOf(survived->queries[i].nodes),
+              OrdersOf(expected->queries[i].nodes))
+        << queries[i];
+  }
+  // Recovery costs simulated time; the faulty run cannot be faster.
+  EXPECT_GE(survived->total_time, expected->total_time);
+}
+
+TEST(WorkloadExecutorTest, ExplicitInflightCapStillProducesExactResults) {
+  auto fixture = XMarkFixture::Create(0.02);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  const std::vector<std::string> queries(std::begin(kQueries),
+                                         std::end(kQueries));
+
+  auto unbounded = RunWorkload(fixture->get(), queries, PlanKind::kXSchedule,
+                               WorkloadPolicy::kRoundRobin, 0);
+  ASSERT_TRUE(unbounded.ok()) << unbounded.status().ToString();
+
+  WorkloadOptions options;
+  options.collect_nodes = true;
+  options.prefetch_inflight_cap = 8;
+  WorkloadExecutor executor(fixture->get()->db(), fixture->get()->doc(),
+                            options);
+  for (const std::string& q : queries) {
+    ASSERT_TRUE(executor.Add(q, PaperPlan(PlanKind::kXSchedule)).ok());
+  }
+  auto capped = executor.Run();
+  ASSERT_TRUE(capped.ok()) << capped.status().ToString();
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(capped->queries[i].count, unbounded->queries[i].count);
+    EXPECT_EQ(OrdersOf(capped->queries[i].nodes),
+              OrdersOf(unbounded->queries[i].nodes));
+  }
+}
+
+TEST(WorkloadExecutorTest, RejectsInvalidWorkloads) {
+  auto fixture = XMarkFixture::Create(0.005);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  WorkloadExecutor executor((*fixture)->db(), (*fixture)->doc());
+  EXPECT_TRUE(executor.Run().status().IsInvalidArgument());  // empty
+  EXPECT_TRUE(executor
+                  .Add("/site/regions/europe/item[quantity]",
+                       PaperPlan(PlanKind::kXSchedule))
+                  .IsInvalidArgument());  // predicates unsupported
+}
+
+}  // namespace
+}  // namespace navpath
