@@ -12,10 +12,13 @@
 //
 // Emits the machine-readable trajectory BENCH_workload.json (schema note
 // in DESIGN.md, "The workload layer") for later PRs to diff against.
+#include <cmath>
 #include <cstdio>
 
 #include "benchlib/experiments.h"
+#include "common/random.h"
 #include "compiler/workload_executor.h"
+#include "observe/metrics_registry.h"
 
 namespace {
 
@@ -39,10 +42,39 @@ Result<WorkloadResult> RunWorkload(XMarkFixture* fixture, std::size_t n,
   options.policy = policy;
   options.max_concurrent = max_concurrent;
   options.stats = &fixture->stats();
+  // Pinned so the closed-system trajectory stays comparable across
+  // revisions; the Poisson section below exercises the cost-derived
+  // admission footprint.
+  options.footprint_from_stats = false;
   WorkloadExecutor executor(fixture->db(), fixture->doc(), options);
   for (std::size_t i = 0; i < n; ++i) {
     NAVPATH_RETURN_NOT_OK(executor.Add(kWorkloadQueries[i],
                                        PaperPlan(PlanKind::kXSchedule)));
+  }
+  return executor.Run();
+}
+
+/// Open system: `jobs` queries drawn round-robin from the mix arrive with
+/// exponential (Poisson-process) inter-arrival times in simulated time,
+/// seeded for reproducibility.
+Result<WorkloadResult> RunPoisson(XMarkFixture* fixture, std::size_t jobs,
+                                  SimTime mean_interarrival,
+                                  std::uint64_t seed,
+                                  WorkloadPolicy policy) {
+  WorkloadOptions options;
+  options.policy = policy;
+  options.stats = &fixture->stats();
+  WorkloadExecutor executor(fixture->db(), fixture->doc(), options);
+  Random rng(seed);
+  SimTime arrival = 0;
+  constexpr std::size_t kMixSize = std::size(kWorkloadQueries);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    arrival += static_cast<SimTime>(
+        -static_cast<double>(mean_interarrival) *
+        std::log1p(-rng.NextDouble()));
+    NAVPATH_RETURN_NOT_OK(executor.Add(kWorkloadQueries[i % kMixSize],
+                                       PaperPlan(PlanKind::kXSchedule),
+                                       arrival));
   }
   return executor.Run();
 }
@@ -106,6 +138,7 @@ int main() {
        "depth"});
 
   bool n4_ok = false;
+  double rr8_seconds = 0.0;
   for (const std::size_t n : {1u, 2u, 4u, 8u}) {
     auto sequential =
         RunWorkload(fixture->get(), n, 1, WorkloadPolicy::kRoundRobin);
@@ -147,9 +180,76 @@ int main() {
               rr.mean_elevator_depth() >
                   sequential->mean_elevator_depth();
     }
+    if (n == 8) rr8_seconds = seconds[0];
   }
 
   json.EndArray();
+
+  // Open-system section: Poisson arrivals at ~70% of the round-robin
+  // service rate measured above, so queues form but drain. Latency is
+  // reported as turnaround percentiles (arrival to completion), the
+  // number the closed-system makespan sweep cannot see.
+  const std::size_t poisson_jobs = FastBenchMode() ? 16 : 32;
+  const SimTime mean_interarrival = static_cast<SimTime>(
+      rr8_seconds / 8.0 / 0.7 * static_cast<double>(kSimSecond));
+  constexpr std::uint64_t kPoissonSeed = 4242;
+  std::printf("\n== Poisson arrivals (open system, %zu jobs, mean "
+              "inter-arrival %.3f s, seed %llu) ==\n",
+              poisson_jobs, SimClock::ToSeconds(mean_interarrival),
+              static_cast<unsigned long long>(kPoissonSeed));
+  PrintTableHeader("turnaround percentiles (arrival -> completion)",
+                   {"policy", "makespan[s]", "p50[s]", "p95[s]", "p99[s]",
+                    "merged"});
+
+  json.Key("poisson").BeginObject();
+  json.Key("seed").Value(kPoissonSeed);
+  json.Key("jobs").Value(static_cast<std::uint64_t>(poisson_jobs));
+  json.Key("mean_interarrival_seconds")
+      .Value(SimClock::ToSeconds(mean_interarrival));
+  json.Key("runs").BeginArray();
+  for (const WorkloadPolicy policy :
+       {WorkloadPolicy::kRoundRobin, WorkloadPolicy::kFewestPendingIos,
+        WorkloadPolicy::kShortestRemainingCost}) {
+    auto open = RunPoisson(fixture->get(), poisson_jobs, mean_interarrival,
+                           kPoissonSeed, policy);
+    open.status().AbortIfNotOk();
+    Histogram turnaround;
+    for (const WorkloadQueryResult& q : open->queries) {
+      turnaround.Record(static_cast<std::uint64_t>(q.turnaround()));
+    }
+    const double p50 =
+        SimClock::ToSeconds(static_cast<SimTime>(
+            turnaround.ValueAtQuantile(0.50)));
+    const double p95 =
+        SimClock::ToSeconds(static_cast<SimTime>(
+            turnaround.ValueAtQuantile(0.95)));
+    const double p99 =
+        SimClock::ToSeconds(static_cast<SimTime>(
+            turnaround.ValueAtQuantile(0.99)));
+    char merged[24];
+    std::snprintf(merged, sizeof(merged), "%llu",
+                  static_cast<unsigned long long>(
+                      open->metrics.requests_merged));
+    PrintTableRow({WorkloadPolicyName(policy),
+                   FormatSeconds(open->total_seconds()),
+                   FormatSeconds(p50), FormatSeconds(p95),
+                   FormatSeconds(p99), merged});
+
+    json.BeginObject();
+    json.Key("policy").Value(WorkloadPolicyName(policy));
+    json.Key("makespan_seconds").Value(open->total_seconds());
+    json.Key("mean_turnaround_seconds")
+        .Value(SimClock::ToSeconds(
+            static_cast<SimTime>(turnaround.Mean())));
+    json.Key("p50_seconds").Value(p50);
+    json.Key("p95_seconds").Value(p95);
+    json.Key("p99_seconds").Value(p99);
+    json.Key("requests_merged").Value(open->metrics.requests_merged);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
   json.EndObject();
   const std::string path = BenchTrajectoryPath("BENCH_workload.json");
   const Status wrote = WriteTextFile(path, json.str() + "\n");

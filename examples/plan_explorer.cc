@@ -4,6 +4,11 @@
 //
 //   ./build/examples/plan_explorer [query] [scale_factor]
 //   ./build/examples/plan_explorer "//person/email" 0.05
+//
+// Observability (output unchanged unless requested):
+//   NAVPATH_EXPLAIN=1      print an EXPLAIN ANALYZE report per plan
+//   NAVPATH_TRACE_DIR=dir  write dir/plan_explorer_<plan>.trace.json
+//                          (Chrome trace_event format, open in Perfetto)
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -53,11 +58,19 @@ int main(int argc, char** argv) {
       estimated.simple * 1e-9, estimated.xschedule * 1e-9,
       estimated.xscan * 1e-9, PlanKindName(estimated.Best()));
 
+  const char* explain_env = std::getenv("NAVPATH_EXPLAIN");
+  const bool explain_mode = explain_env != nullptr && explain_env[0] != '\0';
+
   std::printf("\nplan comparison at scale %.2f (%u pages):\n", scale,
               (*fixture)->doc().page_count());
   for (const PlanKind kind :
        {PlanKind::kSimple, PlanKind::kXSchedule, PlanKind::kXScan}) {
-    auto result = (*fixture)->Run(query_text, PaperPlan(kind));
+    const bool tracing = EnableTraceCapture(db);
+    // Tracing implies profiling so the trace carries per-operator pull
+    // spans; both only read the simulated clock, so costs are unchanged.
+    auto result = explain_mode || tracing
+                      ? (*fixture)->RunExplain(query_text, PaperPlan(kind))
+                      : (*fixture)->Run(query_text, PaperPlan(kind));
     result.status().AbortIfNotOk();
     std::printf("\n[%s]\n", PlanKindName(kind));
     std::printf("  results: %llu, total %.3fs, cpu %.3fs (%.0f%%)\n",
@@ -65,6 +78,14 @@ int main(int argc, char** argv) {
                 result->total_seconds(), result->cpu_seconds(),
                 100.0 * result->cpu_fraction());
     std::printf("  %s\n", result->metrics.ToString().c_str());
+    if (explain_mode && result->explain != nullptr) {
+      std::printf("\n%s", result->explain->ToString().c_str());
+    }
+    if (tracing) {
+      WriteTraceCapture(db, std::string("plan_explorer_") +
+                                PlanKindName(kind) + ".trace.json")
+          .AbortIfNotOk();
+    }
   }
 
   std::printf(

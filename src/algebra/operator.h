@@ -8,12 +8,20 @@
 
 #include "algebra/path_instance.h"
 #include "common/status.h"
+#include "observe/profile.h"
+#include "observe/trace.h"
 #include "store/cluster_view.h"
 #include "store/database.h"
 
 namespace navpath {
 
 /// Open/Next/Close iterator over partial path instances.
+///
+/// Consumers call the non-virtual Pull() instead of Next() directly: with
+/// profiling enabled on the owning plan, Pull brackets the virtual call
+/// with simulated-clock readings (feeding the PlanProfiler's self/total
+/// attribution) and emits one operator span per pull; otherwise it is a
+/// plain tail call into Next().
 class PathOperator {
  public:
   virtual ~PathOperator() = default;
@@ -22,6 +30,52 @@ class PathOperator {
   /// Produces the next instance; ok(false) signals exhaustion.
   virtual Result<bool> Next(PathInstance* out) = 0;
   virtual Status Close() = 0;
+
+  /// Instrumented entry point — what producers and plan roots call.
+  Result<bool> Pull(PathInstance* out) {
+#if NAVPATH_OBSERVE_ENABLED
+    if (profiler_ != nullptr) return ProfiledNext(out);
+#endif
+    return Next(out);
+  }
+
+#if NAVPATH_OBSERVE_ENABLED
+  /// Wired by BuildPlan when PlanOptions.profile is set. `owner` points at
+  /// the plan's owner_id so workload queries land on their own trace track;
+  /// the tracer is read from `db` per pull, so tracing can be enabled
+  /// after the plan is built.
+  void EnableProfiling(PlanProfiler* profiler, Database* db,
+                       const std::uint32_t* owner, std::size_t slot) {
+    profiler_ = profiler;
+    profile_db_ = db;
+    owner_ = owner;
+    slot_ = slot;
+  }
+#endif
+
+ private:
+#if NAVPATH_OBSERVE_ENABLED
+  Result<bool> ProfiledNext(PathInstance* out) {
+    const SimClock* clock = profile_db_->clock();
+    const SimTime begin = clock->now();
+    profiler_->Enter(slot_, begin, clock->io_wait_time());
+    Result<bool> result = Next(out);
+    const SimTime end = clock->now();
+    const bool produced = result.ok() && *result;
+    profiler_->Exit(slot_, end, clock->io_wait_time(), produced);
+    NAVPATH_TRACE(
+        profile_db_->tracer(),
+        Span(TraceCategory::kOperator, kTrackQueryBase + *owner_,
+             profiler_->operators()[slot_].name, begin, end,
+             {{"produced", produced ? 1u : 0u}}));
+    return result;
+  }
+
+  PlanProfiler* profiler_ = nullptr;
+  Database* profile_db_ = nullptr;
+  const std::uint32_t* owner_ = nullptr;
+  std::size_t slot_ = 0;
+#endif
 };
 
 /// The cluster currently pinned by the plan's I/O-performing operator.
@@ -46,6 +100,9 @@ class ClusterContext {
     guard_ = std::move(guard);
     view_.emplace(db_->MakeView(guard_));
     ++db_->metrics()->clusters_visited;
+#if NAVPATH_OBSERVE_ENABLED
+    if (visit_counter_ != nullptr) ++*visit_counter_;
+#endif
     return Status::OK();
   }
 
@@ -54,10 +111,19 @@ class ClusterContext {
     guard_.Release();
   }
 
+#if NAVPATH_OBSERVE_ENABLED
+  /// Profiling hook: also count switches into `counter` (the profiler's
+  /// clusters_entered), attributing visits to this plan alone.
+  void set_visit_counter(std::uint64_t* counter) { visit_counter_ = counter; }
+#endif
+
  private:
   Database* db_;
   PageGuard guard_;
   std::optional<ClusterView> view_;
+#if NAVPATH_OBSERVE_ENABLED
+  std::uint64_t* visit_counter_ = nullptr;
+#endif
 };
 
 /// State shared across the operators of one plan.
@@ -98,6 +164,12 @@ struct PlanSharedState {
   /// plan merely refused to block. The scheduler clears it and retries
   /// the query later.
   bool yielded = false;
+
+#if NAVPATH_OBSERVE_ENABLED
+  /// Non-null when the plan was built with PlanOptions.profile; operators
+  /// report actual per-step cardinalities through it (EXPLAIN ANALYZE).
+  PlanProfiler* profiler = nullptr;
+#endif
 };
 
 }  // namespace navpath

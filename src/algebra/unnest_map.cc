@@ -22,11 +22,12 @@ Result<bool> UnnestMap::Next(PathInstance* out) {
         ++db_->metrics()->instances_created;
         *out = current_;
         out->right = PathEnd{step_number_, node.id, node.order, false};
+        NAVPATH_PROFILE_STEP_ROW(shared_, step_number_, *out);
         return true;
       }
       active_ = false;
     }
-    NAVPATH_ASSIGN_OR_RETURN(const bool have, producer_->Next(&current_));
+    NAVPATH_ASSIGN_OR_RETURN(const bool have, producer_->Pull(&current_));
     if (!have) return false;
     if (current_.right.step != step_number_ - 1) {
       *out = current_;  // not applicable: forward

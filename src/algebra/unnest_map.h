@@ -18,9 +18,10 @@ namespace navpath {
 class UnnestMap : public PathOperator {
  public:
   /// `step_number` is i (1-based); consumes instances with S_R == i-1.
-  UnnestMap(Database* db, PathOperator* producer, int step_number,
-            LocationStep step)
+  UnnestMap(Database* db, PlanSharedState* shared, PathOperator* producer,
+            int step_number, LocationStep step)
       : db_(db),
+        shared_(shared),
         producer_(producer),
         step_number_(step_number),
         step_(std::move(step)),
@@ -32,6 +33,7 @@ class UnnestMap : public PathOperator {
 
  private:
   Database* db_;
+  PlanSharedState* shared_;
   PathOperator* producer_;
   int step_number_;
   LocationStep step_;

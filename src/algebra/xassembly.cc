@@ -30,6 +30,10 @@ void XAssembly::TriggerFallback() {
   s_.clear();
   s_size_ = 0;
   ++db_->metrics()->fallback_activations;
+  NAVPATH_TRACE(db_->tracer(),
+                Instant(TraceCategory::kScheduler, kTrackScheduler,
+                        "fallback", db_->clock()->now(),
+                        {{"owner", shared_->owner_id}}));
 }
 
 Status XAssembly::Reach(const PathInstance& inst) {
@@ -50,6 +54,15 @@ Status XAssembly::Reach(const PathInstance& inst) {
     if (!r_.insert(e.Key()).second) continue;  // already known
 
     if (!e.border) {
+#if NAVPATH_OBSERVE_ENABLED
+      // Speculatively assembled rows went uncounted at their XStep
+      // emission (the left end was an unvalidated border); count them at
+      // the step where the closure proved them reachable.
+      if (shared_->profiler != nullptr &&
+          !(item.left_complete() && item.left.step == 0)) {
+        shared_->profiler->CountStepRow(static_cast<std::size_t>(e.step));
+      }
+#endif
       if (e.step == static_cast<std::int32_t>(options_.path_length)) {
         ++db_->metrics()->instances_full;
         pending_.push_back(item);
@@ -137,7 +150,7 @@ Result<bool> XAssembly::Next(PathInstance* out) {
       return true;
     }
     PathInstance y;
-    NAVPATH_ASSIGN_OR_RETURN(const bool have, producer_->Next(&y));
+    NAVPATH_ASSIGN_OR_RETURN(const bool have, producer_->Pull(&y));
     if (!have) return false;
     NAVPATH_RETURN_NOT_OK(HandleArrival(y));
   }

@@ -18,7 +18,7 @@ Status XScan::Open() {
   // materialize and sort it here.
   PathInstance inst;
   for (;;) {
-    NAVPATH_ASSIGN_OR_RETURN(const bool have, producer_->Next(&inst));
+    NAVPATH_ASSIGN_OR_RETURN(const bool have, producer_->Pull(&inst));
     if (!have) break;
     contexts_.push_back(inst);
   }
@@ -91,6 +91,11 @@ Result<bool> XScan::Next(PathInstance* out) {
     // Sequential access: the previous page of the scan is the disk head's
     // position, so this fix costs transfer time only.
     NAVPATH_RETURN_NOT_OK(shared_->cluster.Switch(next_page_));
+    NAVPATH_TRACE(db_->tracer(),
+                  Instant(TraceCategory::kScheduler, kTrackScheduler,
+                          "scan_cluster", db_->clock()->now(),
+                          {{"page", next_page_},
+                           {"owner", shared_->owner_id}}));
     shared_->visited_clusters.insert(next_page_);
     ++next_page_;
     ++clusters_scanned_;

@@ -76,7 +76,7 @@ Status XSchedule::AddWork(const PathInstance& inst) {
 Status XSchedule::Replenish() {
   while (!producer_done_ && q_size_ < options_.k) {
     PathInstance inst;
-    NAVPATH_ASSIGN_OR_RETURN(const bool have, producer_->Next(&inst));
+    NAVPATH_ASSIGN_OR_RETURN(const bool have, producer_->Pull(&inst));
     if (!have) {
       producer_done_ = true;
       break;
@@ -110,6 +110,10 @@ Result<bool> XSchedule::SwitchToNextCluster() {
       auto it = q_.find(page);
       if (it == q_.end() || it->second.empty()) continue;  // stale marker
       NAVPATH_RETURN_NOT_OK(shared_->cluster.Switch(page));
+      NAVPATH_TRACE(db_->tracer(),
+                    Instant(TraceCategory::kScheduler, kTrackScheduler,
+                            "enter_cluster", db_->clock()->now(),
+                            {{"page", page}, {"owner", shared_->owner_id}}));
       shared_->visited_clusters.insert(page);
       ++clusters_entered_;
       seeding_ = options_.speculative && !shared_->fallback;
@@ -130,6 +134,10 @@ Result<bool> XSchedule::SwitchToNextCluster() {
             continue;
           }
           shared_->yielded = true;
+          NAVPATH_TRACE(db_->tracer(),
+                        Instant(TraceCategory::kScheduler, kTrackScheduler,
+                                "yield", db_->clock()->now(),
+                                {{"owner", shared_->owner_id}}));
           return false;
         }
         if (!polled.status().IsIOError()) return polled.status();
@@ -138,7 +146,12 @@ Result<bool> XSchedule::SwitchToNextCluster() {
       }
       // Block until the I/O subsystem completes *some* request; the disk
       // chooses which (shortest seek first).
+      [[maybe_unused]] const SimTime block_begin = db_->clock()->now();
       Result<PageId> waited = db_->buffer()->WaitAnyPrefetch();
+      NAVPATH_TRACE(db_->tracer(),
+                    Span(TraceCategory::kScheduler, kTrackScheduler,
+                         "io_block", block_begin, db_->clock()->now(),
+                         {{"owner", shared_->owner_id}}));
       if (waited.ok()) {
         MarkReady(*waited);
         continue;
@@ -155,6 +168,10 @@ Result<bool> XSchedule::SwitchToNextCluster() {
     for (auto& [page, entries] : q_) {
       if (entries.empty()) continue;
       NAVPATH_RETURN_NOT_OK(shared_->cluster.Switch(page));
+      NAVPATH_TRACE(db_->tracer(),
+                    Instant(TraceCategory::kScheduler, kTrackScheduler,
+                            "enter_cluster_sync", db_->clock()->now(),
+                            {{"page", page}, {"owner", shared_->owner_id}}));
       shared_->visited_clusters.insert(page);
       ++clusters_entered_;
       seeding_ = options_.speculative && !shared_->fallback;

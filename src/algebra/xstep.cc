@@ -22,7 +22,7 @@ Result<bool> XStep::Next(PathInstance* out) {
       if (produced) return true;
       fallback_active_ = false;
     }
-    NAVPATH_ASSIGN_OR_RETURN(const bool have, producer_->Next(&current_));
+    NAVPATH_ASSIGN_OR_RETURN(const bool have, producer_->Pull(&current_));
     if (!have) return false;
     if (current_.right.step != step_number_ - 1) {
       *out = current_;  // not applicable: forward unchanged
@@ -68,6 +68,7 @@ Result<bool> XStep::NextIntra(PathInstance* out) {
     *out = current_;
     out->right = PathEnd{step_number_, view.IdOf(entry.slot),
                          view.OrderOf(entry.slot), false};
+    NAVPATH_PROFILE_STEP_ROW(shared_, step_number_, *out);
     return true;
   }
   return false;
@@ -85,6 +86,7 @@ Result<bool> XStep::NextFallback(PathInstance* out) {
     ++db_->metrics()->instances_created;
     *out = current_;
     out->right = PathEnd{step_number_, node.id, node.order, false};
+    NAVPATH_PROFILE_STEP_ROW(shared_, step_number_, *out);
     return true;
   }
 }

@@ -32,8 +32,21 @@ Result<std::vector<std::vector<double>>> RunScalingExperiment(
     std::uint64_t result_count = 0;
     for (const PlanKind kind :
          {PlanKind::kSimple, PlanKind::kXSchedule, PlanKind::kXScan}) {
-      NAVPATH_ASSIGN_OR_RETURN(const QueryRunResult result,
-                               fixture->Run(query, PaperPlan(kind)));
+      const bool tracing = EnableTraceCapture(fixture->db());
+      // Tracing implies profiling so traces carry operator pull spans;
+      // both only read the simulated clock, so timings are unchanged.
+      NAVPATH_ASSIGN_OR_RETURN(
+          const QueryRunResult result,
+          tracing ? fixture->RunExplain(query, PaperPlan(kind))
+                  : fixture->Run(query, PaperPlan(kind)));
+      if (tracing) {
+        char trace_name[64];
+        std::snprintf(trace_name, sizeof(trace_name),
+                      "scaling_%s_sf%.2f.trace.json", PlanKindName(kind),
+                      sf);
+        NAVPATH_RETURN_NOT_OK(
+            WriteTraceCapture(fixture->db(), trace_name));
+      }
       row.push_back(result.total_seconds());
       result_count = result.count;
     }

@@ -56,6 +56,19 @@ Result<QueryRunResult> XMarkFixture::Run(const std::string& query,
   return ExecuteQuery(&db_, doc_, parsed, exec);
 }
 
+Result<QueryRunResult> XMarkFixture::RunExplain(const std::string& query,
+                                                const PlanOptions& plan) {
+  NAVPATH_ASSIGN_OR_RETURN(const PathQuery parsed,
+                           ParseQuery(query, db_.tags()));
+  ExecuteOptions exec;
+  exec.plan = plan;
+  exec.collect_nodes = parsed.mode == PathQuery::Mode::kNodes;
+  exec.cold_start = true;
+  exec.explain = true;
+  exec.stats = &stats_;
+  return ExecuteQuery(&db_, doc_, parsed, exec);
+}
+
 PlanOptions PaperPlan(PlanKind kind) {
   PlanOptions options;
   options.kind = kind;
@@ -205,6 +218,37 @@ std::string BenchTrajectoryPath(const std::string& name) {
   std::string path(dir);
   if (path.back() != '/') path += '/';
   return path + name;
+}
+
+std::string TraceCaptureDir() {
+  const char* dir = std::getenv("NAVPATH_TRACE_DIR");
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+bool EnableTraceCapture(Database* db) {
+  if (TraceCaptureDir().empty()) return false;
+  return db->EnableTracing() != nullptr;
+}
+
+Status WriteTraceCapture(Database* db, const std::string& name) {
+  const std::string dir = TraceCaptureDir();
+  if (dir.empty() || db->tracer() == nullptr) return Status::OK();
+  std::string path = dir;
+  if (path.back() != '/') path += '/';
+  path += name;
+  return WriteTextFile(path, db->tracer()->ToJson());
+}
+
+void WriteHistogramJson(JsonWriter* json, const Histogram& histogram) {
+  json->BeginObject();
+  json->Key("count").Value(histogram.count());
+  json->Key("min").Value(histogram.min());
+  json->Key("max").Value(histogram.max());
+  json->Key("mean").Value(histogram.Mean());
+  json->Key("p50").Value(histogram.ValueAtQuantile(0.50));
+  json->Key("p95").Value(histogram.ValueAtQuantile(0.95));
+  json->Key("p99").Value(histogram.ValueAtQuantile(0.99));
+  json->EndObject();
 }
 
 Status WriteTextFile(const std::string& path, const std::string& content) {

@@ -9,6 +9,7 @@
 
 #include "compiler/cost_model.h"
 #include "compiler/executor.h"
+#include "observe/metrics_registry.h"
 #include "store/database.h"
 #include "xmark/generator.h"
 
@@ -51,6 +52,11 @@ class XMarkFixture {
   /// Parses and runs `query` with `plan` (cold buffer).
   Result<QueryRunResult> Run(const std::string& query,
                              const PlanOptions& plan);
+
+  /// Like Run, but with EXPLAIN ANALYZE enabled: the result carries a
+  /// QueryExplain with estimated (cost model) vs. actual cardinalities.
+  Result<QueryRunResult> RunExplain(const std::string& query,
+                                    const PlanOptions& plan);
 
   /// Lets the cost model pick the I/O operator, then runs the query.
   Result<QueryRunResult> RunOptimized(const std::string& query,
@@ -116,6 +122,32 @@ std::string BenchTrajectoryPath(const std::string& name);
 
 /// Writes `content` to `path` (overwriting).
 Status WriteTextFile(const std::string& path, const std::string& content);
+
+// --- Trace capture --------------------------------------------------------
+//
+// Benches and examples opt into Chrome-trace capture via the environment:
+// when $NAVPATH_TRACE_DIR is set, EnableTraceCapture turns the database's
+// tracer on and WriteTraceCapture drops $NAVPATH_TRACE_DIR/<name> after
+// the run. Both are no-ops otherwise (and under -DNAVPATH_OBSERVE=OFF,
+// where EnableTracing compiles to a stub), so default bench output is
+// untouched.
+
+/// $NAVPATH_TRACE_DIR, or empty when trace capture is off.
+std::string TraceCaptureDir();
+
+/// Enables tracing on `db` if $NAVPATH_TRACE_DIR is set. Returns whether
+/// tracing is now active.
+bool EnableTraceCapture(Database* db);
+
+/// Writes the accumulated trace to $NAVPATH_TRACE_DIR/`name` (e.g.
+/// "q7.trace.json"). No-op without an active capture.
+Status WriteTraceCapture(Database* db, const std::string& name);
+
+/// Appends a histogram summary as a JSON object value:
+/// {"count":..,"min":..,"max":..,"mean":..,"p50":..,"p95":..,"p99":..}.
+/// Values are raw recorded units (callers pick the unit; simulated
+/// nanoseconds for time histograms).
+void WriteHistogramJson(JsonWriter* json, const Histogram& histogram);
 
 }  // namespace navpath
 

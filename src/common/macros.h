@@ -42,6 +42,16 @@
     if (!_navpath_status.ok()) return _navpath_status; \
   } while (false)
 
+// Observability (src/observe) compile gate. The build defines
+// NAVPATH_OBSERVE_DISABLED when configured with -DNAVPATH_OBSERVE=OFF;
+// instrumented call sites test NAVPATH_OBSERVE_ENABLED so the hooks (and
+// every reference to observe symbols) vanish from the hot path.
+#ifdef NAVPATH_OBSERVE_DISABLED
+#define NAVPATH_OBSERVE_ENABLED 0
+#else
+#define NAVPATH_OBSERVE_ENABLED 1
+#endif
+
 #define NAVPATH_CONCAT_IMPL(x, y) x##y
 #define NAVPATH_CONCAT(x, y) NAVPATH_CONCAT_IMPL(x, y)
 

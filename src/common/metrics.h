@@ -65,6 +65,16 @@ struct Metrics {
 
   void Reset() { *this = Metrics(); }
 
+  /// Point-in-time copy, taken at the start of a measurement window.
+  Metrics Snapshot() const { return *this; }
+
+  /// Counter deltas since `start` (a Snapshot taken earlier): what happened
+  /// within the window alone. Benchmarks that reuse one Database across
+  /// sweep points report windows, not lifetime accumulations.
+  /// elevator_depth_max is a high-water mark, not a counter, so the
+  /// window's value is the current maximum.
+  Metrics Delta(const Metrics& start) const;
+
   /// Multi-line human-readable dump (for examples and debugging).
   std::string ToString() const;
 };

@@ -126,7 +126,17 @@ std::vector<TagId> UniverseOf(const DocumentStats& stats,
 
 PathEstimate EstimatePath(const DocumentStats& stats,
                           const LocationPath& path) {
+  return EstimatePathDetailed(stats, path, nullptr);
+}
+
+PathEstimate EstimatePathDetailed(const DocumentStats& stats,
+                                  const LocationPath& path,
+                                  std::vector<double>* per_step) {
   PathEstimate estimate;
+  if (per_step != nullptr) {
+    per_step->clear();
+    per_step->reserve(path.steps.size());
+  }
   const std::vector<TagId> universe = UniverseOf(stats, path);
   TagDistribution dist;
   dist[stats.root_tag()] = 1.0;
@@ -213,6 +223,7 @@ PathEstimate EstimatePath(const DocumentStats& stats,
     estimate.nodes_examined += examined;
     estimate.crossings += examined * stats.crossing_probability();
     dist = std::move(next);
+    if (per_step != nullptr) per_step->push_back(Total(dist));
   }
   estimate.result_cardinality = Total(dist);
   // Distinct clusters: the crossings land on the pages that hold the

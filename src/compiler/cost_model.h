@@ -88,6 +88,14 @@ struct PathEstimate {
 PathEstimate EstimatePath(const DocumentStats& stats,
                           const LocationPath& path);
 
+/// As EstimatePath, additionally recording the estimated cardinality after
+/// each step into `per_step` (resized to path.length(); entry i is the
+/// estimate after step i+1). EXPLAIN ANALYZE pairs these with the actual
+/// per-step row counts.
+PathEstimate EstimatePathDetailed(const DocumentStats& stats,
+                                  const LocationPath& path,
+                                  std::vector<double>* per_step);
+
 /// Estimated total simulated cost of running `path` with each plan kind.
 struct PlanCosts {
   double simple = 0;

@@ -14,7 +14,7 @@ Status DrainPlan(Database* db, PathPlan* plan, bool collect_nodes,
   std::unordered_set<std::uint64_t> seen;
   PathInstance inst;
   for (;;) {
-    NAVPATH_ASSIGN_OR_RETURN(const bool have, plan->root()->Next(&inst));
+    NAVPATH_ASSIGN_OR_RETURN(const bool have, plan->root()->Pull(&inst));
     if (!have) break;
     // Final duplicate elimination (required for the Simple method; a
     // cheap re-check for XAssembly plans, whose R already deduplicates).
@@ -127,7 +127,7 @@ Result<std::vector<LogicalNode>> EvaluateWithPredicates(
     std::unordered_set<std::uint64_t> seen;
     PathInstance inst;
     for (;;) {
-      NAVPATH_ASSIGN_OR_RETURN(const bool more, plan.root()->Next(&inst));
+      NAVPATH_ASSIGN_OR_RETURN(const bool more, plan.root()->Pull(&inst));
       if (!more) break;
       db->clock()->ChargeCpu(db->costs().set_op);
       if (!seen.insert(inst.right.node.Pack()).second) continue;
@@ -155,6 +155,72 @@ Result<std::vector<LogicalNode>> EvaluateWithPredicates(
 
 }  // namespace
 
+PathExplain BuildPathExplain(Database* db, const LocationPath& path,
+                             const PathPlan& plan,
+                             const PlanOptions& plan_options,
+                             const DocumentStats* stats,
+                             std::uint64_t result_count, SimTime total_time,
+                             SimTime io_wait_time, const Metrics& window) {
+  PathExplain explain;
+  explain.query = path.ToString();
+  explain.plan_kind = PlanKindName(plan_options.kind);
+  explain.result_count = result_count;
+  explain.total_time = total_time;
+  explain.io_wait_time = io_wait_time;
+  explain.disk_reads = window.disk_reads;
+  explain.buffer_hits = window.buffer_hits;
+  explain.buffer_misses = window.buffer_misses;
+  explain.fallback_activated = window.fallback_activations > 0;
+
+  std::vector<double> est_steps;
+  if (stats != nullptr) {
+    const PathEstimate estimate =
+        EstimatePathDetailed(*stats, path, &est_steps);
+    explain.estimated_clusters_touched = estimate.clusters_touched;
+    const PlanCosts costs =
+        EstimatePlanCosts(*stats, path, db->options().disk_model,
+                          db->options().cpu_costs);
+    switch (plan_options.kind) {
+      case PlanKind::kSimple:
+        explain.estimated_cost = costs.simple;
+        break;
+      case PlanKind::kXSchedule:
+        explain.estimated_cost = costs.xschedule;
+        break;
+      case PlanKind::kXScan:
+        explain.estimated_cost = costs.xscan;
+        break;
+    }
+  }
+
+  const PlanProfiler* profiler = plan.profiler();
+  for (std::size_t i = 0; i < path.steps.size(); ++i) {
+    ExplainStep step;
+    step.description = path.steps[i].ToString();
+    if (i < est_steps.size()) step.estimated_rows = est_steps[i];
+    if (profiler != nullptr && i + 1 < profiler->step_rows.size()) {
+      step.actual_rows = profiler->step_rows[i + 1];
+    }
+    explain.steps.push_back(std::move(step));
+  }
+  if (profiler != nullptr) {
+    explain.actual_clusters_entered = profiler->clusters_entered;
+    for (const OperatorProfile& op : profiler->operators()) {
+      ExplainOperator out;
+      out.name = op.name;
+      out.step = op.step;
+      out.pulls = op.pulls;
+      out.rows = op.rows;
+      out.total_time = op.total_time;
+      out.self_time = op.self_time;
+      out.total_io_wait = op.total_io_wait;
+      out.self_io_wait = op.self_io_wait;
+      explain.operators.push_back(std::move(out));
+    }
+  }
+  return explain;
+}
+
 Result<QueryRunResult> ExecutePath(Database* db, const ImportedDocument& doc,
                                    const LocationPath& path,
                                    const ExecuteOptions& options) {
@@ -177,24 +243,46 @@ Result<QueryRunResult> ExecuteQuery(Database* db, const ImportedDocument& doc,
     NAVPATH_RETURN_NOT_OK(db->ResetMeasurement());
   }
 
+  // Everything below reports deltas over this window, so a warm run on a
+  // shared Database measures only itself. After a cold start the window
+  // base is zero and the deltas equal the absolute readings.
+  const Metrics window_start = db->metrics()->Snapshot();
+  const SimTime window_t0 = db->clock()->now();
+  const SimTime window_cpu0 = db->clock()->cpu_time();
+
+  PlanOptions plan_options = options.plan;
+  if (options.explain) plan_options.profile = true;
+
   QueryRunResult result;
+  if (options.explain) result.explain = std::make_shared<QueryExplain>();
   for (const LocationPath& path : query.paths) {
     if (path.HasPredicates()) {
       NAVPATH_ASSIGN_OR_RETURN(
           const std::vector<LogicalNode> nodes,
           EvaluateWithPredicates(db, doc, path, options.contexts,
-                                 options.plan));
+                                 plan_options));
       result.count += nodes.size();
       if (collect) {
         result.nodes.insert(result.nodes.end(), nodes.begin(), nodes.end());
       }
       continue;
     }
+    const Metrics path_start = db->metrics()->Snapshot();
+    const SimTime path_t0 = db->clock()->now();
+    const SimTime path_io0 = db->clock()->io_wait_time();
+    const std::uint64_t count_before = result.count;
     NAVPATH_ASSIGN_OR_RETURN(
         PathPlan plan,
-        BuildPlan(db, doc, path, options.contexts, options.plan));
+        BuildPlan(db, doc, path, options.contexts, plan_options));
     NAVPATH_RETURN_NOT_OK(
         DrainPlan(db, &plan, collect, &result.count, &result.nodes));
+    if (result.explain != nullptr) {
+      result.explain->paths.push_back(BuildPathExplain(
+          db, path, plan, plan_options, options.stats,
+          result.count - count_before, db->clock()->now() - path_t0,
+          db->clock()->io_wait_time() - path_io0,
+          db->metrics()->Delta(path_start)));
+    }
   }
 
   if (collect && result.nodes.size() > 1) {
@@ -210,9 +298,9 @@ Result<QueryRunResult> ExecuteQuery(Database* db, const ImportedDocument& doc,
               });
   }
 
-  result.total_time = db->clock()->now();
-  result.cpu_time = db->clock()->cpu_time();
-  result.metrics = *db->metrics();
+  result.total_time = db->clock()->now() - window_t0;
+  result.cpu_time = db->clock()->cpu_time() - window_cpu0;
+  result.metrics = db->metrics()->Delta(window_start);
   return result;
 }
 

@@ -3,9 +3,12 @@
 #ifndef NAVPATH_COMPILER_EXECUTOR_H_
 #define NAVPATH_COMPILER_EXECUTOR_H_
 
+#include <memory>
 #include <vector>
 
+#include "compiler/cost_model.h"
 #include "compiler/plan.h"
+#include "observe/explain.h"
 #include "xpath/location_path.h"
 
 namespace navpath {
@@ -16,10 +19,17 @@ struct QueryRunResult {
   /// Node mode only: distinct result nodes in document order.
   std::vector<LogicalNode> nodes;
 
-  // Simulated timing of this run (clock is reset at the start).
+  // Simulated timing and metrics of this run's window: deltas from the
+  // start of ExecuteQuery to its end, so back-to-back runs on a shared
+  // Database report independent numbers. Cold starts reset the clock
+  // first, making the window identical to absolute readings.
   SimTime total_time = 0;
   SimTime cpu_time = 0;
   Metrics metrics;
+
+  /// EXPLAIN ANALYZE report; set when ExecuteOptions.explain is on (one
+  /// PathExplain per predicate-free operand path).
+  std::shared_ptr<QueryExplain> explain;
 
   double total_seconds() const { return SimClock::ToSeconds(total_time); }
   double cpu_seconds() const { return SimClock::ToSeconds(cpu_time); }
@@ -43,7 +53,26 @@ struct ExecuteOptions {
   /// Reset buffer/clock/metrics before running (cold start, the paper's
   /// measurement discipline from Sec. 6.1).
   bool cold_start = true;
+  /// Produce an EXPLAIN ANALYZE report (forces PlanOptions.profile). Paths
+  /// with predicates are executed but not reported in detail.
+  bool explain = false;
+  /// Document statistics for the estimate side of the report (estimated
+  /// per-step cardinalities, clusters, cost). Null leaves the estimate
+  /// columns zero.
+  const DocumentStats* stats = nullptr;
 };
+
+/// Assembles the estimated-vs-actual report for one executed plan. The
+/// actual side reads the plan's profiler (null-safe: without profiling
+/// only the aggregate fields are filled); `window` carries the metrics
+/// delta of the run. Exposed for the WorkloadExecutor, which drives plans
+/// itself.
+PathExplain BuildPathExplain(Database* db, const LocationPath& path,
+                             const PathPlan& plan,
+                             const PlanOptions& plan_options,
+                             const DocumentStats* stats,
+                             std::uint64_t result_count, SimTime total_time,
+                             SimTime io_wait_time, const Metrics& window);
 
 /// Runs one location path and returns its (distinct) result nodes/count.
 Result<QueryRunResult> ExecutePath(Database* db, const ImportedDocument& doc,

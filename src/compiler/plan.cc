@@ -1,5 +1,8 @@
 #include "compiler/plan.h"
 
+#include <string>
+#include <utility>
+
 #include "algebra/context_scan.h"
 #include "algebra/unnest_map.h"
 #include "algebra/xstep.h"
@@ -20,22 +23,33 @@ Result<PathPlan> BuildPlan(Database* db, const ImportedDocument& doc,
     return Status::InvalidArgument("relative path without context nodes");
   }
 
-  auto add = [&plan](std::unique_ptr<PathOperator> op) {
+  // Operator display names and path-step numbers, parallel to
+  // plan.operators_ (consumed by the profiler wiring below).
+  std::vector<std::pair<std::string, int>> labels;
+  auto add = [&plan, &labels](std::unique_ptr<PathOperator> op,
+                              std::string name, int step = -1) {
     plan.operators_.push_back(std::move(op));
+    labels.emplace_back(std::move(name), step);
     return plan.operators_.back().get();
   };
+  auto step_name = [&path](const char* op, int i) {
+    return std::string(op) + "_" + std::to_string(i + 1) + "(" +
+           path.steps[static_cast<std::size_t>(i)].ToString() + ")";
+  };
 
-  PathOperator* tip = add(std::make_unique<ContextScan>(std::move(contexts)));
+  PathOperator* tip = add(std::make_unique<ContextScan>(std::move(contexts)),
+                          "ContextScan", 0);
   const int length = static_cast<int>(path.length());
 
   switch (options.kind) {
     case PlanKind::kSimple: {
       for (int i = 0; i < length; ++i) {
-        tip = add(std::make_unique<UnnestMap>(db, tip, i + 1,
-                                              path.steps[i]));
+        tip = add(std::make_unique<UnnestMap>(db, plan.shared_.get(), tip,
+                                              i + 1, path.steps[i]),
+                  step_name("UnnestMap", i), i + 1);
       }
       plan.root_ = tip;
-      return plan;
+      break;
     }
     case PlanKind::kXSchedule: {
       XScheduleOptions sched_options;
@@ -45,11 +59,13 @@ Result<PathPlan> BuildPlan(Database* db, const ImportedDocument& doc,
       sched_options.max_inflight = options.prefetch_inflight_cap;
       auto* schedule = static_cast<XSchedule*>(add(
           std::make_unique<XSchedule>(db, plan.shared_.get(), tip,
-                                      sched_options)));
+                                      sched_options),
+          "XSchedule"));
       tip = schedule;
       for (int i = 0; i < length; ++i) {
         tip = add(std::make_unique<XStep>(db, plan.shared_.get(), tip, i + 1,
-                                          path.steps[i]));
+                                          path.steps[i]),
+                  step_name("XStep", i), i + 1);
       }
       XAssemblyOptions asm_options;
       asm_options.path_length = length;
@@ -58,10 +74,11 @@ Result<PathPlan> BuildPlan(Database* db, const ImportedDocument& doc,
       asm_options.first_step_reaches_all = false;  // no full-visit guarantee
       auto* assembly = static_cast<XAssembly*>(
           add(std::make_unique<XAssembly>(db, plan.shared_.get(), tip,
-                                          schedule, asm_options)));
+                                          schedule, asm_options),
+              "XAssembly"));
       plan.root_ = assembly;
       plan.assembly_ = assembly;
-      return plan;
+      break;
     }
     case PlanKind::kXScan: {
       XScanOptions scan_options;
@@ -69,10 +86,12 @@ Result<PathPlan> BuildPlan(Database* db, const ImportedDocument& doc,
       scan_options.last_page = doc.last_page;
       scan_options.path_length = length;
       tip = add(std::make_unique<XScan>(db, plan.shared_.get(), tip,
-                                        scan_options));
+                                        scan_options),
+                "XScan");
       for (int i = 0; i < length; ++i) {
         tip = add(std::make_unique<XStep>(db, plan.shared_.get(), tip, i + 1,
-                                          path.steps[i]));
+                                          path.steps[i]),
+                  step_name("XStep", i), i + 1);
       }
       XAssemblyOptions asm_options;
       asm_options.path_length = length;
@@ -87,13 +106,32 @@ Result<PathPlan> BuildPlan(Database* db, const ImportedDocument& doc,
       auto* assembly = static_cast<XAssembly*>(
           add(std::make_unique<XAssembly>(db, plan.shared_.get(), tip,
                                           /*schedule=*/nullptr,
-                                          asm_options)));
+                                          asm_options),
+              "XAssembly"));
       plan.root_ = assembly;
       plan.assembly_ = assembly;
-      return plan;
+      break;
     }
   }
-  return Status::InvalidArgument("unknown plan kind");
+  if (plan.root_ == nullptr) {
+    return Status::InvalidArgument("unknown plan kind");
+  }
+
+#if NAVPATH_OBSERVE_ENABLED
+  if (options.profile) {
+    plan.profiler_ = std::make_unique<PlanProfiler>();
+    plan.profiler_->step_rows.resize(static_cast<std::size_t>(length) + 1, 0);
+    plan.shared_->profiler = plan.profiler_.get();
+    plan.shared_->cluster.set_visit_counter(&plan.profiler_->clusters_entered);
+    for (std::size_t i = 0; i < plan.operators_.size(); ++i) {
+      const std::size_t slot =
+          plan.profiler_->Register(labels[i].first, labels[i].second);
+      plan.operators_[i]->EnableProfiling(plan.profiler_.get(), db,
+                                          &plan.shared_->owner_id, slot);
+    }
+  }
+#endif
+  return plan;
 }
 
 }  // namespace navpath

@@ -49,6 +49,12 @@ struct PlanOptions {
   /// Memory budget for XAssembly's S (instances; 0 = unlimited). Exceeding
   /// it reverts the plan to fallback mode (Sec. 5.4.6).
   std::size_t s_budget = 0;
+  /// Attach a PlanProfiler: every pull is bracketed with simulated-clock
+  /// readings (per-operator self/total time, actual per-step cardinalities)
+  /// for EXPLAIN ANALYZE. Profiling reads the clock and never charges it,
+  /// so simulated costs are unchanged. Ignored (and free) on builds
+  /// configured with -DNAVPATH_OBSERVE=OFF.
+  bool profile = false;
 };
 
 /// An executable operator tree. Movable; owns all operators and the shared
@@ -58,6 +64,9 @@ class PathPlan {
   PathOperator* root() const { return root_; }
   PlanSharedState* shared() const { return shared_.get(); }
   const XAssembly* assembly() const { return assembly_; }
+  /// Non-null iff built with PlanOptions.profile on an observe-enabled
+  /// build; holds the per-operator measurements after execution.
+  PlanProfiler* profiler() const { return profiler_.get(); }
 
  private:
   friend Result<PathPlan> BuildPlan(Database*, const ImportedDocument&,
@@ -67,6 +76,7 @@ class PathPlan {
 
   std::unique_ptr<PlanSharedState> shared_;
   std::vector<std::unique_ptr<PathOperator>> operators_;
+  std::unique_ptr<PlanProfiler> profiler_;
   PathOperator* root_ = nullptr;
   XAssembly* assembly_ = nullptr;
 };

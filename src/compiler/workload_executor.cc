@@ -49,7 +49,8 @@ WorkloadExecutor::WorkloadExecutor(Database* db, const ImportedDocument& doc,
 }
 
 Status WorkloadExecutor::Add(const PathQuery& query, const PlanOptions& plan,
-                             std::vector<LogicalNode> contexts) {
+                             std::vector<LogicalNode> contexts,
+                             SimTime arrival) {
   if (query.paths.empty()) {
     return Status::InvalidArgument("query without paths");
   }
@@ -62,14 +63,20 @@ Status WorkloadExecutor::Add(const PathQuery& query, const PlanOptions& plan,
       return Status::InvalidArgument("relative path without context nodes");
     }
   }
+  if (!jobs_.empty() && arrival < jobs_.back().arrival) {
+    return Status::InvalidArgument(
+        "arrivals must be nondecreasing in Add() order");
+  }
   Job job;
   job.query = query;
   job.plan_options = plan;
+  if (options_.explain) job.plan_options.profile = true;
   job.contexts = std::move(contexts);
+  job.arrival = arrival;
+  job.result.arrival = arrival;
   // Owner 0 is reserved for standalone execution, so merges are only ever
   // attributed to genuine cross-query interest.
   job.owner_id = static_cast<std::uint32_t>(jobs_.size()) + 1;
-  job.footprint = EstimateFootprint(plan);
   if (options_.stats != nullptr) {
     for (const LocationPath& path : query.paths) {
       const PlanCosts costs = EstimatePlanCosts(
@@ -78,19 +85,39 @@ Status WorkloadExecutor::Add(const PathQuery& query, const PlanOptions& plan,
       if (plan.kind == PlanKind::kXSchedule) cost = costs.xschedule;
       if (plan.kind == PlanKind::kXScan) cost = costs.xscan;
       job.path_costs.push_back(cost);
-      job.path_cards.push_back(
-          EstimatePath(*options_.stats, path).result_cardinality);
+      const PathEstimate estimate = EstimatePath(*options_.stats, path);
+      job.path_cards.push_back(estimate.result_cardinality);
+      job.clusters_touched =
+          std::max(job.clusters_touched, estimate.clusters_touched);
     }
   }
+  job.footprint = FootprintFor(job);
   jobs_.push_back(std::move(job));
   return Status::OK();
 }
 
 Status WorkloadExecutor::Add(const std::string& query,
-                             const PlanOptions& plan) {
+                             const PlanOptions& plan, SimTime arrival) {
   NAVPATH_ASSIGN_OR_RETURN(const PathQuery parsed,
                            ParseQuery(query, db_->tags()));
-  return Add(parsed, plan);
+  return Add(parsed, plan, {}, arrival);
+}
+
+std::size_t WorkloadExecutor::FootprintFor(const Job& job) const {
+  const std::size_t static_bound = EstimateFootprint(job.plan_options);
+  // A query whose whole result set fits in few clusters can never keep
+  // more pages than that in flight, no matter how large its prefetch
+  // window is configured; charge it only what the cost model says it can
+  // use. The derived bound only tightens the static one, so stats never
+  // make admission more conservative than before.
+  if (!options_.footprint_from_stats ||
+      job.plan_options.kind != PlanKind::kXSchedule ||
+      job.clusters_touched <= 0.0) {
+    return static_bound;
+  }
+  const std::size_t derived =
+      static_cast<std::size_t>(std::ceil(job.clusters_touched)) + 2;
+  return std::min(static_bound, std::max<std::size_t>(3, derived));
 }
 
 Status WorkloadExecutor::StartNextPath(Job* job) {
@@ -103,7 +130,26 @@ Status WorkloadExecutor::StartNextPath(Job* job) {
   job->plan = std::move(plan);
   job->seen.clear();
   job->produced_in_path = 0;
+  if (options_.explain) {
+    job->path_metrics_start = db_->metrics()->Snapshot();
+    job->path_t0 = db_->clock()->now();
+    job->path_io0 = db_->clock()->io_wait_time();
+    job->path_count_before = job->result.count;
+  }
   return job->plan.root()->Open();
+}
+
+void WorkloadExecutor::FinishPath(Job* job) {
+  if (!options_.explain) return;
+  if (job->result.explain == nullptr) {
+    job->result.explain = std::make_shared<QueryExplain>();
+  }
+  job->result.explain->paths.push_back(BuildPathExplain(
+      db_, job->query.paths[job->path_index], job->plan, job->plan_options,
+      options_.stats, job->result.count - job->path_count_before,
+      db_->clock()->now() - job->path_t0,
+      db_->clock()->io_wait_time() - job->path_io0,
+      db_->metrics()->Delta(job->path_metrics_start)));
 }
 
 double WorkloadExecutor::RemainingCost(const Job& job) const {
@@ -176,6 +222,13 @@ Result<WorkloadResult> WorkloadExecutor::Run() {
     NAVPATH_RETURN_NOT_OK(db_->ResetMeasurement());
   }
 
+  // Everything below reports deltas over this window, so repeated runs on
+  // a shared Database measure only themselves. After a cold start the
+  // window base is zero and the deltas equal the absolute readings.
+  const Metrics window_start = db_->metrics()->Snapshot();
+  const SimTime window_t0 = db_->clock()->now();
+  const SimTime window_cpu0 = db_->clock()->cpu_time();
+
   // Optionally bound each query's outstanding prefetches. Unbounded is
   // the default and usually the right call: claimed-frame protection in
   // the buffer keeps install-ahead pages alive, and yielding (below)
@@ -191,7 +244,7 @@ Result<WorkloadResult> WorkloadExecutor::Run() {
       if (job.plan_options.kind == PlanKind::kXSchedule) {
         job.plan_options.prefetch_inflight_cap =
             options_.prefetch_inflight_cap;
-        job.footprint = EstimateFootprint(job.plan_options);
+        job.footprint = FootprintFor(job);
       }
     }
   }
@@ -208,6 +261,7 @@ Result<WorkloadResult> WorkloadExecutor::Run() {
   auto admit = [&]() -> Status {
     while (next_admit < jobs_.size()) {
       Job& job = jobs_[next_admit];
+      if (job.arrival > db_->clock()->now()) break;  // not yet in system
       const bool have_slot = options_.max_concurrent == 0 ||
                              active.size() < options_.max_concurrent;
       const bool fits =
@@ -226,7 +280,20 @@ Result<WorkloadResult> WorkloadExecutor::Run() {
   std::uint64_t decisions = 0;
   std::size_t consecutive_yields = 0;
   PathInstance inst;
-  while (!active.empty()) {
+  while (!active.empty() || next_admit < jobs_.size()) {
+    if (active.empty()) {
+      // Open system, idle gap: nothing to run until the next arrival.
+      db_->clock()->WaitUntil(jobs_[next_admit].arrival);
+      NAVPATH_RETURN_NOT_OK(admit());
+      continue;
+    }
+    // Open-system arrivals join the active set mid-run; the gate keeps
+    // closed workloads (every arrival == 0) on the exact admission
+    // sequence they had before arrivals existed.
+    if (next_admit < jobs_.size() && jobs_[next_admit].arrival != 0 &&
+        jobs_[next_admit].arrival <= db_->clock()->now()) {
+      NAVPATH_RETURN_NOT_OK(admit());
+    }
     const std::size_t pick = PickNext(active, decisions);
     Job& job = jobs_[active[pick]];
     // One scheduling decision per pull: picking the query is a set probe
@@ -243,7 +310,7 @@ Result<WorkloadResult> WorkloadExecutor::Run() {
     shared->yield_on_block =
         active.size() > 1 && consecutive_yields < active.size();
 
-    NAVPATH_ASSIGN_OR_RETURN(const bool have, job.plan.root()->Next(&inst));
+    NAVPATH_ASSIGN_OR_RETURN(const bool have, job.plan.root()->Pull(&inst));
     if (!have && shared->yielded) {
       shared->yielded = false;
       ++consecutive_yields;
@@ -265,6 +332,7 @@ Result<WorkloadResult> WorkloadExecutor::Run() {
     }
 
     NAVPATH_RETURN_NOT_OK(job.plan.root()->Close());
+    FinishPath(&job);
     ++job.path_index;
     if (job.path_index < job.query.paths.size()) {
       NAVPATH_RETURN_NOT_OK(StartNextPath(&job));
@@ -303,9 +371,9 @@ Result<WorkloadResult> WorkloadExecutor::Run() {
     result.queries.push_back(std::move(job.result));
   }
   jobs_.clear();
-  result.total_time = db_->clock()->now();
-  result.cpu_time = db_->clock()->cpu_time();
-  result.metrics = *db_->metrics();
+  result.total_time = db_->clock()->now() - window_t0;
+  result.cpu_time = db_->clock()->cpu_time() - window_cpu0;
+  result.metrics = db_->metrics()->Delta(window_start);
   return result;
 }
 

@@ -26,6 +26,7 @@
 #ifndef NAVPATH_COMPILER_WORKLOAD_EXECUTOR_H_
 #define NAVPATH_COMPILER_WORKLOAD_EXECUTOR_H_
 
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -70,9 +71,21 @@ struct WorkloadOptions {
   /// Reset buffer/clock/metrics before the run (cold start).
   bool cold_start = true;
 
-  /// Document statistics for kShortestRemainingCost; without them the
-  /// policy degrades to least-recently-pulled fairness.
+  /// Document statistics for kShortestRemainingCost and for cost-derived
+  /// admission footprints; without them the policy degrades to
+  /// least-recently-pulled fairness and footprints fall back to the
+  /// static queue_k-based bound.
   const DocumentStats* stats = nullptr;
+
+  /// Tighten admission footprints with the cost model's clusters_touched
+  /// estimate (needs `stats`): a query that can only ever hold few
+  /// clusters in flight is charged that, not its full prefetch window.
+  /// Benches that track longitudinal trajectories pin this off to keep
+  /// admission sequences comparable across revisions.
+  bool footprint_from_stats = true;
+
+  /// Produce an EXPLAIN ANALYZE report per query (forces plan profiling).
+  bool explain = false;
 };
 
 /// Outcome of one query of the workload.
@@ -82,15 +95,23 @@ struct WorkloadQueryResult {
   /// Node mode with collect_nodes: distinct nodes in document order.
   std::vector<LogicalNode> nodes;
 
-  /// When the admission controller activated the query. All queries
-  /// arrive at simulated time 0, so finished_at is also the turnaround.
+  /// Simulated arrival time (0 for closed-system workloads where every
+  /// query is present at the start), when the admission controller
+  /// activated the query, and when it completed. Turnaround is measured
+  /// from arrival, so queueing delay before admission counts against the
+  /// query.
+  SimTime arrival = 0;
   SimTime admitted_at = 0;
   SimTime finished_at = 0;
   /// Operator-tree pulls the scheduler spent on this query.
   std::uint64_t pulls = 0;
 
+  /// EXPLAIN ANALYZE report (WorkloadOptions.explain only).
+  std::shared_ptr<QueryExplain> explain;
+
+  SimTime turnaround() const { return finished_at - arrival; }
   double turnaround_seconds() const {
-    return SimClock::ToSeconds(finished_at);
+    return SimClock::ToSeconds(turnaround());
   }
 };
 
@@ -98,10 +119,13 @@ struct WorkloadResult {
   /// Per-query outcomes, in Add() order.
   std::vector<WorkloadQueryResult> queries;
 
-  /// Simulated makespan of the whole workload and its CPU portion.
+  /// Simulated makespan of the run window and its CPU portion: deltas
+  /// from the start of Run() to its end, so repeated runs on a shared
+  /// Database report independent numbers (cold starts make the window
+  /// identical to absolute readings).
   SimTime total_time = 0;
   SimTime cpu_time = 0;
-  /// Snapshot of the database metrics at the end of the run (includes
+  /// Database metrics delta over the run window (includes
   /// requests_merged and the elevator depth counters).
   Metrics metrics;
 
@@ -121,12 +145,16 @@ class WorkloadExecutor {
 
   /// Admits a parsed query. Paths must be predicate-free (predicated
   /// queries go through ExecuteQuery's segmented evaluation, which is not
-  /// pull-interleavable). Relative paths need `contexts`.
+  /// pull-interleavable). Relative paths need `contexts`. `arrival` is
+  /// the simulated time the query enters the system (open-system
+  /// workloads); arrivals must be nondecreasing in Add() order, and a
+  /// query is not admitted before its arrival.
   Status Add(const PathQuery& query, const PlanOptions& plan,
-             std::vector<LogicalNode> contexts = {});
+             std::vector<LogicalNode> contexts = {}, SimTime arrival = 0);
 
   /// Parses `query` against the database's tag registry and admits it.
-  Status Add(const std::string& query, const PlanOptions& plan);
+  Status Add(const std::string& query, const PlanOptions& plan,
+             SimTime arrival = 0);
 
   std::size_t size() const { return jobs_.size(); }
 
@@ -142,12 +170,16 @@ class WorkloadExecutor {
     PlanOptions plan_options;
     std::vector<LogicalNode> contexts;
     std::uint32_t owner_id = 0;
+    SimTime arrival = 0;
     /// Buffer pages the job's prefetch state may occupy (admission).
     std::size_t footprint = 0;
 
-    // Cost-model estimates per path (kShortestRemainingCost only).
+    // Cost-model estimates per path (kShortestRemainingCost and
+    // cost-derived admission footprints).
     std::vector<double> path_costs;
     std::vector<double> path_cards;
+    /// Max estimated clusters touched by any operand path (0 = no stats).
+    double clusters_touched = 0.0;
 
     // Run state.
     std::size_t path_index = 0;
@@ -155,11 +187,28 @@ class WorkloadExecutor {
     std::unordered_set<std::uint64_t> seen;  // dedup within current path
     std::uint64_t produced_in_path = 0;
     std::uint64_t last_pull = 0;  // scheduler decision stamp (fair ties)
+    // Per-path measurement window (WorkloadOptions.explain only). With
+    // interleaving the window includes time spent pulled away to other
+    // queries; wall-clock attribution per operator comes from the plan
+    // profiler instead.
+    Metrics path_metrics_start;
+    SimTime path_t0 = 0;
+    SimTime path_io0 = 0;
+    std::uint64_t path_count_before = 0;
     WorkloadQueryResult result;
   };
 
+  /// Admission footprint of `job`: the static prefetch-state bound,
+  /// tightened by the cost model's clusters_touched estimate when
+  /// document statistics are available.
+  std::size_t FootprintFor(const Job& job) const;
+
   /// Builds and opens the plan for the job's next path.
   Status StartNextPath(Job* job);
+
+  /// Appends the finished path's EXPLAIN ANALYZE report (explain mode
+  /// only). Must run after Close() and before the plan is discarded.
+  void FinishPath(Job* job);
 
   /// Expected remaining simulated cost of `job` under the cost model.
   double RemainingCost(const Job& job) const;

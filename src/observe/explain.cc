@@ -1,0 +1,76 @@
+#include "observe/explain.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace navpath {
+
+std::string FormatSimTime(SimTime t) {
+  char buf[64];
+  if (t >= 1'000'000'000ull) {
+    std::snprintf(buf, sizeof(buf), "%.3f s",
+                  static_cast<double>(t) / 1e9);
+  } else if (t >= 1'000'000ull) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms",
+                  static_cast<double>(t) / 1e6);
+  } else if (t >= 1'000ull) {
+    std::snprintf(buf, sizeof(buf), "%.3f us",
+                  static_cast<double>(t) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 " ns", t);
+  }
+  return buf;
+}
+
+std::string PathExplain::ToString() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "EXPLAIN ANALYZE %s [plan=%s]\n",
+                query.c_str(), plan_kind.c_str());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  results=%" PRIu64 "  time=%s  io_wait=%s (%.1f%%)\n",
+                result_count, FormatSimTime(total_time).c_str(),
+                FormatSimTime(io_wait_time).c_str(),
+                total_time == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(io_wait_time) /
+                          static_cast<double>(total_time));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  cost est=%.1f  clusters est=%.1f actual=%" PRIu64
+                "  reads=%" PRIu64 "  buffer hit/miss=%" PRIu64 "/%" PRIu64
+                "%s\n",
+                estimated_cost, estimated_clusters_touched,
+                actual_clusters_entered, disk_reads, buffer_hits,
+                buffer_misses, fallback_activated ? "  [FALLBACK]" : "");
+  out += buf;
+  out += "  steps (est rows -> actual rows):\n";
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const ExplainStep& s = steps[i];
+    std::snprintf(buf, sizeof(buf), "    #%zu %-28s est=%-10.1f actual=%" PRIu64
+                  "\n",
+                  i, s.description.c_str(), s.estimated_rows, s.actual_rows);
+    out += buf;
+  }
+  out += "  operators (self/total simulated time):\n";
+  for (const ExplainOperator& op : operators) {
+    std::snprintf(buf, sizeof(buf),
+                  "    %-28s pulls=%-8" PRIu64 " rows=%-8" PRIu64
+                  " self=%-12s total=%-12s io=%s\n",
+                  op.name.c_str(), op.pulls, op.rows,
+                  FormatSimTime(op.self_time).c_str(),
+                  FormatSimTime(op.total_time).c_str(),
+                  FormatSimTime(op.total_io_wait).c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::string QueryExplain::ToString() const {
+  std::string out;
+  for (const PathExplain& path : paths) out += path.ToString();
+  return out;
+}
+
+}  // namespace navpath

@@ -1,0 +1,76 @@
+// EXPLAIN ANALYZE: estimated-vs-actual report for one executed query.
+//
+// The estimate side comes from the cost model (per-step cardinalities,
+// clusters touched, total cost); the actual side comes from the
+// PlanProfiler (per-step rows, per-operator pulls/self/total simulated
+// time, I/O waits) and the run's metrics window. The report makes the
+// paper's Sec. 5/6 claims inspectable per query: where the reordering
+// saved time, and whether the selectivity estimates that drove it held.
+#ifndef NAVPATH_OBSERVE_EXPLAIN_H_
+#define NAVPATH_OBSERVE_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "observe/profile.h"
+
+namespace navpath {
+
+/// One location-path step: estimate vs. measurement.
+struct ExplainStep {
+  std::string description;          // "child::b", "descendant-or-self::*"
+  double estimated_rows = 0;        // cost model cardinality after this step
+  std::uint64_t actual_rows = 0;    // rows observed crossing this step
+};
+
+/// One physical operator in the executed plan.
+struct ExplainOperator {
+  std::string name;
+  int step = -1;
+  std::uint64_t pulls = 0;
+  std::uint64_t rows = 0;
+  SimTime total_time = 0;
+  SimTime self_time = 0;
+  SimTime total_io_wait = 0;
+  SimTime self_io_wait = 0;
+};
+
+/// Full report for one path query execution.
+struct PathExplain {
+  std::string query;                // normalized path text
+  std::string plan_kind;            // "simple", "xschedule", "xscan"
+
+  std::vector<ExplainStep> steps;
+  std::vector<ExplainOperator> operators;
+
+  double estimated_cost = 0;            // cost-model units
+  double estimated_clusters_touched = 0;
+  std::uint64_t actual_clusters_entered = 0;
+
+  std::uint64_t result_count = 0;
+  SimTime total_time = 0;               // run-window simulated time
+  SimTime io_wait_time = 0;             // run-window I/O wait
+  std::uint64_t disk_reads = 0;
+  std::uint64_t buffer_hits = 0;
+  std::uint64_t buffer_misses = 0;
+  bool fallback_activated = false;
+
+  /// Human-readable report, one line per step and per operator.
+  std::string ToString() const;
+};
+
+/// Per-query aggregation across a workload run.
+struct QueryExplain {
+  std::vector<PathExplain> paths;  // one per path in the query (usually 1)
+
+  std::string ToString() const;
+};
+
+/// Formats simulated nanoseconds as a human-readable duration ("1.234 ms").
+std::string FormatSimTime(SimTime t);
+
+}  // namespace navpath
+
+#endif  // NAVPATH_OBSERVE_EXPLAIN_H_

@@ -1,0 +1,105 @@
+// Named metrics: counters, gauges, and HDR-style histograms.
+//
+// Generalizes the fixed-field common/metrics struct: components register
+// metrics by name at runtime, benchmarks snapshot a registry per sweep
+// point, and histograms answer quantile queries (p50/p95/p99 of simulated
+// latencies) with bounded memory. Everything here is measurement-side
+// only — recording never touches the simulated clock, so instrumented and
+// uninstrumented runs have identical simulated costs.
+#ifndef NAVPATH_OBSERVE_METRICS_REGISTRY_H_
+#define NAVPATH_OBSERVE_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace navpath {
+
+/// Log-linear histogram in the spirit of HdrHistogram: exact buckets for
+/// values < 64, then 32 sub-buckets per power of two (relative error
+/// ≤ 3.2%). Handles the full uint64 range; quantiles report the upper
+/// bound of the containing bucket, so they are deterministic and never
+/// underestimate.
+class Histogram {
+ public:
+  void Record(std::uint64_t value);
+  void RecordN(std::uint64_t value, std::uint64_t count);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double Mean() const;
+
+  /// Value at quantile q in [0, 1] (q=0.5 is the median). Returns the
+  /// upper bound of the bucket containing the q-th recorded value.
+  std::uint64_t ValueAtQuantile(double q) const;
+
+  void Reset();
+  void Merge(const Histogram& other);
+
+ private:
+  static constexpr int kSubBits = 5;
+  static constexpr std::uint64_t kSubCount = 1ull << kSubBits;  // 32
+  static constexpr std::uint64_t kLinearLimit = 2 * kSubCount;  // 64
+
+  static std::size_t BucketIndex(std::uint64_t value);
+  static std::uint64_t BucketUpperBound(std::size_t index);
+
+  std::vector<std::uint64_t> buckets_;  // grown lazily
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ = 0;
+};
+
+/// Point-in-time summary of one histogram (what benches serialize).
+struct HistogramSummary {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double mean = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;
+};
+
+/// Snapshot of a whole registry, detached from the live metrics.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSummary> histograms;
+
+  std::string ToString() const;
+};
+
+/// Name-addressed metric store. Lookup creates on first use; iteration
+/// order is the lexicographic name order, so snapshots are deterministic.
+class MetricsRegistry {
+ public:
+  std::uint64_t& Counter(const std::string& name) { return counters_[name]; }
+  double& Gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& GetHistogram(const std::string& name) {
+    return histograms_[name];
+  }
+
+  /// Summarizes every metric (histograms as p50/p95/p99 summaries).
+  RegistrySnapshot Snapshot() const;
+
+  /// Zeroes all counters/gauges and empties all histograms (the names
+  /// stay registered).
+  void Reset();
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+HistogramSummary Summarize(const std::string& name, const Histogram& h);
+
+}  // namespace navpath
+
+#endif  // NAVPATH_OBSERVE_METRICS_REGISTRY_H_

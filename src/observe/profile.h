@@ -1,0 +1,125 @@
+// Per-operator execution profile backing EXPLAIN ANALYZE.
+//
+// A PlanProfiler is owned by a PathPlan (when PlanOptions.profile is set)
+// and fed by the non-virtual PathOperator::Pull() wrapper: Enter/Exit
+// bracket each pull with simulated-clock readings, and a call stack
+// attributes elapsed time to self vs. total per operator — exactly the
+// self/total split of a sampling profiler, but exact, because the clock
+// is the simulation itself. I/O wait is attributed the same way from the
+// clock's io_wait_time() component, so a plan interleaved by the workload
+// executor still measures only the waits occurring inside its own pulls.
+//
+// Header-only and observe-layer: everything here reads the clock, nothing
+// charges it.
+#ifndef NAVPATH_OBSERVE_PROFILE_H_
+#define NAVPATH_OBSERVE_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/sim_clock.h"
+
+namespace navpath {
+
+/// Accumulated measurements for one operator slot in a plan.
+struct OperatorProfile {
+  std::string name;       // e.g. "XStep_2(child::b)"
+  int step = -1;          // location-path step this operator evaluates, or -1
+  std::uint64_t pulls = 0;
+  std::uint64_t rows = 0;          // pulls that produced a tuple
+  SimTime total_time = 0;          // simulated time inside this subtree
+  SimTime self_time = 0;           // total minus time inside child pulls
+  SimTime total_io_wait = 0;       // io-wait component of total_time
+  SimTime self_io_wait = 0;        // io-wait component of self_time
+};
+
+class PlanProfiler {
+ public:
+  /// Registers one operator (bottom-up, during BuildPlan) and returns its
+  /// slot index for Enter/Exit.
+  std::size_t Register(std::string name, int step) {
+    operators_.push_back(OperatorProfile{std::move(name), step});
+    return operators_.size() - 1;
+  }
+
+  void Enter(std::size_t slot, SimTime now, SimTime io_now) {
+    Flush(now, io_now);
+    stack_.push_back(slot);
+    ++operators_[slot].pulls;
+  }
+
+  void Exit(std::size_t slot, SimTime now, SimTime io_now, bool produced) {
+    Flush(now, io_now);
+    NAVPATH_DCHECK(!stack_.empty() && stack_.back() == slot);
+    stack_.pop_back();
+    OperatorProfile& op = operators_[slot];
+    if (produced) ++op.rows;
+  }
+
+  /// Records one result row landing on location-path step `step` (actual
+  /// per-step cardinality, the counterpart of the cost model's estimate).
+  void CountStepRow(std::size_t step) {
+    if (step < step_rows.size()) ++step_rows[step];
+  }
+
+  const std::vector<OperatorProfile>& operators() const { return operators_; }
+
+  /// Actual rows per location-path step; sized by BuildPlan to the path
+  /// length + 1 (slot 0 is the context step).
+  std::vector<std::uint64_t> step_rows;
+
+  /// Distinct cluster switches performed while this plan executed; wired
+  /// into ClusterContext by BuildPlan.
+  std::uint64_t clusters_entered = 0;
+
+ private:
+  // Charges the clock delta since the previous Enter/Exit to the current
+  // stack: self time to the top, total time to every frame.
+  void Flush(SimTime now, SimTime io_now) {
+    const SimTime dt = now - last_now_;
+    const SimTime dio = io_now - last_io_;
+    last_now_ = now;
+    last_io_ = io_now;
+    if (stack_.empty() || (dt == 0 && dio == 0)) return;
+    OperatorProfile& top = operators_[stack_.back()];
+    top.self_time += dt;
+    top.self_io_wait += dio;
+    for (const std::size_t slot : stack_) {
+      operators_[slot].total_time += dt;
+      operators_[slot].total_io_wait += dio;
+    }
+  }
+
+  std::vector<OperatorProfile> operators_;
+  std::vector<std::size_t> stack_;
+  SimTime last_now_ = 0;
+  SimTime last_io_ = 0;
+};
+
+}  // namespace navpath
+
+// Counts an actual row for location-path step `step_expr` on the profiler
+// reachable through `shared_expr` (a PlanSharedState*), but only when
+// `inst_expr` (a PathInstance) is anchored at the path start: speculative
+// seeds are left-incomplete, so their extensions are hypotheses, not rows —
+// XAssembly counts those if and when its closure validates them. Compiles
+// to nothing when observability is disabled.
+#if NAVPATH_OBSERVE_ENABLED
+#define NAVPATH_PROFILE_STEP_ROW(shared_expr, step_expr, inst_expr)   \
+  do {                                                                \
+    ::navpath::PlanProfiler* navpath_profiler = (shared_expr)->profiler; \
+    if (navpath_profiler != nullptr && (inst_expr).left_complete() && \
+        (inst_expr).left.step == 0) {                                 \
+      navpath_profiler->CountStepRow(                                 \
+          static_cast<std::size_t>(step_expr));                       \
+    }                                                                 \
+  } while (false)
+#else
+#define NAVPATH_PROFILE_STEP_ROW(shared_expr, step_expr, inst_expr) \
+  do {                                                              \
+  } while (false)
+#endif
+
+#endif  // NAVPATH_OBSERVE_PROFILE_H_

@@ -168,6 +168,9 @@ Result<std::size_t> BufferManager::GetFreeFrame() {
   }
   page_table_.erase(f.page_id);
   ++metrics_->buffer_evictions;
+  NAVPATH_TRACE(tracer_, Instant(TraceCategory::kBuffer, kTrackBuffer,
+                                 "evict", clock_->now(),
+                                 {{"page", f.page_id}}));
   f.page_id = kInvalidPageId;
   return victim;
 }
@@ -202,8 +205,12 @@ Result<std::size_t> BufferManager::FixInternal(PageId id, bool charge_swizzle) {
     idx = it->second;
   } else {
     ++metrics_->buffer_misses;
+    [[maybe_unused]] const SimTime miss_begin = clock_->now();
     NAVPATH_RETURN_NOT_OK(ReadPageWithRetry(id, scratch_.get()));
     NAVPATH_ASSIGN_OR_RETURN(idx, InstallFromScratch(id));
+    NAVPATH_TRACE(tracer_, Span(TraceCategory::kBuffer, kTrackBuffer,
+                                "fix_miss", miss_begin, clock_->now(),
+                                {{"page", id}}));
   }
   Frame& f = frames_[idx];
   ++f.pin_count;
@@ -282,8 +289,12 @@ Result<PageId> BufferManager::WaitAnyPrefetch() {
   if (in_flight_.empty()) {
     return Status::NotFound("no prefetch in flight");
   }
+  [[maybe_unused]] const SimTime wait_begin = clock_->now();
   NAVPATH_ASSIGN_OR_RETURN(const SimulatedDisk::AsyncCompletion completion,
                            disk_->WaitForCompletion(scratch_.get()));
+  NAVPATH_TRACE(tracer_, Span(TraceCategory::kBuffer, kTrackBuffer,
+                              "prefetch_wait", wait_begin, clock_->now(),
+                              {{"page", completion.page}}));
   const PageId id = completion.page;
   const bool claim = ClaimedByQuery(id);
   in_flight_.erase(id);

@@ -132,6 +132,12 @@ class BufferManager {
   /// Non-blocking variant; returns kInvalidPageId if none completed yet.
   Result<PageId> PollAnyPrefetch();
 
+#if NAVPATH_OBSERVE_ENABLED
+  /// Attaches (or detaches, with nullptr) a span tracer: fix misses,
+  /// evictions, and prefetch waits then appear on the buffer track.
+  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+#endif
+
   /// Writes back all dirty pages (used after import).
   Status FlushAll();
 
@@ -190,6 +196,9 @@ class BufferManager {
   SimClock* clock_;
   Metrics* metrics_;
   RetryPolicy retry_;
+#if NAVPATH_OBSERVE_ENABLED
+  Tracer* tracer_ = nullptr;
+#endif
 
   std::vector<Frame> frames_;
   std::vector<std::size_t> free_frames_;

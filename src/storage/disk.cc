@@ -31,14 +31,23 @@ PageId SimulatedDisk::AllocatePage() {
 SimTime SimulatedDisk::ChargeAccess(PageId target) {
   if (trace_ != nullptr) trace_->push_back(target);
   const SimTime start = std::max(clock_->now(), drive_free_at_);
-  const SimTime cost = model_.AccessCost(head_, target);
+  const DiskModel::AccessCostParts cost =
+      model_.AccessCostDecomposed(head_, target);
   if (head_ != kInvalidPageId && (target == head_ || target == head_ + 1)) {
     ++metrics_->disk_seq_reads;
   } else if (head_ != kInvalidPageId) {
     metrics_->disk_seek_pages +=
         head_ < target ? target - head_ : head_ - target;
   }
-  drive_free_at_ = start + cost;
+  drive_free_at_ = start + cost.seek + cost.transfer;
+  if (cost.seek > 0) {
+    NAVPATH_TRACE(tracer_, Span(TraceCategory::kDisk, kTrackDisk, "seek",
+                                start, start + cost.seek,
+                                {{"page", target}}));
+  }
+  NAVPATH_TRACE(tracer_, Span(TraceCategory::kDisk, kTrackDisk, "transfer",
+                              start + cost.seek, drive_free_at_,
+                              {{"page", target}}));
   head_ = target;
   return drive_free_at_;
 }
@@ -106,11 +115,16 @@ Status SimulatedDisk::SubmitRead(PageId id) {
       // Coalesce with the queued request (which keeps its earlier submit
       // time, so the merge never delays the elevator's visibility of it).
       ++metrics_->requests_merged;
+      NAVPATH_TRACE(tracer_,
+                    Instant(TraceCategory::kDisk, kTrackElevator,
+                            "submit_merged", clock_->now(), {{"page", id}}));
       return Status::OK();
     }
   }
   pending_.push_back(PendingRequest{id, clock_->now()});
   ++metrics_->async_requests;
+  NAVPATH_TRACE(tracer_, Instant(TraceCategory::kDisk, kTrackElevator,
+                                 "submit", clock_->now(), {{"page", id}}));
   return Status::OK();
 }
 
@@ -175,7 +189,8 @@ void SimulatedDisk::ServeOnePending() {
   if (trace_ != nullptr) trace_->push_back(chosen.page);
   drive_free_at_ = std::max(drive_free_at_, t_start);
   const SimTime start = drive_free_at_;
-  const SimTime cost = model_.AccessCost(head_, chosen.page);
+  const DiskModel::AccessCostParts cost =
+      model_.AccessCostDecomposed(head_, chosen.page);
   if (head_ != kInvalidPageId &&
       (chosen.page == head_ || chosen.page == head_ + 1)) {
     ++metrics_->disk_seq_reads;
@@ -183,7 +198,19 @@ void SimulatedDisk::ServeOnePending() {
     metrics_->disk_seek_pages += head_ < chosen.page ? chosen.page - head_
                                                      : head_ - chosen.page;
   }
-  drive_free_at_ = start + cost;
+  drive_free_at_ = start + cost.seek + cost.transfer;
+  NAVPATH_TRACE(tracer_,
+                Span(TraceCategory::kDisk, kTrackElevator, "queued",
+                     chosen.submit_time, start,
+                     {{"page", chosen.page}, {"depth", visible}}));
+  if (cost.seek > 0) {
+    NAVPATH_TRACE(tracer_, Span(TraceCategory::kDisk, kTrackDisk, "seek",
+                                start, start + cost.seek,
+                                {{"page", chosen.page}}));
+  }
+  NAVPATH_TRACE(tracer_, Span(TraceCategory::kDisk, kTrackDisk, "transfer",
+                              start + cost.seek, drive_free_at_,
+                              {{"page", chosen.page}}));
   head_ = chosen.page;
   ++metrics_->disk_reads;
   CompletedRequest done{chosen.page, drive_free_at_};

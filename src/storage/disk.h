@@ -26,6 +26,7 @@
 #include "common/metrics.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
+#include "observe/trace.h"
 #include "storage/checksum.h"
 #include "storage/disk_model.h"
 #include "storage/fault_injector.h"
@@ -131,6 +132,14 @@ class SimulatedDisk {
   /// physical access orders (Example 1).
   void SetTrace(std::vector<PageId>* trace) { trace_ = trace; }
 
+#if NAVPATH_OBSERVE_ENABLED
+  /// Attaches (or detaches, with nullptr) a span tracer: every access is
+  /// then drawn as seek + transfer spans on the disk track, and async
+  /// submissions/queue waits on the elevator track. Tracing reads the
+  /// simulated timeline but never charges it.
+  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+#endif
+
   /// Re-anchors the drive's timeline after the simulated clock was reset
   /// (no request may be in flight). The head position is kept: the first
   /// access of a fresh measurement still pays a real seek.
@@ -178,6 +187,9 @@ class SimulatedDisk {
   std::uint64_t served_order_ = 0;  // requests served so far (for metrics)
 
   std::vector<PageId>* trace_ = nullptr;
+#if NAVPATH_OBSERVE_ENABLED
+  Tracer* tracer_ = nullptr;
+#endif
   std::vector<PendingRequest> pending_;
   std::priority_queue<CompletedRequest, std::vector<CompletedRequest>,
                       std::greater<CompletedRequest>>

@@ -42,8 +42,21 @@ struct DiskModel {
   /// (SSTF sweeps, mostly-ascending scans with gaps) efficient, the
   /// physical effect the paper's XSchedule operator exploits.
   SimTime AccessCost(PageId from, PageId to) const {
+    const AccessCostParts parts = AccessCostDecomposed(from, to);
+    return parts.seek + parts.transfer;
+  }
+
+  /// AccessCost split into head movement (seek/rotate-past) and media
+  /// transfer; the parts always sum to AccessCost exactly. Tracing uses
+  /// the split to draw seek and transfer as separate spans.
+  struct AccessCostParts {
+    SimTime seek;
+    SimTime transfer;
+  };
+
+  AccessCostParts AccessCostDecomposed(PageId from, PageId to) const {
     if (from != kInvalidPageId && (to == from + 1 || to == from)) {
-      return transfer_time;  // sequential: head is already there
+      return {0, transfer_time};  // sequential: head is already there
     }
     std::uint64_t distance;
     if (from == kInvalidPageId) {
@@ -58,9 +71,9 @@ struct DiskModel {
         rotational_latency;
     if (from != kInvalidPageId && to > from) {
       const SimTime rotate_past = (distance - 1) * transfer_time;
-      return transfer_time + std::min(rotate_past, seek);
+      return {std::min(rotate_past, seek), transfer_time};
     }
-    return transfer_time + seek;
+    return {seek, transfer_time};
   }
 };
 

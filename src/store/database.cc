@@ -16,6 +16,33 @@ Database::Database(const DatabaseOptions& options) : options_(options) {
                                             &metrics_, options_.retry);
 }
 
+Database::~Database() { DisableTracing(); }
+
+Tracer* Database::EnableTracing() { return EnableTracing(TracerOptions{}); }
+
+Tracer* Database::EnableTracing(const TracerOptions& options) {
+#if NAVPATH_OBSERVE_ENABLED
+  DisableTracing();
+  tracer_ = new Tracer(&clock_, options);
+  disk_->SetTracer(tracer_);
+  buffer_->SetTracer(tracer_);
+  return tracer_;
+#else
+  (void)options;
+  return nullptr;
+#endif
+}
+
+void Database::DisableTracing() {
+#if NAVPATH_OBSERVE_ENABLED
+  if (tracer_ == nullptr) return;
+  disk_->SetTracer(nullptr);
+  buffer_->SetTracer(nullptr);
+  delete tracer_;
+  tracer_ = nullptr;
+#endif
+}
+
 Result<ImportedDocument> Database::Import(const DomTree& tree,
                                           ClusteringPolicy* policy) {
   NAVPATH_CHECK(policy != nullptr);
@@ -32,6 +59,10 @@ Status Database::ResetMeasurement() {
   clock_.Reset();
   disk_->ResetTimeline();
   metrics_.Reset();
+#if NAVPATH_OBSERVE_ENABLED
+  // Trace timestamps must match the fresh clock, so the window restarts.
+  if (tracer_ != nullptr) tracer_->Clear();
+#endif
   return Status::OK();
 }
 

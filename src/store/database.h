@@ -41,6 +41,7 @@ struct DatabaseOptions {
 class Database {
  public:
   explicit Database(const DatabaseOptions& options = {});
+  ~Database();
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -54,6 +55,16 @@ class Database {
   FaultInjector* fault_injector() { return fault_injector_.get(); }
   const CpuCostModel& costs() const { return options_.cpu_costs; }
   const DatabaseOptions& options() const { return options_; }
+
+  /// Creates (or reconfigures) the tracer and wires it into the disk and
+  /// buffer manager; all subsequent I/O emits spans. Returns the tracer —
+  /// or nullptr on a build configured with -DNAVPATH_OBSERVE=OFF, where
+  /// these calls are stubs and nothing is ever recorded.
+  Tracer* EnableTracing();
+  Tracer* EnableTracing(const TracerOptions& options);
+  void DisableTracing();
+  /// nullptr unless EnableTracing was called (or observability is off).
+  Tracer* tracer() const { return tracer_; }
 
   /// Imports `tree` clustered by `policy`. The tree must have been built
   /// against this database's tag registry and have order keys assigned.
@@ -77,6 +88,8 @@ class Database {
   std::unique_ptr<SimulatedDisk> disk_;
   std::unique_ptr<FaultInjector> fault_injector_;
   std::unique_ptr<BufferManager> buffer_;
+  /// Owned; raw because the observe-off build must not reference ~Tracer.
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace navpath
