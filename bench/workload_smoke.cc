@@ -1,0 +1,113 @@
+// Workload scheduling smoke check, sized for CI: N=4 mixed XMark queries
+// on a tiny document, run under round-robin, shortest-remaining-cost, and
+// the hybrid policy. Exits nonzero when any policy changes a query's
+// result (scheduling must be invisible in the output) or when the hybrid
+// policy stops blending its parents — p50 turnaround anchored near
+// shortest-remaining-cost, makespan anchored near round-robin. The
+// thresholds are loose (the tiny document is noisy); the committed
+// BENCH_workload.json trajectory carries the tight N=8 numbers.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "benchlib/harness.h"
+#include "compiler/workload_executor.h"
+
+namespace {
+
+using namespace navpath;
+
+constexpr const char* kQueries[] = {
+    "/site/regions//item",
+    "/site/people/person/email",
+    "/site//keyword",
+    "/site/regions//name",
+};
+constexpr std::size_t kN = std::size(kQueries);
+
+Result<WorkloadResult> RunPolicy(XMarkFixture* fixture,
+                                 WorkloadPolicy policy) {
+  WorkloadOptions options;
+  options.policy = policy;
+  options.stats = &fixture->stats();
+  WorkloadExecutor executor(fixture->db(), fixture->doc(), options);
+  for (const char* q : kQueries) {
+    NAVPATH_RETURN_NOT_OK(executor.Add(q, PaperPlan(PlanKind::kXSchedule)));
+  }
+  return executor.Run();
+}
+
+double MedianTurnaroundSeconds(const WorkloadResult& result) {
+  std::vector<double> turnarounds;
+  for (const WorkloadQueryResult& q : result.queries) {
+    turnarounds.push_back(q.turnaround_seconds());
+  }
+  std::sort(turnarounds.begin(), turnarounds.end());
+  return turnarounds[turnarounds.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  auto fixture = XMarkFixture::Create(0.02);
+  if (!fixture.ok()) {
+    std::fprintf(stderr, "fixture: %s\n", fixture.status().ToString().c_str());
+    return 1;
+  }
+
+  constexpr WorkloadPolicy kPolicies[] = {
+      WorkloadPolicy::kRoundRobin, WorkloadPolicy::kShortestRemainingCost,
+      WorkloadPolicy::kHybrid};
+
+  std::vector<WorkloadResult> runs;
+  for (const WorkloadPolicy policy : kPolicies) {
+    auto run = RunPolicy(fixture->get(), policy);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s: %s\n", WorkloadPolicyName(policy),
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    runs.push_back(*std::move(run));
+  }
+
+  bool ok = true;
+
+  // Scheduling must be invisible in the results.
+  for (std::size_t p = 1; p < runs.size(); ++p) {
+    for (std::size_t i = 0; i < kN; ++i) {
+      if (runs[p].queries[i].count != runs[0].queries[i].count ||
+          runs[p].queries[i].count == 0) {
+        std::fprintf(stderr, "count mismatch: %s %s: %llu vs %llu\n",
+                     WorkloadPolicyName(kPolicies[p]), kQueries[i],
+                     static_cast<unsigned long long>(runs[p].queries[i].count),
+                     static_cast<unsigned long long>(runs[0].queries[i].count));
+        ok = false;
+      }
+    }
+  }
+
+  const double rr_makespan = runs[0].total_seconds();
+  const double sjf_p50 = MedianTurnaroundSeconds(runs[1]);
+  const double hyb_makespan = runs[2].total_seconds();
+  const double hyb_p50 = MedianTurnaroundSeconds(runs[2]);
+
+  std::printf("workload smoke (N=%zu, scale 0.02)\n", kN);
+  std::printf("  round-robin             makespan %.3fs\n", rr_makespan);
+  std::printf("  shortest-remaining-cost p50 %.3fs\n", sjf_p50);
+  std::printf("  hybrid                  makespan %.3fs (%.2fx rr), p50 %.3fs"
+              " (%.2fx sjf)\n",
+              hyb_makespan, hyb_makespan / rr_makespan, hyb_p50,
+              hyb_p50 / sjf_p50);
+
+  if (hyb_p50 > 1.25 * sjf_p50) {
+    std::fprintf(stderr, "hybrid p50 drifted above 1.25x of SJF\n");
+    ok = false;
+  }
+  if (hyb_makespan > 1.25 * rr_makespan) {
+    std::fprintf(stderr, "hybrid makespan drifted above 1.25x of rr\n");
+    ok = false;
+  }
+
+  std::printf("workload smoke: %s\n", ok ? "ok" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -94,6 +94,17 @@ void RecordRun(JsonWriter* json, std::size_t n, const char* mode,
   json->Key("elevator_depth_max")
       .Value(result.metrics.elevator_depth_max);
   json->Key("seek_pages").Value(result.metrics.disk_seek_pages);
+  // Scheduler-side observability: how the policy saw the drive's pending
+  // pool, and (hybrid) how it classified the active set.
+  if (const HistogramSummary* depth =
+          result.scheduler.FindHistogram("sched.pool_depth")) {
+    json->Key("sched_pool_depth_p50").Value(depth->p50);
+    json->Key("sched_pool_depth_mean").Value(depth->mean);
+  }
+  json->Key("sched_classified_io_bound")
+      .Value(result.scheduler.CounterOr("sched.classified.io_bound"));
+  json->Key("sched_classified_cpu_bound")
+      .Value(result.scheduler.CounterOr("sched.classified.cpu_bound"));
   json->Key("turnaround_seconds").BeginArray();
   for (const WorkloadQueryResult& q : result.queries) {
     json->Value(q.turnaround_seconds());
@@ -121,6 +132,14 @@ int main() {
     return 1;
   }
 
+  // The hybrid policy's tight 1.05x bounds are a claim about the
+  // page-resident regime: its cheap phase must still be (mostly) cached
+  // when the expensive phase starts. With the document well past the
+  // buffer pool the re-reads are forced by capacity, not scheduling, and
+  // the bench instead asserts strict dominance between the parents.
+  const bool page_resident =
+      (*fixture)->doc().pages <= 2 * (*fixture)->db()->options().buffer_pages;
+
   JsonWriter json;
   json.BeginObject();
   json.Key("bench").Value("workload_throughput");
@@ -133,11 +152,12 @@ int main() {
   json.Key("runs").BeginArray();
 
   PrintTableHeader(
-      "sequential vs interleaved (round-robin / fewest-I/O / SJF)",
-      {"N", "seq[s]", "rr[s]", "fewest[s]", "sjf[s]", "speedup", "merged",
-       "depth"});
+      "sequential vs interleaved (round-robin / fewest-I/O / SJF / hybrid)",
+      {"N", "seq[s]", "rr[s]", "fewest[s]", "sjf[s]", "hyb[s]", "speedup",
+       "merged", "depth"});
 
   bool n4_ok = false;
+  bool hybrid_ok = true;
   double rr8_seconds = 0.0;
   for (const std::size_t n : {1u, 2u, 4u, 8u}) {
     auto sequential =
@@ -150,14 +170,23 @@ int main() {
         WorkloadPolicy::kRoundRobin,
         WorkloadPolicy::kFewestPendingIos,
         WorkloadPolicy::kShortestRemainingCost,
+        WorkloadPolicy::kHybrid,
     };
-    double seconds[3] = {0, 0, 0};
+    constexpr int kPolicies = 4;
+    double seconds[kPolicies] = {};
+    double p50[kPolicies] = {};
     WorkloadResult rr;
-    for (int p = 0; p < 3; ++p) {
+    for (int p = 0; p < kPolicies; ++p) {
       auto interleaved = RunWorkload(fixture->get(), n, 0, policies[p]);
       interleaved.status().AbortIfNotOk();
       RecordRun(&json, n, "interleaved", policies[p], *interleaved);
       seconds[p] = interleaved->total_seconds();
+      Histogram turnaround;
+      for (const WorkloadQueryResult& q : interleaved->queries) {
+        turnaround.Record(static_cast<std::uint64_t>(q.turnaround()));
+      }
+      p50[p] = SimClock::ToSeconds(
+          static_cast<SimTime>(turnaround.ValueAtQuantile(0.50)));
       if (p == 0) rr = std::move(*interleaved);
     }
 
@@ -173,12 +202,26 @@ int main() {
     PrintTableRow({std::to_string(n),
                    FormatSeconds(sequential->total_seconds()),
                    FormatSeconds(seconds[0]), FormatSeconds(seconds[1]),
-                   FormatSeconds(seconds[2]), speedup, merged, depth});
+                   FormatSeconds(seconds[2]), FormatSeconds(seconds[3]),
+                   speedup, merged, depth});
 
     if (n == 4) {
       n4_ok = seconds[0] < sequential->total_seconds() &&
               rr.mean_elevator_depth() >
                   sequential->mean_elevator_depth();
+    }
+    if (n >= 4) {
+      // The hybrid's contract: SJF-class median turnaround without
+      // SJF's makespan collapse (a few percent of round-robin's).
+      const double p50_ratio = p50[3] / p50[2];
+      const double makespan_ratio = seconds[3] / seconds[0];
+      std::printf("    hybrid at N=%zu: p50 %.2fx of SJF, makespan %.2fx "
+                  "of round-robin\n", n, p50_ratio, makespan_ratio);
+      if (n == 8) {
+        hybrid_ok = page_resident
+                        ? p50_ratio <= 1.05 && makespan_ratio <= 1.05
+                        : p50[3] < p50[0] && seconds[3] < seconds[2];
+      }
     }
     if (n == 8) rr8_seconds = seconds[0];
   }
@@ -209,7 +252,7 @@ int main() {
   json.Key("runs").BeginArray();
   for (const WorkloadPolicy policy :
        {WorkloadPolicy::kRoundRobin, WorkloadPolicy::kFewestPendingIos,
-        WorkloadPolicy::kShortestRemainingCost}) {
+        WorkloadPolicy::kShortestRemainingCost, WorkloadPolicy::kHybrid}) {
     auto open = RunPoisson(fixture->get(), poisson_jobs, mean_interarrival,
                            kPoissonSeed, policy);
     open.status().AbortIfNotOk();
@@ -261,5 +304,13 @@ int main() {
   std::printf("\ntrajectory written to %s\n", path.c_str());
   std::printf("N=4 interleaved beats sequential with deeper elevator "
               "pool: %s\n", n4_ok ? "yes" : "NO");
-  return n4_ok ? 0 : 1;
+  if (page_resident) {
+    std::printf("N=8 hybrid holds SJF p50 and round-robin makespan within "
+                "5%%: %s\n", hybrid_ok ? "yes" : "NO");
+  } else {
+    std::printf("N=8 hybrid dominates its parents (p50 below round-robin's, "
+                "makespan below SJF's; document exceeds the buffer pool, "
+                "see DESIGN.md Sec. 7): %s\n", hybrid_ok ? "yes" : "NO");
+  }
+  return n4_ok && hybrid_ok ? 0 : 1;
 }

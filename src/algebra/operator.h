@@ -165,6 +165,15 @@ struct PlanSharedState {
   /// the query later.
   bool yielded = false;
 
+  /// Cooperative-scheduling accounting, written by the I/O-performing
+  /// operator: pulls that ended in a yield (polled, nothing due) and
+  /// pulls that blocked on the drive. The workload scheduler windows
+  /// these per job — a query whose recent pulls mostly waited on I/O is
+  /// I/O-bound and belongs in the pool-keeping rotation, not the
+  /// shortest-job-first queue. Reset with the plan (fresh per path).
+  std::uint64_t io_yields = 0;
+  std::uint64_t io_blocks = 0;
+
 #if NAVPATH_OBSERVE_ENABLED
   /// Non-null when the plan was built with PlanOptions.profile; operators
   /// report actual per-step cardinalities through it (EXPLAIN ANALYZE).

@@ -134,6 +134,7 @@ Result<bool> XSchedule::SwitchToNextCluster() {
             continue;
           }
           shared_->yielded = true;
+          ++shared_->io_yields;
           NAVPATH_TRACE(db_->tracer(),
                         Instant(TraceCategory::kScheduler, kTrackScheduler,
                                 "yield", db_->clock()->now(),
@@ -146,6 +147,7 @@ Result<bool> XSchedule::SwitchToNextCluster() {
       }
       // Block until the I/O subsystem completes *some* request; the disk
       // chooses which (shortest seek first).
+      ++shared_->io_blocks;
       [[maybe_unused]] const SimTime block_begin = db_->clock()->now();
       Result<PageId> waited = db_->buffer()->WaitAnyPrefetch();
       NAVPATH_TRACE(db_->tracer(),

@@ -12,6 +12,12 @@
 // With `speculative` set, entering a cluster additionally emits the same
 // left-incomplete seed instances XScan produces, so that no cluster needs
 // to be visited twice (Sec. 5.4.4).
+//
+// Under cooperative multi-query execution the operator accounts for how
+// each pull ended on the plan's shared state (PlanSharedState::io_yields /
+// io_blocks): a pull that polled and found nothing due yields, a pull that
+// had to wait on the drive blocks. The workload scheduler reads these over
+// a recent-pull window to classify the query as I/O- or CPU-bound.
 #ifndef NAVPATH_ALGEBRA_XSCHEDULE_H_
 #define NAVPATH_ALGEBRA_XSCHEDULE_H_
 

@@ -35,6 +35,19 @@
 #define NAVPATH_DCHECK(condition) NAVPATH_CHECK(condition)
 #endif
 
+// Marks a statement control flow can never reach (e.g. after a switch that
+// covers every enumerator and returns from each case). Aborts loudly if it
+// is ever executed, instead of silently falling into a default value.
+// Builds compile with -Werror=switch, so the combination "exhaustive
+// switch + NAVPATH_UNREACHABLE after it" turns a newly added enumerator
+// without a case into a compile error.
+#define NAVPATH_UNREACHABLE()                                               \
+  do {                                                                      \
+    ::std::fprintf(stderr, "NAVPATH_UNREACHABLE reached at %s:%d\n",        \
+                   __FILE__, __LINE__);                                     \
+    ::std::abort();                                                         \
+  } while (false)
+
 // Propagates a non-OK Status from an expression producing a Status.
 #define NAVPATH_RETURN_NOT_OK(expr)                  \
   do {                                               \

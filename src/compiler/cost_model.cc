@@ -237,6 +237,12 @@ PathEstimate EstimatePathDetailed(const DocumentStats& stats,
   return estimate;
 }
 
+double EstimatedProgress(std::uint64_t produced,
+                         double estimated_cardinality) {
+  const double card = std::max(1.0, estimated_cardinality);
+  return std::min(1.0, static_cast<double>(produced) / card);
+}
+
 PlanCosts EstimatePlanCosts(const DocumentStats& stats,
                             const LocationPath& path, const DiskModel& disk,
                             const CpuCostModel& cpu) {

@@ -88,6 +88,15 @@ struct PathEstimate {
 PathEstimate EstimatePath(const DocumentStats& stats,
                           const LocationPath& path);
 
+/// Fraction (in [0, 1]) of a path's estimated output already produced,
+/// for progress-discounting remaining-cost and remaining-clusters
+/// estimates mid-run. Cardinality estimates below one node are clamped
+/// to one: a degenerate (sub-unit) estimate must still let produced
+/// output discount the remainder, otherwise remaining cost stays frozen
+/// at its a-priori value and SJF ordering degenerates to tie-breaking.
+double EstimatedProgress(std::uint64_t produced,
+                         double estimated_cardinality);
+
 /// As EstimatePath, additionally recording the estimated cardinality after
 /// each step into `per_step` (resized to path.length(); entry i is the
 /// estimate after step i+1). EXPLAIN ANALYZE pairs these with the actual

@@ -4,10 +4,33 @@
 #include <cmath>
 #include <limits>
 
+#include "storage/disk.h"
 #include "xpath/parser.h"
 
 namespace navpath {
 namespace {
+
+/// kHybrid classification window: the yield/block ratio is evaluated
+/// over at most this many recent pulls of a job, so classification
+/// follows phase changes (I/O wave -> resident consumption) instead of
+/// averaging over the job's whole life.
+constexpr std::uint64_t kClassifyWindow = 16;
+/// Minimum pulls in the current window before the ratio is trusted;
+/// younger windows classify on the cost model's remaining-clusters
+/// estimate alone.
+constexpr std::uint64_t kClassifyMinPulls = 4;
+
+/// kHybrid scheduling-window breadth while the cheap half of the
+/// workload drains: only the kHybridBreadth cheapest-remaining jobs may
+/// run. Breadth 1 deliberately serializes the cheap jobs — they overlap
+/// heavily in the pages they touch, so running them back-to-back turns
+/// the second job's reads into buffer hits, which beats splitting the
+/// elevator between them (measured: two-wide costs ~2x the turnaround of
+/// back-to-back on the XMark mix). Once half the jobs have completed the
+/// window opens to the whole active set and the remaining expensive,
+/// I/O-bound jobs run round-robin so their overlapping scans merge in
+/// flight and the elevator pool stays deep.
+constexpr std::size_t kHybridBreadth = 1;
 
 /// Buffer pages a plan's prefetch/speculative state may occupy while the
 /// query is active: XSchedule keeps its in-flight reads (bounded by
@@ -38,8 +61,10 @@ const char* WorkloadPolicyName(WorkloadPolicy policy) {
       return "fewest-pending-ios";
     case WorkloadPolicy::kShortestRemainingCost:
       return "shortest-remaining-cost";
+    case WorkloadPolicy::kHybrid:
+      return "hybrid";
   }
-  return "?";
+  NAVPATH_UNREACHABLE();
 }
 
 WorkloadExecutor::WorkloadExecutor(Database* db, const ImportedDocument& doc,
@@ -87,6 +112,7 @@ Status WorkloadExecutor::Add(const PathQuery& query, const PlanOptions& plan,
       job.path_costs.push_back(cost);
       const PathEstimate estimate = EstimatePath(*options_.stats, path);
       job.path_cards.push_back(estimate.result_cardinality);
+      job.path_clusters.push_back(estimate.clusters_touched);
       job.clusters_touched =
           std::max(job.clusters_touched, estimate.clusters_touched);
     }
@@ -130,6 +156,11 @@ Status WorkloadExecutor::StartNextPath(Job* job) {
   job->plan = std::move(plan);
   job->seen.clear();
   job->produced_in_path = 0;
+  // Fresh plan, fresh yield/block counters: restart the classification
+  // window so the new path's behavior is judged on its own pulls.
+  job->window_pulls0 = job->result.pulls;
+  job->window_yields0 = 0;
+  job->window_blocks0 = 0;
   if (options_.explain) {
     job->path_metrics_start = db_->metrics()->Snapshot();
     job->path_t0 = db_->clock()->now();
@@ -155,25 +186,113 @@ void WorkloadExecutor::FinishPath(Job* job) {
 double WorkloadExecutor::RemainingCost(const Job& job) const {
   if (job.path_costs.empty()) return 0.0;
   double remaining = 0.0;
+  // Completed paths (i < path_index) contribute zero by construction;
+  // the current path is discounted by produced-output progress with its
+  // cardinality estimate clamped to >= 1 (EstimatedProgress), so
+  // low-cardinality estimates shrink with progress instead of freezing
+  // SJF into stamp-order tie-breaking.
   for (std::size_t i = job.path_index; i < job.query.paths.size(); ++i) {
     double cost = job.path_costs[i];
-    if (i == job.path_index && job.path_cards[i] >= 1.0) {
-      const double progress =
-          std::min(1.0, static_cast<double>(job.produced_in_path) /
-                            job.path_cards[i]);
-      cost *= 1.0 - progress;
+    if (i == job.path_index) {
+      cost *=
+          1.0 - EstimatedProgress(job.produced_in_path, job.path_cards[i]);
     }
     remaining += cost;
   }
   return remaining;
 }
 
+double WorkloadExecutor::RemainingClusters(const Job& job) const {
+  if (job.path_clusters.empty()) return 0.0;
+  double remaining = 0.0;
+  for (std::size_t i = job.path_index; i < job.query.paths.size(); ++i) {
+    double clusters = job.path_clusters[i];
+    if (i == job.path_index) {
+      clusters *=
+          1.0 - EstimatedProgress(job.produced_in_path, job.path_cards[i]);
+    }
+    remaining += clusters;
+  }
+  return remaining;
+}
+
+bool WorkloadExecutor::IoBound(const Job& job) const {
+  const std::size_t pending = db_->buffer()->PendingFor(job.owner_id);
+  if (pending == 0) return false;  // nothing in flight: pure CPU work
+  const PlanSharedState* shared = job.plan.shared();
+  const std::uint64_t pulls = job.result.pulls - job.window_pulls0;
+  const std::uint64_t waits = (shared->io_yields - job.window_yields0) +
+                              (shared->io_blocks - job.window_blocks0);
+  // Recent pulls mostly ended waiting on the drive: the job's progress
+  // is gated by I/O, not by how often the scheduler runs it.
+  if (pulls >= kClassifyMinPulls && 2 * waits >= pulls) return true;
+  // More clusters still to load than it has on order: pulling it makes
+  // it submit, deepening the elevator pool. A job whose in-flight set
+  // already covers its remaining clusters is just consuming (CPU-bound).
+  return RemainingClusters(job) > static_cast<double>(pending);
+}
+
+std::size_t WorkloadExecutor::RotatePick(
+    const std::vector<std::size_t>& active,
+    const std::vector<std::size_t>& candidates, std::size_t* cursor) const {
+  NAVPATH_DCHECK(!candidates.empty());
+  // `active` is in admission order (ascending job index), so the first
+  // candidate past the cursor is the rotation's next stop; wrap to the
+  // first candidate when the cursor is past them all.
+  std::size_t pick = candidates.front();
+  for (const std::size_t pos : candidates) {
+    if (active[pos] > *cursor) {
+      pick = pos;
+      break;
+    }
+  }
+  *cursor = active[pick];
+  return pick;
+}
+
+std::size_t WorkloadExecutor::SjfPick(
+    const std::vector<std::size_t>& active,
+    const std::vector<std::size_t>& candidates) const {
+  NAVPATH_DCHECK(!candidates.empty());
+  std::size_t best = candidates.front();
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::uint64_t best_stamp = std::numeric_limits<std::uint64_t>::max();
+  for (const std::size_t pos : candidates) {
+    const Job& job = jobs_[active[pos]];
+    const double cost = RemainingCost(job);
+    if (cost < best_cost ||
+        (cost == best_cost && job.last_pull < best_stamp)) {
+      best = pos;
+      best_cost = cost;
+      best_stamp = job.last_pull;
+    }
+  }
+  return best;
+}
+
 std::size_t WorkloadExecutor::PickNext(
     const std::vector<std::size_t>& active, std::uint64_t decisions) {
   NAVPATH_DCHECK(!active.empty());
+  // Measurement-side observability; never touches the simulated clock.
+  ++sched_.Counter("sched.decisions");
+  sched_.GetHistogram("sched.pool_depth")
+      .Record(db_->disk()->pending_requests());
   switch (options_.policy) {
-    case WorkloadPolicy::kRoundRobin:
-      return static_cast<std::size_t>(decisions % active.size());
+    case WorkloadPolicy::kRoundRobin: {
+      // Rotate over stable job ids, not positions: `decisions % size`
+      // re-aligns whenever the active set shrinks and can repeatedly
+      // skip the same job. With ids, every active job is pulled within
+      // one rotation no matter how the set reshuffles.
+      std::size_t pick = 0;
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (active[i] > rr_cursor_) {
+          pick = i;
+          break;
+        }
+      }
+      rr_cursor_ = active[pick];
+      return pick;
+    }
     case WorkloadPolicy::kFewestPendingIos: {
       // Queries with few reads on order are either near completion or
       // starved for I/O; pulling them makes them submit, keeping the
@@ -195,23 +314,65 @@ std::size_t WorkloadExecutor::PickNext(
       return best;
     }
     case WorkloadPolicy::kShortestRemainingCost: {
-      std::size_t best = 0;
-      double best_cost = std::numeric_limits<double>::infinity();
-      std::uint64_t best_stamp = std::numeric_limits<std::uint64_t>::max();
-      for (std::size_t i = 0; i < active.size(); ++i) {
-        const Job& job = jobs_[active[i]];
-        const double cost = RemainingCost(job);
-        if (cost < best_cost ||
-            (cost == best_cost && job.last_pull < best_stamp)) {
-          best = i;
-          best_cost = cost;
-          best_stamp = job.last_pull;
-        }
+      std::vector<std::size_t> all(active.size());
+      for (std::size_t i = 0; i < active.size(); ++i) all[i] = i;
+      return SjfPick(active, all);
+    }
+    case WorkloadPolicy::kHybrid: {
+      // Restrict scheduling to the cheapest-remaining jobs and widen the
+      // window as jobs finish. The drive's SSTF elevator serves whatever
+      // requests are pending, so the only way to carry SJF's cheap-first
+      // completion order to the I/O side is to bound the *breadth* of
+      // queries allowed to have reads in flight: a job outside the
+      // window is never pulled, hence never submits. Two slots keep the
+      // pool deep (a single fresh XSchedule already pools ~queue_k
+      // requests; the near-done window head rarely has many), and every
+      // completion adds a slot, so the expensive endgame runs at full
+      // breadth — round-robin pool depth and cross-query merges. Without
+      // document statistics there is no cost signal to rank by and the
+      // window covers the whole active set.
+      std::vector<std::size_t> ranked(active.size());
+      for (std::size_t i = 0; i < active.size(); ++i) ranked[i] = i;
+      if (options_.stats != nullptr) {
+        std::sort(ranked.begin(), ranked.end(),
+                  [&](std::size_t a, std::size_t b) {
+                    const double ca = RemainingCost(jobs_[active[a]]);
+                    const double cb = RemainingCost(jobs_[active[b]]);
+                    if (ca != cb) return ca < cb;
+                    return active[a] < active[b];
+                  });
+        // Narrow until half the submitted workload has completed, then
+        // open to the whole active set. The total-count rule also turned
+        // out to be the right one for open systems: making the window
+        // relative to the live active set (or dropping it for arrivals)
+        // flip-flops between narrow and full under backlog, leaving a
+        // flooded elevator competing against a serialized cheap job —
+        // measurably worse than either parent policy.
+        const std::size_t window =
+            completed_ * 2 < jobs_.size() ? kHybridBreadth : active.size();
+        ranked.resize(std::min(active.size(), window));
       }
-      return best;
+      // Inside the window, split by what gates each job's progress: the
+      // I/O-bound jobs rotate (their pulls are cheap — they submit and
+      // yield), the CPU-bound ones compete on shortest remaining cost.
+      // Alternating decisions interleave the two at pull granularity.
+      std::vector<std::size_t> io, cpu;
+      for (const std::size_t pos : ranked) {
+        (IoBound(jobs_[active[pos]]) ? io : cpu).push_back(pos);
+      }
+      sched_.Counter("sched.classified.io_bound") += io.size();
+      sched_.Counter("sched.classified.cpu_bound") += cpu.size();
+      const bool serve_io =
+          !io.empty() && (cpu.empty() || decisions % 2 == 0);
+      if (serve_io) {
+        ++sched_.Counter("sched.picks.io_rr");
+        return RotatePick(active, io, &hybrid_io_cursor_);
+      }
+      ++sched_.Counter("sched.picks.cpu_sjf");
+      return SjfPick(active, cpu);
     }
   }
-  return 0;
+  NAVPATH_UNREACHABLE();
 }
 
 Result<WorkloadResult> WorkloadExecutor::Run() {
@@ -221,6 +382,10 @@ Result<WorkloadResult> WorkloadExecutor::Run() {
   if (options_.cold_start) {
     NAVPATH_RETURN_NOT_OK(db_->ResetMeasurement());
   }
+  sched_.Reset();
+  rr_cursor_ = static_cast<std::size_t>(-1);
+  hybrid_io_cursor_ = static_cast<std::size_t>(-1);
+  completed_ = 0;
 
   // Everything below reports deltas over this window, so repeated runs on
   // a shared Database measure only themselves. After a cold start the
@@ -296,11 +461,20 @@ Result<WorkloadResult> WorkloadExecutor::Run() {
     }
     const std::size_t pick = PickNext(active, decisions);
     Job& job = jobs_[active[pick]];
+    if (options_.on_pull) options_.on_pull(active[pick], active.size());
     // One scheduling decision per pull: picking the query is a set probe
     // over the active list, not free.
     db_->clock()->ChargeCpu(db_->costs().set_op);
     job.last_pull = ++decisions;
     ++job.result.pulls;
+    // Slide the classification window once it is full, so the hybrid
+    // policy judges a job on its recent behavior, not its whole history.
+    if (job.result.pulls - job.window_pulls0 >= kClassifyWindow) {
+      const PlanSharedState* shared = job.plan.shared();
+      job.window_pulls0 = job.result.pulls;
+      job.window_yields0 = shared->io_yields;
+      job.window_blocks0 = shared->io_blocks;
+    }
 
     // An I/O-bound query yields instead of blocking while siblings still
     // have CPU work — its pending reads keep pooling at the disk. Once a
@@ -354,6 +528,7 @@ Result<WorkloadResult> WorkloadExecutor::Run() {
     job.result.finished_at = db_->clock()->now();
     job.plan = PathPlan();
     job.seen.clear();
+    ++completed_;
     footprint_used -= job.footprint;
     active.erase(active.begin() + static_cast<std::ptrdiff_t>(pick));
     NAVPATH_RETURN_NOT_OK(admit());
@@ -374,6 +549,7 @@ Result<WorkloadResult> WorkloadExecutor::Run() {
   result.total_time = db_->clock()->now() - window_t0;
   result.cpu_time = db_->clock()->cpu_time() - window_cpu0;
   result.metrics = db_->metrics()->Delta(window_start);
+  result.scheduler = sched_.Snapshot();
   return result;
 }
 

@@ -11,14 +11,22 @@
 // and admission control keeps the aggregate prefetch footprint of the
 // active queries within the buffer budget.
 //
-// Three interleaving policies are provided:
+// Four interleaving policies are provided:
 //   kRoundRobin          — one pull per active query in turn (fairness),
 //   kFewestPendingIos    — pull the query with the fewest in-flight
 //                          prefetches, nudging it to submit more and keep
 //                          the elevator pool deep,
 //   kShortestRemainingCost — shortest-expected-remaining-cost first, using
 //                          the cost model's per-path estimates (SJF-style,
-//                          minimizes mean turnaround).
+//                          minimizes mean turnaround but serializes the
+//                          pull pool and starves the elevator at N ≥ 4),
+//   kHybrid              — classifies every active query as I/O- or
+//                          CPU-bound from live signals (in-flight
+//                          prefetches, the recent yield/block ratio of its
+//                          pulls, remaining-clusters estimate) and
+//                          alternates between round-robining the I/O-bound
+//                          set (pool depth ≈ round-robin's) and SJF over
+//                          the CPU-bound set (turnaround ≈ SJF's).
 //
 // With max_concurrent == 1 the executor degenerates to back-to-back
 // execution, which is the baseline the workload benchmarks compare
@@ -26,6 +34,7 @@
 #ifndef NAVPATH_COMPILER_WORKLOAD_EXECUTOR_H_
 #define NAVPATH_COMPILER_WORKLOAD_EXECUTOR_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -34,6 +43,7 @@
 #include "compiler/cost_model.h"
 #include "compiler/executor.h"
 #include "compiler/plan.h"
+#include "observe/metrics_registry.h"
 #include "xpath/location_path.h"
 
 namespace navpath {
@@ -42,6 +52,7 @@ enum class WorkloadPolicy {
   kRoundRobin,
   kFewestPendingIos,
   kShortestRemainingCost,
+  kHybrid,
 };
 
 const char* WorkloadPolicyName(WorkloadPolicy policy);
@@ -86,6 +97,13 @@ struct WorkloadOptions {
 
   /// Produce an EXPLAIN ANALYZE report per query (forces plan profiling).
   bool explain = false;
+
+  /// Test/diagnostic hook: invoked before every scheduling decision's
+  /// pull with the Add()-order index of the chosen job and the size of
+  /// the active set at that moment. Null (the default) costs nothing;
+  /// the hook runs outside the simulated clock.
+  std::function<void(std::size_t job_index, std::size_t active_size)>
+      on_pull;
 };
 
 /// Outcome of one query of the workload.
@@ -128,6 +146,16 @@ struct WorkloadResult {
   /// Database metrics delta over the run window (includes
   /// requests_merged and the elevator depth counters).
   Metrics metrics;
+
+  /// Scheduler-side observability for the run: counters
+  /// "sched.decisions", "sched.classified.io_bound" /
+  /// "sched.classified.cpu_bound" (jobs so classified, summed over
+  /// hybrid decisions) and "sched.picks.io_rr" / "sched.picks.cpu_sjf"
+  /// (which half of the hybrid served each decision), plus the
+  /// "sched.pool_depth" histogram sampling the drive's pending pool at
+  /// every decision. Recording is measurement-side only — it never
+  /// touches the simulated clock.
+  RegistrySnapshot scheduler;
 
   double total_seconds() const { return SimClock::ToSeconds(total_time); }
   double mean_elevator_depth() const { return metrics.MeanElevatorDepth(); }
@@ -174,10 +202,11 @@ class WorkloadExecutor {
     /// Buffer pages the job's prefetch state may occupy (admission).
     std::size_t footprint = 0;
 
-    // Cost-model estimates per path (kShortestRemainingCost and
+    // Cost-model estimates per path (kShortestRemainingCost, kHybrid and
     // cost-derived admission footprints).
     std::vector<double> path_costs;
     std::vector<double> path_cards;
+    std::vector<double> path_clusters;
     /// Max estimated clusters touched by any operand path (0 = no stats).
     double clusters_touched = 0.0;
 
@@ -187,6 +216,12 @@ class WorkloadExecutor {
     std::unordered_set<std::uint64_t> seen;  // dedup within current path
     std::uint64_t produced_in_path = 0;
     std::uint64_t last_pull = 0;  // scheduler decision stamp (fair ties)
+    // Classification window (kHybrid): snapshots of the job's pull count
+    // and the plan's yield/block counters at the window start. Reset
+    // every kClassifyWindow pulls and whenever a new path plan opens.
+    std::uint64_t window_pulls0 = 0;
+    std::uint64_t window_yields0 = 0;
+    std::uint64_t window_blocks0 = 0;
     // Per-path measurement window (WorkloadOptions.explain only). With
     // interleaving the window includes time spent pulled away to other
     // queries; wall-clock attribution per operator comes from the plan
@@ -211,7 +246,36 @@ class WorkloadExecutor {
   void FinishPath(Job* job);
 
   /// Expected remaining simulated cost of `job` under the cost model.
+  /// Completed paths contribute zero; the current path is discounted by
+  /// result-cardinality progress (cardinality clamped to ≥ 1, so
+  /// degenerate estimates still shrink as output is produced).
   double RemainingCost(const Job& job) const;
+
+  /// Expected distinct clusters `job` still has to load, discounted like
+  /// RemainingCost. 0 without document statistics.
+  double RemainingClusters(const Job& job) const;
+
+  /// kHybrid classification. A job is I/O-bound when it has prefetches
+  /// in flight and either its recent pulls mostly ended waiting on the
+  /// drive (yield/block ratio over the classification window) or the
+  /// cost model says it must still load more clusters than it has on
+  /// order — pulling it keeps the elevator pool deep. Everything else is
+  /// CPU-bound and competes on shortest remaining cost.
+  bool IoBound(const Job& job) const;
+
+  /// Round-robin over `candidates` (positions into `active`) by stable
+  /// job id: picks the smallest job index greater than *cursor, wrapping
+  /// to the smallest overall, and advances *cursor. Stable ids make the
+  /// rotation immune to active-set reshuffling — every candidate is
+  /// served within one rotation even as jobs finish or join.
+  std::size_t RotatePick(const std::vector<std::size_t>& active,
+                         const std::vector<std::size_t>& candidates,
+                         std::size_t* cursor) const;
+
+  /// Shortest-remaining-cost over `candidates` (positions into
+  /// `active`); ties go to the least recently pulled job.
+  std::size_t SjfPick(const std::vector<std::size_t>& active,
+                      const std::vector<std::size_t>& candidates) const;
 
   /// Picks the next active job to pull, per policy. `active` holds
   /// indices into jobs_; returns an index into `active`.
@@ -222,6 +286,15 @@ class WorkloadExecutor {
   const ImportedDocument* doc_;
   WorkloadOptions options_;
   std::vector<Job> jobs_;
+  /// Stable-id rotation cursors (jobs_ index of the last pick; SIZE_MAX
+  /// before the first): one for kRoundRobin, one for kHybrid's I/O set.
+  std::size_t rr_cursor_ = static_cast<std::size_t>(-1);
+  std::size_t hybrid_io_cursor_ = static_cast<std::size_t>(-1);
+  /// Jobs finished in the current Run() (widens kHybrid's window).
+  std::size_t completed_ = 0;
+  /// Scheduler observability for the current Run() (reset at its start);
+  /// snapshotted into WorkloadResult::scheduler.
+  MetricsRegistry sched_;
 };
 
 }  // namespace navpath

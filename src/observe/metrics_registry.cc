@@ -123,6 +123,22 @@ void MetricsRegistry::Reset() {
   for (auto& [name, h] : histograms_) h.Reset();
 }
 
+std::uint64_t RegistrySnapshot::CounterOr(const std::string& name,
+                                          std::uint64_t fallback) const {
+  for (const auto& [counter, value] : counters) {
+    if (counter == name) return value;
+  }
+  return fallback;
+}
+
+const HistogramSummary* RegistrySnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const HistogramSummary& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
 std::string RegistrySnapshot::ToString() const {
   std::string out;
   char buf[256];

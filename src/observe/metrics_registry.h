@@ -72,6 +72,14 @@ struct RegistrySnapshot {
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<HistogramSummary> histograms;
 
+  /// Value of counter `name`, or `fallback` when it was never recorded
+  /// (lets benches/tests read snapshots without caring which policies
+  /// touched which counters).
+  std::uint64_t CounterOr(const std::string& name,
+                          std::uint64_t fallback = 0) const;
+  /// Summary of histogram `name`, or nullptr when never recorded.
+  const HistogramSummary* FindHistogram(const std::string& name) const;
+
   std::string ToString() const;
 };
 

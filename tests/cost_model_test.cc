@@ -86,6 +86,27 @@ TEST(DocumentStatsTest, AncestorEstimateUsesPairCounts) {
   EXPECT_NEAR(est.result_cardinality, 2.0, 1e-6);
 }
 
+TEST(CostModelTest, EstimatedProgressClampsTinyCardinalities) {
+  // Regression: the workload executor's remaining-cost estimate used to
+  // skip the progress discount whenever the estimated cardinality was
+  // below 1.0, so sub-unit paths (selective predicates round to 0.x
+  // nodes) were costed as if no work had happened and shortest-remaining
+  // ordering kept demoting nearly-finished jobs. The cardinality is
+  // clamped to >= 1 before dividing instead.
+  EXPECT_DOUBLE_EQ(EstimatedProgress(0, 0.25), 0.0);
+  EXPECT_DOUBLE_EQ(EstimatedProgress(1, 0.25), 1.0);
+  EXPECT_DOUBLE_EQ(EstimatedProgress(1, 0.0), 1.0);
+
+  // Ordinary cardinalities divide through; progress caps at 1.
+  EXPECT_DOUBLE_EQ(EstimatedProgress(2, 4.0), 0.5);
+  EXPECT_DOUBLE_EQ(EstimatedProgress(4, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(EstimatedProgress(40, 4.0), 1.0);
+
+  // Degenerate estimates (negative from numeric noise) clamp too.
+  EXPECT_DOUBLE_EQ(EstimatedProgress(0, -3.0), 0.0);
+  EXPECT_DOUBLE_EQ(EstimatedProgress(5, -3.0), 1.0);
+}
+
 TEST(CostModelTest, EstimateScalesWithSelectivity) {
   TagRegistry* tags;
   DatabaseOptions options;

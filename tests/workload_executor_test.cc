@@ -90,7 +90,7 @@ TEST(WorkloadExecutorTest, AllPoliciesProduceIdenticalResults) {
 
   for (const WorkloadPolicy policy :
        {WorkloadPolicy::kRoundRobin, WorkloadPolicy::kFewestPendingIos,
-        WorkloadPolicy::kShortestRemainingCost}) {
+        WorkloadPolicy::kShortestRemainingCost, WorkloadPolicy::kHybrid}) {
     auto run = RunWorkload(fixture->get(), queries, PlanKind::kXSchedule,
                            policy, 0);
     ASSERT_TRUE(run.ok())
@@ -102,6 +102,97 @@ TEST(WorkloadExecutorTest, AllPoliciesProduceIdenticalResults) {
                 OrdersOf(baseline->queries[i].nodes))
           << WorkloadPolicyName(policy) << " " << queries[i];
     }
+  }
+}
+
+/// Runs `queries` under `policy` and records the pull schedule (job index
+/// per scheduling decision) via the on_pull hook.
+Result<std::vector<std::size_t>> PullScheduleOf(
+    XMarkFixture* fixture, const std::vector<std::string>& queries,
+    WorkloadPolicy policy,
+    std::vector<std::size_t>* active_sizes = nullptr) {
+  std::vector<std::size_t> schedule;
+  WorkloadOptions options;
+  options.policy = policy;
+  options.collect_nodes = false;
+  options.stats = &fixture->stats();
+  options.on_pull = [&](std::size_t job_index, std::size_t active_size) {
+    schedule.push_back(job_index);
+    if (active_sizes != nullptr) active_sizes->push_back(active_size);
+  };
+  WorkloadExecutor executor(fixture->db(), fixture->doc(), options);
+  for (const std::string& q : queries) {
+    NAVPATH_RETURN_NOT_OK(executor.Add(q, PaperPlan(PlanKind::kXSchedule)));
+  }
+  NAVPATH_RETURN_NOT_OK(executor.Run().status());
+  return schedule;
+}
+
+TEST(WorkloadExecutorTest, PullScheduleIsDeterministicForEveryPolicy) {
+  // Scheduling must depend only on the workload, never on host state:
+  // two identically-seeded fixtures have to produce pull-for-pull
+  // identical schedules under every policy, hybrid's live classification
+  // signals included.
+  const std::vector<std::string> queries(std::begin(kQueries),
+                                         std::end(kQueries));
+  for (const WorkloadPolicy policy :
+       {WorkloadPolicy::kRoundRobin, WorkloadPolicy::kFewestPendingIos,
+        WorkloadPolicy::kShortestRemainingCost, WorkloadPolicy::kHybrid}) {
+    auto first_fixture = XMarkFixture::Create(0.02);
+    ASSERT_TRUE(first_fixture.ok()) << first_fixture.status().ToString();
+    auto second_fixture = XMarkFixture::Create(0.02);
+    ASSERT_TRUE(second_fixture.ok()) << second_fixture.status().ToString();
+
+    auto first = PullScheduleOf(first_fixture->get(), queries, policy);
+    ASSERT_TRUE(first.ok())
+        << WorkloadPolicyName(policy) << ": " << first.status().ToString();
+    auto second = PullScheduleOf(second_fixture->get(), queries, policy);
+    ASSERT_TRUE(second.ok())
+        << WorkloadPolicyName(policy) << ": " << second.status().ToString();
+
+    ASSERT_FALSE(first->empty()) << WorkloadPolicyName(policy);
+    EXPECT_EQ(*first, *second) << WorkloadPolicyName(policy);
+  }
+}
+
+TEST(WorkloadExecutorTest, RoundRobinNeverStarvesAJob) {
+  // Regression for the `decisions % active.size()` cursor: when a job
+  // completed, the modulus re-aligned and could pull some survivor twice
+  // while another waited. Rotation over stable job ids guarantees that
+  // between two pulls of any job, no other job is pulled twice, and the
+  // gap never exceeds one full rotation of the admitted set.
+  auto fixture = XMarkFixture::Create(0.02);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  const std::vector<std::string> queries = {
+      "/site/regions//item",        "/site/people/person/email",
+      "/site//keyword",             "/site/regions//name",
+      "/site/people/person/name"};
+
+  std::vector<std::size_t> active_sizes;
+  auto schedule = PullScheduleOf(fixture->get(), queries,
+                                 WorkloadPolicy::kRoundRobin, &active_sizes);
+  ASSERT_TRUE(schedule.ok()) << schedule.status().ToString();
+  ASSERT_FALSE(schedule->empty());
+
+  std::vector<std::size_t> last_pull(queries.size(), 0);
+  std::vector<bool> pulled(queries.size(), false);
+  for (std::size_t t = 0; t < schedule->size(); ++t) {
+    const std::size_t job = (*schedule)[t];
+    ASSERT_LT(job, queries.size());
+    if (pulled[job]) {
+      // Every pull in between must belong to a distinct other job.
+      std::vector<int> seen(queries.size(), 0);
+      for (std::size_t u = last_pull[job] + 1; u < t; ++u) {
+        ++seen[(*schedule)[u]];
+        EXPECT_LE(seen[(*schedule)[u]], 1)
+            << "job " << (*schedule)[u] << " pulled twice while job " << job
+            << " waited (decisions " << last_pull[job] << ".." << t << ")";
+      }
+      EXPECT_LE(t - last_pull[job], queries.size())
+          << "job " << job << " waited longer than one full rotation";
+    }
+    pulled[job] = true;
+    last_pull[job] = t;
   }
 }
 
