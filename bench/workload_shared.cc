@@ -1,0 +1,264 @@
+// Cross-query prefix sharing: N concurrent XSchedule queries whose
+// compiled step sequences overlap in a predicate-free prefix. The
+// workload executor's sharing subsystem materializes each adopted prefix
+// once (one producer plan into a bounded stream buffer) and lets the
+// member queries extend partial instances with their private residual
+// steps.
+//
+// Sweeps N in {2, 4, 8} x prefix overlap in {0, 0.5, 1.0} under the
+// hybrid policy, sharing off vs. on. Exits nonzero when:
+//   - any point changes a query's result (sharing must be invisible),
+//   - overlap 0 adopts a group, deviates from the sharing-off pull
+//     schedule, or regresses makespan by more than 1% (a declined
+//     estimate must leave scheduling byte-identical),
+//   - N=8 at overlap 1.0 fails to cut cluster accesses by >= 25%.
+//
+// Appends a "shared" section to the BENCH_workload.json trajectory
+// (written by workload_throughput; schema note in DESIGN.md).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchlib/harness.h"
+#include "compiler/workload_executor.h"
+
+namespace {
+
+using namespace navpath;
+
+// Eight queries fanning out of the shared prefix /site/regions//item
+// (steps 1-3 coincide, the final step differs). The prefix carries the
+// expensive traversal — the whole regions subtree — while each member's
+// residual is a one-hop child extension, so one producer pass replaces
+// eight full scans.
+constexpr const char* kSharedMix[] = {
+    "/site/regions//item/name",        "/site/regions//item/location",
+    "/site/regions//item/quantity",    "/site/regions//item/payment",
+    "/site/regions//item/description", "/site/regions//item/shipping",
+    "/site/regions//item/incategory",  "/site/regions//item/mailbox",
+};
+
+// Eight queries that pairwise differ at step 2 (axis or tag), so they
+// share only /site — below the minimum sharing depth. The regions query
+// sits last so mixed points draw disjoint queries first.
+constexpr const char* kDisjointMix[] = {
+    "/site/people/person/email",
+    "/site/open_auctions//bidder",
+    "/site/closed_auctions//price",
+    "/site/categories//description",
+    "/site/catgraph//edge",
+    "/site//keyword",
+    "/site//mail",
+    "/site/regions//item",
+};
+
+/// Query mix for one sweep point: `n` queries of which round(overlap*n)
+/// come from the shared-prefix mix.
+std::vector<std::string> MixFor(std::size_t n, double overlap) {
+  const std::size_t shared =
+      static_cast<std::size_t>(overlap * static_cast<double>(n) + 0.5);
+  std::vector<std::string> queries;
+  for (std::size_t i = 0; i < shared; ++i) queries.push_back(kSharedMix[i]);
+  for (std::size_t i = 0; queries.size() < n; ++i) {
+    queries.push_back(kDisjointMix[i]);
+  }
+  return queries;
+}
+
+Result<WorkloadResult> RunPoint(XMarkFixture* fixture,
+                                const std::vector<std::string>& queries,
+                                bool enable_sharing,
+                                std::vector<std::size_t>* schedule) {
+  WorkloadOptions options;
+  options.policy = WorkloadPolicy::kHybrid;
+  options.stats = &fixture->stats();
+  options.enable_sharing = enable_sharing;
+  if (schedule != nullptr) {
+    options.on_pull = [schedule](std::size_t job, std::size_t) {
+      schedule->push_back(job);
+    };
+  }
+  WorkloadExecutor executor(fixture->db(), fixture->doc(), options);
+  for (const std::string& q : queries) {
+    NAVPATH_RETURN_NOT_OK(executor.Add(q, PaperPlan(PlanKind::kXSchedule)));
+  }
+  return executor.Run();
+}
+
+}  // namespace
+
+int main() {
+  using namespace navpath;
+  constexpr double kScale = 0.10;
+  std::printf("Cross-query prefix sharing — hybrid policy, scale %.2f\n",
+              kScale);
+  auto fixture = XMarkFixture::Create(kScale);
+  if (!fixture.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n",
+                 fixture.status().ToString().c_str());
+    return 1;
+  }
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("scale_factor").Value(kScale);
+  json.Key("policy").Value("hybrid");
+  json.Key("points").BeginArray();
+
+  PrintTableHeader(
+      "private vs shared (cluster accesses and makespan)",
+      {"N", "overlap", "priv[s]", "shared[s]", "priv clus", "shared clus",
+       "saved", "adopted", "spills"});
+
+  bool ok = true;
+  for (const std::size_t n : {2u, 4u, 8u}) {
+    for (const double overlap : {0.0, 0.5, 1.0}) {
+      const std::vector<std::string> queries = MixFor(n, overlap);
+
+      std::vector<std::size_t> private_schedule;
+      auto private_run =
+          RunPoint(fixture->get(), queries, false, &private_schedule);
+      private_run.status().AbortIfNotOk();
+
+      std::vector<std::size_t> shared_schedule;
+      auto shared_run =
+          RunPoint(fixture->get(), queries, true, &shared_schedule);
+      shared_run.status().AbortIfNotOk();
+
+      // Sharing must be invisible in the results, adopted or not.
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        if (shared_run->queries[i].count != private_run->queries[i].count ||
+            private_run->queries[i].count == 0) {
+          std::fprintf(
+              stderr, "count mismatch at N=%zu overlap %.1f: %s\n", n,
+              overlap, queries[i].c_str());
+          ok = false;
+        }
+      }
+
+      const std::uint64_t adopted =
+          shared_run->scheduler.CounterOr("share.groups_adopted");
+      const std::uint64_t spills =
+          shared_run->scheduler.CounterOr("share.spills");
+      const double private_seconds = private_run->total_seconds();
+      const double shared_seconds = shared_run->total_seconds();
+      const std::uint64_t private_clusters =
+          private_run->metrics.clusters_visited;
+      const std::uint64_t shared_clusters =
+          shared_run->metrics.clusters_visited;
+      const double saved =
+          private_clusters == 0
+              ? 0.0
+              : 1.0 - static_cast<double>(shared_clusters) /
+                          static_cast<double>(private_clusters);
+
+      if (overlap == 0.0) {
+        // No shareable prefix: the estimator must keep its hands off.
+        if (adopted != 0) {
+          std::fprintf(stderr,
+                       "N=%zu overlap 0 adopted %llu groups (want 0)\n", n,
+                       static_cast<unsigned long long>(adopted));
+          ok = false;
+        }
+        if (shared_schedule != private_schedule) {
+          std::fprintf(stderr,
+                       "N=%zu overlap 0: pull schedule deviates from the "
+                       "sharing-off run\n", n);
+          ok = false;
+        }
+        if (shared_seconds > 1.01 * private_seconds) {
+          std::fprintf(stderr,
+                       "N=%zu overlap 0: makespan %.3fs vs %.3fs private "
+                       "(> 1%% regression)\n", n, shared_seconds,
+                       private_seconds);
+          ok = false;
+        }
+      }
+      if (n == 8 && overlap == 1.0) {
+        if (adopted == 0) {
+          std::fprintf(stderr, "N=8 overlap 1.0: sharing not adopted\n");
+          ok = false;
+        }
+        if (saved < 0.25) {
+          std::fprintf(stderr,
+                       "N=8 overlap 1.0: cluster accesses only %.1f%% "
+                       "down (want >= 25%%)\n", 100.0 * saved);
+          ok = false;
+        }
+      }
+
+      char overlap_s[8], saved_s[16], adopted_s[8], spills_s[8];
+      std::snprintf(overlap_s, sizeof(overlap_s), "%.1f", overlap);
+      std::snprintf(saved_s, sizeof(saved_s), "%.1f%%", 100.0 * saved);
+      std::snprintf(adopted_s, sizeof(adopted_s), "%llu",
+                    static_cast<unsigned long long>(adopted));
+      std::snprintf(spills_s, sizeof(spills_s), "%llu",
+                    static_cast<unsigned long long>(spills));
+      PrintTableRow({std::to_string(n), overlap_s,
+                     FormatSeconds(private_seconds),
+                     FormatSeconds(shared_seconds),
+                     std::to_string(private_clusters),
+                     std::to_string(shared_clusters), saved_s, adopted_s,
+                     spills_s});
+
+      json.BeginObject();
+      json.Key("n").Value(static_cast<std::uint64_t>(n));
+      json.Key("overlap").Value(overlap);
+      json.Key("private_seconds").Value(private_seconds);
+      json.Key("shared_seconds").Value(shared_seconds);
+      json.Key("private_clusters").Value(private_clusters);
+      json.Key("shared_clusters").Value(shared_clusters);
+      json.Key("private_disk_reads").Value(private_run->metrics.disk_reads);
+      json.Key("shared_disk_reads").Value(shared_run->metrics.disk_reads);
+      json.Key("groups_adopted").Value(adopted);
+      json.Key("groups_declined")
+          .Value(shared_run->scheduler.CounterOr("share.groups_declined"));
+      json.Key("members_shared")
+          .Value(shared_run->scheduler.CounterOr("share.members_shared"));
+      json.Key("instances_streamed")
+          .Value(
+              shared_run->scheduler.CounterOr("share.instances_streamed"));
+      json.Key("spills").Value(spills);
+      json.Key("private_fallbacks")
+          .Value(
+              shared_run->scheduler.CounterOr("share.private_fallbacks"));
+      json.EndObject();
+    }
+  }
+  json.EndArray();
+  json.EndObject();
+
+  // Splice the section into the trajectory workload_throughput writes;
+  // stand alone when it has not run yet.
+  const std::string path = BenchTrajectoryPath("BENCH_workload.json");
+  std::string doc;
+  if (auto existing = ReadTextFile(path); existing.ok()) {
+    doc = *std::move(existing);
+    while (!doc.empty() && (doc.back() == '\n' || doc.back() == ' ')) {
+      doc.pop_back();
+    }
+    // Re-running replaces any previously spliced section.
+    if (const std::size_t at = doc.find(",\"shared\":");
+        at != std::string::npos) {
+      doc.resize(at);
+      doc += "}";
+    }
+  }
+  if (!doc.empty() && doc.back() == '}') {
+    doc.pop_back();
+    doc += ",\"shared\":" + json.str() + "}\n";
+  } else {
+    doc = "{\"bench\":\"workload_shared\",\"schema_version\":1,\"shared\":" +
+          json.str() + "}\n";
+  }
+  const Status wrote = WriteTextFile(path, doc);
+  if (!wrote.ok()) {
+    std::fprintf(stderr, "trajectory: %s\n", wrote.ToString().c_str());
+    ok = false;
+  } else {
+    std::printf("wrote %s (shared section)\n", path.c_str());
+  }
+
+  std::printf("workload shared: %s\n", ok ? "ok" : "FAILED");
+  return ok ? 0 : 1;
+}

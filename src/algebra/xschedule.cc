@@ -44,7 +44,9 @@ Status XSchedule::SchedulePrefetch(PageId page) {
   }
   NAVPATH_ASSIGN_OR_RETURN(
       const BufferManager::PrefetchOutcome outcome,
-      db_->buffer()->Prefetch(page, shared_->owner_id));
+      db_->buffer()->Prefetch(page, shared_->owner_id,
+                              shared_->io_priority ? ReadPriority::kHigh
+                                                   : ReadPriority::kNormal));
   if (outcome == BufferManager::PrefetchOutcome::kResident) {
     MarkReady(page);
   }
@@ -60,7 +62,10 @@ Status XSchedule::TopUpPrefetches() {
     deferred_set_.erase(page);
     NAVPATH_ASSIGN_OR_RETURN(
         const BufferManager::PrefetchOutcome outcome,
-        db_->buffer()->Prefetch(page, shared_->owner_id));
+        db_->buffer()->Prefetch(page, shared_->owner_id,
+                                shared_->io_priority
+                                    ? ReadPriority::kHigh
+                                    : ReadPriority::kNormal));
     if (outcome == BufferManager::PrefetchOutcome::kResident) {
       MarkReady(page);
     }

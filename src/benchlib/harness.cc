@@ -251,6 +251,23 @@ void WriteHistogramJson(JsonWriter* json, const Histogram& histogram) {
   json->EndObject();
 }
 
+Result<std::string> ReadTextFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open " + path + " for reading");
+  }
+  std::string content;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, got);
+  }
+  const bool error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (error) return Status::IOError("read error on " + path);
+  return content;
+}
+
 Status WriteTextFile(const std::string& path, const std::string& content) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {

@@ -123,6 +123,10 @@ std::string BenchTrajectoryPath(const std::string& name);
 /// Writes `content` to `path` (overwriting).
 Status WriteTextFile(const std::string& path, const std::string& content);
 
+/// Reads `path` fully; NotFound when it does not exist. Lets benches
+/// splice their section into a trajectory file another bench wrote.
+Result<std::string> ReadTextFile(const std::string& path);
+
 // --- Trace capture --------------------------------------------------------
 //
 // Benches and examples opt into Chrome-trace capture via the environment:

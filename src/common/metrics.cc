@@ -16,6 +16,7 @@ Metrics Metrics::Delta(const Metrics& start) const {
   d.elevator_batches = elevator_batches - start.elevator_batches;
   d.elevator_depth_sum = elevator_depth_sum - start.elevator_depth_sum;
   d.elevator_depth_max = elevator_depth_max;  // high-water mark, not a count
+  d.priority_jumps = priority_jumps - start.priority_jumps;
   d.buffer_hits = buffer_hits - start.buffer_hits;
   d.buffer_misses = buffer_misses - start.buffer_misses;
   d.buffer_evictions = buffer_evictions - start.buffer_evictions;
@@ -46,7 +47,7 @@ std::string Metrics::ToString() const {
       "disk: reads=%llu (seq=%llu) writes=%llu seek_pages=%llu "
       "async=%llu (reordered=%llu)\n"
       "sched: merged=%llu elevator_batches=%llu depth_sum=%llu "
-      "depth_max=%llu\n"
+      "depth_max=%llu priority_jumps=%llu\n"
       "buffer: hits=%llu misses=%llu evictions=%llu swizzle=%llu "
       "unswizzle=%llu\n"
       "faults: injected=%llu retries=%llu corruptions_detected=%llu "
@@ -64,6 +65,7 @@ std::string Metrics::ToString() const {
       static_cast<unsigned long long>(elevator_batches),
       static_cast<unsigned long long>(elevator_depth_sum),
       static_cast<unsigned long long>(elevator_depth_max),
+      static_cast<unsigned long long>(priority_jumps),
       static_cast<unsigned long long>(buffer_hits),
       static_cast<unsigned long long>(buffer_misses),
       static_cast<unsigned long long>(buffer_evictions),

@@ -243,6 +243,37 @@ double EstimatedProgress(std::uint64_t produced,
   return std::min(1.0, static_cast<double>(produced) / card);
 }
 
+namespace {
+
+// Physical access costs (nanoseconds). The two factors below are
+// calibrated against the measured simulator behaviour on fragmented
+// layouts: navigational (Simple) access streams retain some locality,
+// paying roughly half of a worst-case random read per page; the
+// bounded-window C-SCAN elevator of the async path improves on random
+// access by about a factor of six, independent of request density.
+struct PhysicalReads {
+  double sequential_read = 0;
+  double random_read = 0;
+  double elevator_read = 0;
+};
+
+PhysicalReads EstimatePhysicalReads(const DocumentStats& stats,
+                                    const DiskModel& disk) {
+  constexpr double kSimpleLocality = 0.55;
+  constexpr double kElevatorGain = 8.0;
+  PhysicalReads reads;
+  reads.sequential_read = static_cast<double>(disk.transfer_time);
+  const double worst_random = static_cast<double>(
+      disk.AccessCost(0, std::max<PageId>(1, stats.page_count() / 3)));
+  reads.random_read = reads.sequential_read +
+                      kSimpleLocality * (worst_random - reads.sequential_read);
+  reads.elevator_read = reads.sequential_read +
+                        (worst_random - reads.sequential_read) / kElevatorGain;
+  return reads;
+}
+
+}  // namespace
+
 PlanCosts EstimatePlanCosts(const DocumentStats& stats,
                             const LocationPath& path, const DiskModel& disk,
                             const CpuCostModel& cpu) {
@@ -250,21 +281,10 @@ PlanCosts EstimatePlanCosts(const DocumentStats& stats,
   const double pages = static_cast<double>(stats.page_count());
   const double touched = std::max(1.0, est.clusters_touched);
 
-  // Physical access costs (nanoseconds). The two factors below are
-  // calibrated against the measured simulator behaviour on fragmented
-  // layouts: navigational (Simple) access streams retain some locality,
-  // paying roughly half of a worst-case random read per page; the
-  // bounded-window C-SCAN elevator of the async path improves on random
-  // access by about a factor of six, independent of request density.
-  constexpr double kSimpleLocality = 0.55;
-  constexpr double kElevatorGain = 8.0;
-  const double sequential_read = static_cast<double>(disk.transfer_time);
-  const double worst_random = static_cast<double>(
-      disk.AccessCost(0, std::max<PageId>(1, stats.page_count() / 3)));
-  const double random_read =
-      sequential_read + kSimpleLocality * (worst_random - sequential_read);
-  const double elevator_read =
-      sequential_read + (worst_random - sequential_read) / kElevatorGain;
+  const PhysicalReads reads = EstimatePhysicalReads(stats, disk);
+  const double sequential_read = reads.sequential_read;
+  const double random_read = reads.random_read;
+  const double elevator_read = reads.elevator_read;
 
   const double hop = static_cast<double>(cpu.record_hop + cpu.node_test);
   const double nav_cpu = est.nodes_examined * hop;
@@ -297,6 +317,48 @@ PlanCosts EstimatePlanCosts(const DocumentStats& stats,
                                             cpu.page_install) +
                 scan_cpu;
   return costs;
+}
+
+SharedPrefixEstimate EstimateSharedPrefix(const DocumentStats& stats,
+                                          const LocationPath& prefix,
+                                          const std::vector<LocationPath>& members,
+                                          const DiskModel& disk,
+                                          const CpuCostModel& cpu) {
+  SharedPrefixEstimate est;
+  const PhysicalReads reads = EstimatePhysicalReads(stats, disk);
+  const double hop = static_cast<double>(cpu.record_hop + cpu.node_test);
+  const double crossing_unit =
+      static_cast<double>(cpu.swizzle + cpu.buffer_probe + cpu.set_op);
+
+  const PathEstimate prefix_est = EstimatePath(stats, prefix);
+  est.producer_cost = EstimatePlanCosts(stats, prefix, disk, cpu).xschedule;
+
+  double max_residual_clusters = 0;
+  for (const LocationPath& full : members) {
+    const PathEstimate full_est = EstimatePath(stats, full);
+    // Residual navigation CPU is paid per member: every member walks its
+    // own suffix over the streamed prefix instances.
+    est.suffix_cost_total +=
+        std::max(0.0, full_est.nodes_examined - prefix_est.nodes_examined) *
+            hop +
+        std::max(0.0, full_est.crossings - prefix_est.crossings) *
+            crossing_unit;
+    max_residual_clusters = std::max(
+        max_residual_clusters,
+        std::max(0.0,
+                 full_est.clusters_touched - prefix_est.clusters_touched));
+    const PlanCosts priv = EstimatePlanCosts(stats, full, disk, cpu);
+    est.private_cost_total +=
+        std::min(priv.simple, std::min(priv.xschedule, priv.xscan));
+  }
+  // Residual I/O is pooled, not per member: the members extend the same
+  // prefix instances through overlapping document regions, and the buffer
+  // pool keeps residual clusters resident across consumers, so the union
+  // of residual clusters — approximated by the largest member residual —
+  // is read once for the whole group.
+  est.suffix_cost_total += max_residual_clusters * reads.random_read;
+  est.beneficial = est.shared_cost() < est.private_cost_total;
+  return est;
 }
 
 PlanKind ChoosePlanKind(const DocumentStats& stats, const PathQuery& query,

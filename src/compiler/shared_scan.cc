@@ -24,6 +24,20 @@ struct PathLane {
 Result<SharedScanResult> ExecuteQuerySharedScan(
     Database* db, const ImportedDocument& doc, const PathQuery& query,
     bool cold_start) {
+  SharedScanOptions options;
+  options.cold_start = cold_start;
+  return ExecuteQuerySharedScan(db, doc, query, options);
+}
+
+Result<SharedScanResult> ExecuteQuerySharedScan(
+    Database* db, const ImportedDocument& doc, const PathQuery& query,
+    const SharedScanOptions& options) {
+  const bool cold_start = options.cold_start;
+  if (options.s_budget != 0) {
+    return Status::InvalidArgument(
+        "shared scan cannot honor an s_budget: fallback mode would make "
+        "one lane navigate across borders mid-scan; use ExecuteQuery");
+  }
   if (query.paths.empty()) {
     return Status::InvalidArgument("query without paths");
   }

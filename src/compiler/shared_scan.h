@@ -23,10 +23,19 @@ namespace navpath {
 /// A PathOperator whose input is pushed by an external driver. Returning
 /// false only means "nothing buffered right now"; the driver may push
 /// more and pull again.
+///
+/// Contract: Open() before the first Push(). Re-opening with instances
+/// still queued is refused — silently discarding them would make the
+/// consumer miss input the driver already accounted for (and charged the
+/// simulated clock for). A driver that genuinely wants to abandon queued
+/// input drains it first.
 class FeedOperator : public PathOperator {
  public:
   Status Open() override {
-    queue_.clear();
+    if (!queue_.empty()) {
+      return Status::InvalidArgument(
+          "FeedOperator::Open with instances still queued; drain first");
+    }
     return Status::OK();
   }
   Result<bool> Next(PathInstance* out) override {
@@ -49,10 +58,23 @@ struct SharedScanResult {
   std::vector<std::uint64_t> path_counts;   // one entry per query path
 };
 
+struct SharedScanOptions {
+  /// Reset buffer/clock/metrics before the run.
+  bool cold_start = true;
+  /// Memory budget for each lane's speculative structure S. Shared scan
+  /// cannot honor one: fallback mode (Sec. 5.4.6) would make one lane
+  /// navigate across borders while the others still speculate against
+  /// the pinned cluster. Any nonzero value is rejected with
+  /// InvalidArgument — use ExecuteQuery for budgeted evaluation.
+  std::size_t s_budget = 0;
+};
+
 /// Evaluates all paths of `query` in one sequential scan.
-/// Limitation: fallback mode (Sec. 5.4.6) is not supported here — the
-/// speculative structures are bounded by the documents this executor is
-/// meant for; use ExecuteQuery with an s_budget otherwise.
+Result<SharedScanResult> ExecuteQuerySharedScan(
+    Database* db, const ImportedDocument& doc, const PathQuery& query,
+    const SharedScanOptions& options);
+
+/// Back-compat convenience overload (default options but cold_start).
 Result<SharedScanResult> ExecuteQuerySharedScan(
     Database* db, const ImportedDocument& doc, const PathQuery& query,
     bool cold_start = true);

@@ -40,10 +40,12 @@
 #include <unordered_set>
 #include <vector>
 
+#include "algebra/fanout.h"
 #include "compiler/cost_model.h"
 #include "compiler/executor.h"
 #include "compiler/plan.h"
 #include "observe/metrics_registry.h"
+#include "share/prefix_trie.h"
 #include "xpath/location_path.h"
 
 namespace navpath {
@@ -97,6 +99,30 @@ struct WorkloadOptions {
 
   /// Produce an EXPLAIN ANALYZE report per query (forces plan profiling).
   bool explain = false;
+
+  /// Cross-query prefix sharing (src/share): detect shared predicate-free
+  /// path prefixes across the closed-system part of the workload (needs
+  /// `stats`), evaluate each adopted prefix ONCE with an XSchedule
+  /// producer, and stream the partial instances to the member queries,
+  /// which extend them with their residual steps. A prefix is adopted
+  /// only when EstimateSharedPrefix says the producer plus pooled
+  /// residuals undercut the members' private plans; declined groups run
+  /// exactly as without sharing (byte-identical scheduling). Opt-in.
+  bool enable_sharing = false;
+
+  /// Buffer pages reserved per adopted sharing group for its stream
+  /// buffer (accounting via BufferManager::ReserveAux; translated into an
+  /// instance budget for the FanOut). Exceeding the budget detaches the
+  /// most-lagging member, which falls back to a private plan
+  /// (spill-to-recompute).
+  std::size_t share_buffer_pages = 64;
+
+  /// Drive-side request priority (ReadPriority::kHigh): tag the I/O of
+  /// the cheapest-remaining-cost quartile of the active set so its few
+  /// pages jump the elevator sweep instead of queueing behind long
+  /// queries' scans. Needs `stats`; counted by disk.priority_jumps.
+  /// Opt-in.
+  bool priority_io = false;
 
   /// Test/diagnostic hook: invoked before every scheduling decision's
   /// pull with the Add()-order index of the chosen job and the size of
@@ -153,8 +179,15 @@ struct WorkloadResult {
   /// hybrid decisions) and "sched.picks.io_rr" / "sched.picks.cpu_sjf"
   /// (which half of the hybrid served each decision), plus the
   /// "sched.pool_depth" histogram sampling the drive's pending pool at
-  /// every decision. Recording is measurement-side only — it never
-  /// touches the simulated clock.
+  /// every decision. With sharing enabled, also the share.* metrics:
+  /// counters "share.groups_adopted" / "share.groups_declined" /
+  /// "share.members_shared" / "share.producer_pulls" /
+  /// "share.consumer_pulls" / "share.instances_streamed" /
+  /// "share.dedup_hits" / "share.spills" / "share.private_fallbacks",
+  /// the "share.prefix_hit_depth" histogram (shared steps per member)
+  /// and the "share.buffered_instances" histogram (stream-buffer
+  /// occupancy sampled at every shared pull). Recording is
+  /// measurement-side only — it never touches the simulated clock.
   RegistrySnapshot scheduler;
 
   double total_seconds() const { return SimClock::ToSeconds(total_time); }
@@ -210,6 +243,13 @@ class WorkloadExecutor {
     /// Max estimated clusters touched by any operand path (0 = no stats).
     double clusters_touched = 0.0;
 
+    // Sharing state (WorkloadOptions.enable_sharing). A job in a group
+    // consumes the group's shared stream for its first path; kNoGroup
+    // means private execution (never grouped, group declined, or the job
+    // was detached and fell back).
+    std::size_t share_group = static_cast<std::size_t>(-1);
+    std::size_t share_slot = 0;
+
     // Run state.
     std::size_t path_index = 0;
     PathPlan plan;
@@ -233,10 +273,54 @@ class WorkloadExecutor {
     WorkloadQueryResult result;
   };
 
+  /// One adopted sharing group: the producer plan evaluating the common
+  /// prefix, the FanOut streaming its instances, and bookkeeping for
+  /// admission/buffer accounting. Lives for the whole Run().
+  struct ShareGroup {
+    LocationPath prefix;
+    std::vector<std::size_t> members;  // jobs_ indices, ascending
+    PathPlan producer;
+    std::unique_ptr<FanOut> fanout;
+    /// Producer-side admission footprint, charged once when the first
+    /// member is admitted and released when the group drains.
+    std::size_t footprint = 0;
+    bool charged = false;
+    /// Members still attached to the stream (not finished / fallen back).
+    std::size_t remaining = 0;
+    /// Stream-buffer pages reserved against the buffer manager.
+    std::size_t reserved_pages = 0;
+  };
+
+  static constexpr std::size_t kNoGroup = static_cast<std::size_t>(-1);
+
   /// Admission footprint of `job`: the static prefetch-state bound,
   /// tightened by the cost model's clusters_touched estimate when
   /// document statistics are available.
   std::size_t FootprintFor(const Job& job) const;
+
+  /// Sharing front end, run once per Run(): inserts the eligible queries
+  /// (single absolute path, arrival 0) into a PrefixTrie, prices every
+  /// extracted group with EstimateSharedPrefix, and builds producer plan
+  /// + FanOut for each adopted group. Makes no simulated-clock charges,
+  /// so a run where every group is declined schedules byte-identically
+  /// to one with sharing disabled.
+  Status PlanShareGroups();
+
+  /// Builds and opens the consumer plan for a shared member's first
+  /// path: FanOutReader over the group's stream, extended by UnnestMap
+  /// operators for the residual steps.
+  Status StartSharedPath(Job* job);
+
+  /// Detaches `job` from its group (finished or spilled); the last one
+  /// out finalizes the group: transfers the FanOut's stream statistics
+  /// into the share.* counters, releases the reserved buffer pages and
+  /// the producer footprint, and destroys the producer plan.
+  void LeaveShareGroup(Job* job);
+
+  /// Spill-to-recompute: close `job`'s consumer plan, leave the group,
+  /// and restart the path privately, preserving the result-level dedup
+  /// set so instances already emitted are not double-counted.
+  Status FallBackToPrivate(Job* job);
 
   /// Builds and opens the plan for the job's next path.
   Status StartNextPath(Job* job);
@@ -286,6 +370,11 @@ class WorkloadExecutor {
   const ImportedDocument* doc_;
   WorkloadOptions options_;
   std::vector<Job> jobs_;
+  std::vector<ShareGroup> groups_;
+  /// Aggregate admission footprint of the active set (plus charged
+  /// producer footprints); a member so FallBackToPrivate can re-charge a
+  /// spilled job's private footprint mid-run.
+  std::size_t footprint_used_ = 0;
   /// Stable-id rotation cursors (jobs_ index of the last pick; SIZE_MAX
   /// before the first): one for kRoundRobin, one for kHybrid's I/O set.
   std::size_t rr_cursor_ = static_cast<std::size_t>(-1);

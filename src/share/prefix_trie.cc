@@ -1,0 +1,96 @@
+#include "share/prefix_trie.h"
+
+#include <algorithm>
+
+namespace navpath {
+
+void PrefixTrie::AddPath(std::size_t index, const LocationPath& path) {
+  if (!path.absolute) return;  // per-query context sets cannot be shared
+  ++paths_indexed_;
+  Node* node = &root_;
+  for (const LocationStep& step : path.steps) {
+    if (!step.predicates.empty()) break;  // predicate ends the shared run
+    const StepKey key = StepKey::Of(step);
+    Node* child = nullptr;
+    for (const std::unique_ptr<Node>& c : node->children) {
+      if (c->key == key) {
+        child = c.get();
+        break;
+      }
+    }
+    if (child == nullptr) {
+      auto fresh = std::make_unique<Node>();
+      fresh->key = key;
+      fresh->step = step;  // predicate-free by the break above
+      child = fresh.get();
+      node->children.push_back(std::move(fresh));
+    }
+    child->members.push_back(index);
+    node = child;
+  }
+}
+
+std::vector<SharedPrefix> PrefixTrie::ExtractGroups(
+    std::size_t min_depth, std::size_t min_members) const {
+  // Collect candidate nodes with their full step prefix via DFS.
+  struct Candidate {
+    std::vector<LocationStep> steps;
+    const std::vector<std::size_t>* members;
+  };
+  std::vector<Candidate> candidates;
+  std::vector<LocationStep> stack;
+  // Iterative DFS in child insertion order keeps extraction deterministic.
+  struct Frame {
+    const Node* node;
+    std::size_t next_child = 0;
+  };
+  std::vector<Frame> frames;
+  frames.push_back(Frame{&root_});
+  while (!frames.empty()) {
+    Frame& top = frames.back();
+    if (top.next_child == top.node->children.size()) {
+      if (!stack.empty()) stack.pop_back();
+      frames.pop_back();
+      continue;
+    }
+    const Node* child = top.node->children[top.next_child++].get();
+    stack.push_back(child->step);
+    if (stack.size() >= min_depth && child->members.size() >= min_members) {
+      candidates.push_back(Candidate{stack, &child->members});
+    }
+    frames.push_back(Frame{child});
+  }
+
+  // Deepest-first; ties to the smallest first member, then fewer members
+  // (a fully deterministic total order).
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.steps.size() != b.steps.size()) {
+                return a.steps.size() > b.steps.size();
+              }
+              if (a.members->front() != b.members->front()) {
+                return a.members->front() < b.members->front();
+              }
+              return a.members->size() < b.members->size();
+            });
+
+  std::vector<SharedPrefix> groups;
+  std::vector<bool> assigned;
+  for (const Candidate& candidate : candidates) {
+    std::vector<std::size_t> free_members;
+    for (const std::size_t m : *candidate.members) {
+      if (m >= assigned.size()) assigned.resize(m + 1, false);
+      if (!assigned[m]) free_members.push_back(m);
+    }
+    if (free_members.size() < min_members) continue;
+    for (const std::size_t m : free_members) assigned[m] = true;
+    SharedPrefix group;
+    group.prefix.absolute = true;
+    group.prefix.steps = candidate.steps;
+    group.members = std::move(free_members);
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+}  // namespace navpath

@@ -1,0 +1,92 @@
+// Path-prefix trie over a workload's location paths.
+//
+// The sharing subsystem's front end: the compiled step sequences of all
+// workload queries are inserted into a trie keyed by normalized steps
+// (axis + node test), and every trie node reached by two or more queries
+// names a candidate shared prefix. Steps carrying predicates end a
+// query's insertion — a predicated step filters differently per query, so
+// only the predicate-free common prefix is shareable (the workload
+// executor additionally rejects predicated queries outright; the trie
+// handles them so it can be used on raw parsed input).
+//
+// Group extraction is greedy deepest-first: the deepest candidate claims
+// its queries, shallower candidates share what remains. Ordering is fully
+// deterministic (children in insertion order, ties to the smallest query
+// index), so the same workload always produces the same groups — a
+// prerequisite for the executor's reproducible scheduling.
+#ifndef NAVPATH_SHARE_PREFIX_TRIE_H_
+#define NAVPATH_SHARE_PREFIX_TRIE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "xpath/location_path.h"
+
+namespace navpath {
+
+/// The normalized identity of one step: axis plus node test. Two steps
+/// with equal keys select the same nodes from the same context (predicates
+/// excluded by construction — predicated steps are never inserted).
+struct StepKey {
+  Axis axis = Axis::kChild;
+  NodeTest::Kind test_kind = NodeTest::Kind::kAnyNode;
+  TagId tag = 0;  // kName only
+
+  static StepKey Of(const LocationStep& step) {
+    StepKey key;
+    key.axis = step.axis;
+    key.test_kind = step.test.kind;
+    key.tag = step.test.kind == NodeTest::Kind::kName ? step.test.tag : 0;
+    return key;
+  }
+
+  bool operator==(const StepKey& other) const {
+    return axis == other.axis && test_kind == other.test_kind &&
+           tag == other.tag;
+  }
+};
+
+/// One shared prefix and the queries that can ride it.
+struct SharedPrefix {
+  /// The prefix as an absolute location path (steps copied from the first
+  /// member, which is identical to every member's prefix by construction).
+  LocationPath prefix;
+  /// Indices (as passed to AddPath) of the participating queries, in
+  /// ascending order.
+  std::vector<std::size_t> members;
+
+  std::size_t depth() const { return prefix.steps.size(); }
+};
+
+class PrefixTrie {
+ public:
+  /// Inserts the predicate-free prefix of `path` for query `index`.
+  /// Relative paths are skipped entirely (their context sets differ per
+  /// query); insertion stops before the first predicated step.
+  void AddPath(std::size_t index, const LocationPath& path);
+
+  /// Extracts disjoint sharing groups: every group has >= `min_members`
+  /// queries sharing >= `min_depth` normalized steps, each query belongs
+  /// to at most one group (its deepest candidate), and groups are
+  /// reported deepest-first, ties by smallest member index.
+  std::vector<SharedPrefix> ExtractGroups(std::size_t min_depth = 2,
+                                          std::size_t min_members = 2) const;
+
+  std::size_t paths_indexed() const { return paths_indexed_; }
+
+ private:
+  struct Node {
+    StepKey key;  // edge from the parent (unused on the root)
+    LocationStep step;  // representative step for prefix reconstruction
+    std::vector<std::size_t> members;  // queries passing through, ascending
+    std::vector<std::unique_ptr<Node>> children;  // insertion order
+  };
+
+  Node root_;
+  std::size_t paths_indexed_ = 0;
+};
+
+}  // namespace navpath
+
+#endif  // NAVPATH_SHARE_PREFIX_TRIE_H_

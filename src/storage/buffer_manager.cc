@@ -242,7 +242,7 @@ Result<PageGuard> BufferManager::NewPage() {
 }
 
 Result<BufferManager::PrefetchOutcome> BufferManager::Prefetch(
-    PageId id, std::uint32_t owner) {
+    PageId id, std::uint32_t owner, ReadPriority priority) {
   const auto resident = page_table_.find(id);
   if (resident != page_table_.end()) {
     // A concurrent query will come back for this page once its scheduler
@@ -260,9 +260,11 @@ Result<BufferManager::PrefetchOutcome> BufferManager::Prefetch(
       owners.push_back(owner);
       ++metrics_->requests_merged;
     }
+    // An urgent interest makes the whole merged request urgent.
+    if (priority == ReadPriority::kHigh) disk_->PromoteRead(id, priority);
     return PrefetchOutcome::kInFlight;
   }
-  NAVPATH_RETURN_NOT_OK(disk_->SubmitRead(id));
+  NAVPATH_RETURN_NOT_OK(disk_->SubmitRead(id, priority));
   in_flight_.emplace(id, std::vector<std::uint32_t>{owner});
   return PrefetchOutcome::kSubmitted;
 }

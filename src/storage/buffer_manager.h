@@ -8,6 +8,7 @@
 #ifndef NAVPATH_STORAGE_BUFFER_MANAGER_H_
 #define NAVPATH_STORAGE_BUFFER_MANAGER_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -105,7 +106,11 @@ class BufferManager {
   /// request instead of double-submitting, and counts a request merge.
   /// Repeated prefetches by the same owner are neither merges nor
   /// resubmissions, so single-query plans report requests_merged == 0.
-  Result<PrefetchOutcome> Prefetch(PageId id, std::uint32_t owner = 0);
+  /// `priority` is the drive-side service class; a high-priority interest
+  /// in a page already in flight promotes the pending request.
+  Result<PrefetchOutcome> Prefetch(PageId id, std::uint32_t owner = 0,
+                                   ReadPriority priority =
+                                       ReadPriority::kNormal);
 
   bool IsResident(PageId id) const { return page_table_.count(id) > 0; }
 
@@ -143,6 +148,21 @@ class BufferManager {
 
   /// Drops every unpinned page (used to cold-start each measured query).
   Status InvalidateAll();
+
+  // --- Auxiliary memory reservations ------------------------------------
+  //
+  // Components that hold page-sized memory outside the frame table (e.g.
+  // the workload executor's shared-prefix stream buffers) register it
+  // here, in page equivalents, so admission controllers can subtract it
+  // from the pool they hand out. Accounting only: reservations do not
+  // remove frames or change eviction.
+
+  void ReserveAux(std::size_t pages) { aux_reserved_ += pages; }
+  void ReleaseAux(std::size_t pages) {
+    NAVPATH_DCHECK(aux_reserved_ >= pages);
+    aux_reserved_ -= std::min(pages, aux_reserved_);
+  }
+  std::size_t aux_reserved_pages() const { return aux_reserved_; }
 
   // Internal accessors used by PageGuard.
   void Unpin(std::size_t frame_idx);
@@ -206,6 +226,7 @@ class BufferManager {
   // In-flight prefetches, each with the owners interested in the page
   // (small vectors: a handful of concurrent queries at most).
   std::unordered_map<PageId, std::vector<std::uint32_t>> in_flight_;
+  std::size_t aux_reserved_ = 0;  // page-equivalents held outside frames
   std::uint64_t use_counter_ = 0;
   std::unique_ptr<std::byte[]> scratch_;  // staging buffer for disk I/O
 };
