@@ -373,4 +373,55 @@ PlanKind ChoosePlanKind(const DocumentStats& stats, const PathQuery& query,
   return total.Best();
 }
 
+DegradedTier ChooseDegradedTier(const DocumentStats& stats,
+                                const PathQuery& query,
+                                const PlanOptions& requested,
+                                const DiskModel& disk,
+                                const CpuCostModel& cpu) {
+  // Never shrink the elevator window below this: a pool this shallow
+  // still merges overlapping reads but frees most of the admission
+  // footprint (queue_k + 2 pages).
+  constexpr std::size_t kDegradedQueueFloor = 8;
+
+  DegradedTier tier;
+  tier.plan = requested;
+  if (requested.kind != PlanKind::kXSchedule || requested.queue_k == 0) {
+    return tier;  // nothing with a footprint worth shrinking
+  }
+
+  PlanOptions reduced = requested;
+  reduced.queue_k =
+      std::max(kDegradedQueueFloor, requested.queue_k / 4);
+  PlanOptions simple = requested;
+  simple.kind = PlanKind::kSimple;
+  if (reduced.queue_k >= requested.queue_k) {
+    // Already at or below the floor: Simple is the only cheaper tier.
+    reduced = simple;
+  }
+
+  double reduced_cost = 0;
+  double simple_cost = 0;
+  // A shallower window weakens SSTF reordering; interpolate the per-path
+  // elevator advantage toward the synchronous cost by pool depth.
+  const double shrink = static_cast<double>(reduced.queue_k) /
+                        static_cast<double>(requested.queue_k);
+  for (const LocationPath& path : query.paths) {
+    const PlanCosts costs = EstimatePlanCosts(stats, path, disk, cpu);
+    tier.requested_cost += costs.xschedule;
+    simple_cost += costs.simple;
+    const double lost = std::max(costs.simple, costs.xschedule) -
+                        costs.xschedule;
+    reduced_cost += costs.xschedule + lost * (1.0 - std::sqrt(shrink));
+  }
+  if (reduced.kind != PlanKind::kSimple && reduced_cost <= simple_cost) {
+    tier.plan = reduced;
+    tier.degraded_cost = reduced_cost;
+  } else {
+    tier.plan = simple;
+    tier.degraded_cost = simple_cost;
+  }
+  tier.viable = true;
+  return tier;
+}
+
 }  // namespace navpath

@@ -149,6 +149,28 @@ SharedPrefixEstimate EstimateSharedPrefix(const DocumentStats& stats,
 PlanKind ChoosePlanKind(const DocumentStats& stats, const PathQuery& query,
                         const DiskModel& disk, const CpuCostModel& cpu);
 
+/// Overload degradation tier for a serving layer: a plan for `query` with
+/// a much smaller buffer/prefetch footprint than `requested`, priced by
+/// the cost model so the controller knows the latency it is trading for
+/// the freed resources. Candidates are a quarter-window XSchedule (the
+/// elevator still reorders, over a shallower pool) and the Simple-method
+/// chain (synchronous, two-page footprint); the helper returns whichever
+/// prices cheaper. Only an XSchedule request has a meaningful footprint
+/// to shrink — for other kinds `viable` stays false and `plan` echoes the
+/// request.
+struct DegradedTier {
+  PlanOptions plan;           // the tier to re-plan onto
+  double requested_cost = 0;  // estimated cost of the requested plan
+  double degraded_cost = 0;   // estimated cost of `plan`
+  bool viable = false;        // a lower-footprint tier exists
+};
+
+DegradedTier ChooseDegradedTier(const DocumentStats& stats,
+                                const PathQuery& query,
+                                const PlanOptions& requested,
+                                const DiskModel& disk,
+                                const CpuCostModel& cpu);
+
 }  // namespace navpath
 
 #endif  // NAVPATH_COMPILER_COST_MODEL_H_

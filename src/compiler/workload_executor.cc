@@ -61,7 +61,27 @@ constexpr std::size_t kConsumerFootprint = 2;
 /// the page-denominated stream budget into a FanOut instance budget.
 constexpr std::size_t kInstanceBytes = 64;
 
+/// Deadline-urgency headroom: a job is urgent once its remaining slack no
+/// longer covers this multiple of its estimated remaining cost. Two keeps
+/// a margin for estimate error and queueing ahead of the deadline instead
+/// of reacting only when it is already lost.
+constexpr double kDeadlineHeadroom = 2.0;
+
 }  // namespace
+
+Status ValidateWorkloadOptions(const WorkloadOptions& options) {
+  // NaN fails the > comparison, so it lands here too.
+  if (!(options.buffer_budget_fraction > 0.0) ||
+      options.buffer_budget_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "buffer_budget_fraction must be in (0, 1]");
+  }
+  if (options.enable_sharing && options.share_buffer_pages == 0) {
+    return Status::InvalidArgument(
+        "sharing requires a nonzero share_buffer_pages stream budget");
+  }
+  return Status::OK();
+}
 
 const char* WorkloadPolicyName(WorkloadPolicy policy) {
   switch (policy) {
@@ -85,7 +105,7 @@ WorkloadExecutor::WorkloadExecutor(Database* db, const ImportedDocument& doc,
 
 Status WorkloadExecutor::Add(const PathQuery& query, const PlanOptions& plan,
                              std::vector<LogicalNode> contexts,
-                             SimTime arrival) {
+                             SimTime arrival, SimTime deadline) {
   if (query.paths.empty()) {
     return Status::InvalidArgument("query without paths");
   }
@@ -102,41 +122,62 @@ Status WorkloadExecutor::Add(const PathQuery& query, const PlanOptions& plan,
     return Status::InvalidArgument(
         "arrivals must be nondecreasing in Add() order");
   }
+  if (deadline != 0 && deadline <= arrival) {
+    return Status::InvalidArgument("deadline not after arrival");
+  }
   Job job;
   job.query = query;
   job.plan_options = plan;
   if (options_.explain) job.plan_options.profile = true;
+  // Under external admission the per-query prefetch cap applies from the
+  // moment the job exists (Run() instead applies it once, in BeginRun,
+  // when it knows the workload runs concurrently).
+  if (stepping_ && options_.prefetch_inflight_cap > 0 &&
+      job.plan_options.kind == PlanKind::kXSchedule) {
+    job.plan_options.prefetch_inflight_cap = options_.prefetch_inflight_cap;
+  }
   job.contexts = std::move(contexts);
   job.arrival = arrival;
+  job.deadline = deadline;
   job.result.arrival = arrival;
   // Owner 0 is reserved for standalone execution, so merges are only ever
   // attributed to genuine cross-query interest.
   job.owner_id = static_cast<std::uint32_t>(jobs_.size()) + 1;
-  if (options_.stats != nullptr) {
-    for (const LocationPath& path : query.paths) {
-      const PlanCosts costs = EstimatePlanCosts(
-          *options_.stats, path, db_->options().disk_model, db_->costs());
-      double cost = costs.simple;
-      if (plan.kind == PlanKind::kXSchedule) cost = costs.xschedule;
-      if (plan.kind == PlanKind::kXScan) cost = costs.xscan;
-      job.path_costs.push_back(cost);
-      const PathEstimate estimate = EstimatePath(*options_.stats, path);
-      job.path_cards.push_back(estimate.result_cardinality);
-      job.path_clusters.push_back(estimate.clusters_touched);
-      job.clusters_touched =
-          std::max(job.clusters_touched, estimate.clusters_touched);
-    }
-  }
+  ComputeEstimates(&job);
   job.footprint = FootprintFor(job);
   jobs_.push_back(std::move(job));
   return Status::OK();
 }
 
 Status WorkloadExecutor::Add(const std::string& query,
-                             const PlanOptions& plan, SimTime arrival) {
+                             const PlanOptions& plan, SimTime arrival,
+                             SimTime deadline) {
   NAVPATH_ASSIGN_OR_RETURN(const PathQuery parsed,
                            ParseQuery(query, db_->tags()));
-  return Add(parsed, plan, {}, arrival);
+  return Add(parsed, plan, {}, arrival, deadline);
+}
+
+void WorkloadExecutor::ComputeEstimates(Job* job) const {
+  job->path_costs.clear();
+  job->path_cards.clear();
+  job->path_clusters.clear();
+  job->clusters_touched = 0.0;
+  if (options_.stats == nullptr) return;
+  for (const LocationPath& path : job->query.paths) {
+    const PlanCosts costs = EstimatePlanCosts(
+        *options_.stats, path, db_->options().disk_model, db_->costs());
+    double cost = costs.simple;
+    if (job->plan_options.kind == PlanKind::kXSchedule) {
+      cost = costs.xschedule;
+    }
+    if (job->plan_options.kind == PlanKind::kXScan) cost = costs.xscan;
+    job->path_costs.push_back(cost);
+    const PathEstimate estimate = EstimatePath(*options_.stats, path);
+    job->path_cards.push_back(estimate.result_cardinality);
+    job->path_clusters.push_back(estimate.clusters_touched);
+    job->clusters_touched =
+        std::max(job->clusters_touched, estimate.clusters_touched);
+  }
 }
 
 std::size_t WorkloadExecutor::FootprintFor(const Job& job) const {
@@ -365,6 +406,7 @@ void WorkloadExecutor::FinishPath(Job* job) {
   if (!options_.explain) return;
   if (job->result.explain == nullptr) {
     job->result.explain = std::make_shared<QueryExplain>();
+    job->result.explain->degraded = job->result.degraded;
   }
   job->result.explain->paths.push_back(BuildPathExplain(
       db_, job->query.paths[job->path_index], job->plan, job->plan_options,
@@ -539,9 +581,24 @@ std::size_t WorkloadExecutor::PickNext(
         // flip-flops between narrow and full under backlog, leaving a
         // flooded elevator competing against a serialized cheap job —
         // measurably worse than either parent policy.
-        const std::size_t window =
-            completed_ * 2 < jobs_.size() ? kHybridBreadth : active.size();
-        ranked.resize(std::min(active.size(), window));
+        const std::size_t window = completed_ * 2 < std::max(n_total_,
+                                                             jobs_.size())
+                                       ? kHybridBreadth
+                                       : active.size();
+        const std::size_t cut = std::min(active.size(), window);
+        // Deadline-urgent jobs stay inside the window regardless of rank:
+        // a job whose slack no longer covers its remaining cost cannot
+        // afford to be parked outside the breadth bound. Without
+        // deadlines (the default) this appends nothing.
+        std::vector<std::size_t> kept(ranked.begin(),
+                                      ranked.begin() +
+                                          static_cast<std::ptrdiff_t>(cut));
+        for (std::size_t i = cut; i < ranked.size(); ++i) {
+          if (DeadlineUrgent(jobs_[active[ranked[i]]])) {
+            kept.push_back(ranked[i]);
+          }
+        }
+        ranked = std::move(kept);
       }
       // Inside the window, split by what gates each job's progress: the
       // I/O-bound jobs rotate (their pulls are cheap — they submit and
@@ -566,10 +623,9 @@ std::size_t WorkloadExecutor::PickNext(
   NAVPATH_UNREACHABLE();
 }
 
-Result<WorkloadResult> WorkloadExecutor::Run() {
-  if (jobs_.empty()) {
-    return Status::InvalidArgument("empty workload");
-  }
+Status WorkloadExecutor::BeginRun() {
+  NAVPATH_RETURN_NOT_OK(ValidateWorkloadOptions(options_));
+  if (!stepping_) n_total_ = jobs_.size();
   if (options_.cold_start) {
     NAVPATH_RETURN_NOT_OK(db_->ResetMeasurement());
   }
@@ -577,25 +633,30 @@ Result<WorkloadResult> WorkloadExecutor::Run() {
   rr_cursor_ = static_cast<std::size_t>(-1);
   hybrid_io_cursor_ = static_cast<std::size_t>(-1);
   completed_ = 0;
+  run_active_.clear();
+  run_decisions_ = 0;
+  consecutive_yields_ = 0;
+  footprint_used_ = 0;
 
   // Everything below reports deltas over this window, so repeated runs on
   // a shared Database measure only themselves. After a cold start the
   // window base is zero and the deltas equal the absolute readings.
-  const Metrics window_start = db_->metrics()->Snapshot();
-  const SimTime window_t0 = db_->clock()->now();
-  const SimTime window_cpu0 = db_->clock()->cpu_time();
+  window_start_ = db_->metrics()->Snapshot();
+  window_t0_ = db_->clock()->now();
+  window_cpu0_ = db_->clock()->cpu_time();
 
   // Optionally bound each query's outstanding prefetches. Unbounded is
   // the default and usually the right call: claimed-frame protection in
   // the buffer keeps install-ahead pages alive, and yielding (below)
   // means deep pools are an asset, not a liability. The explicit cap
   // exists for configurations whose buffer genuinely cannot hold the
-  // aggregate in-flight set.
+  // aggregate in-flight set. Stepping drivers admit jobs that are not
+  // known yet, so they always run concurrently-capped (see Add).
   const std::size_t n_target =
       options_.max_concurrent == 0
           ? jobs_.size()
           : std::min(jobs_.size(), options_.max_concurrent);
-  if (n_target > 1 && options_.prefetch_inflight_cap > 0) {
+  if ((n_target > 1 || stepping_) && options_.prefetch_inflight_cap > 0) {
     for (Job& job : jobs_) {
       if (job.plan_options.kind == PlanKind::kXSchedule) {
         job.plan_options.prefetch_inflight_cap =
@@ -605,179 +666,156 @@ Result<WorkloadResult> WorkloadExecutor::Run() {
     }
   }
 
-  // Sharing groups are planned after the prefetch caps settle, so the
-  // producers inherit the effective per-query options and the members'
-  // consumer footprints are not clobbered by the recomputation above.
-  NAVPATH_RETURN_NOT_OK(PlanShareGroups());
-
-  const std::size_t budget = std::max<std::size_t>(
+  budget_ = std::max<std::size_t>(
       1, static_cast<std::size_t>(
              static_cast<double>(db_->buffer()->capacity()) *
              options_.buffer_budget_fraction));
+  return Status::OK();
+}
 
-  std::vector<std::size_t> active;  // indices into jobs_
-  std::size_t next_admit = 0;
-  footprint_used_ = 0;
+void WorkloadExecutor::FinishJob(std::size_t active_pos) {
+  Job& job = jobs_[run_active_[active_pos]];
+  job.result.finished_at = db_->clock()->now();
+  job.plan = PathPlan();
+  job.seen.clear();
+  if (job.share_group != kNoGroup) LeaveShareGroup(&job);
+  job.done = true;
+  ++completed_;
+  footprint_used_ -= job.footprint;
+  run_active_.erase(run_active_.begin() +
+                    static_cast<std::ptrdiff_t>(active_pos));
+}
 
-  auto admit = [&]() -> Status {
-    while (next_admit < jobs_.size()) {
-      Job& job = jobs_[next_admit];
-      if (job.arrival > db_->clock()->now()) break;  // not yet in system
-      const bool have_slot = options_.max_concurrent == 0 ||
-                             active.size() < options_.max_concurrent;
-      // A shared member's first admission also charges its group's
-      // producer footprint (once per group).
-      std::size_t charge = job.footprint;
-      if (job.share_group != kNoGroup &&
-          !groups_[job.share_group].charged) {
-        charge += groups_[job.share_group].footprint;
-      }
-      const bool fits =
-          active.empty() || footprint_used_ + charge <= budget;
-      if (!have_slot || !fits) break;
-      NAVPATH_RETURN_NOT_OK(StartNextPath(&job));
-      // StartNextPath may have fallen back to private (pre-start
-      // detach), so the charge derives from the job's current state.
-      job.result.admitted_at = db_->clock()->now();
-      footprint_used_ += job.footprint;
-      if (job.share_group != kNoGroup) {
-        ShareGroup& group = groups_[job.share_group];
-        if (!group.charged) {
-          group.charged = true;
-          footprint_used_ += group.footprint;
-        }
-      }
-      active.push_back(next_admit);
-      ++next_admit;
-    }
-    return Status::OK();
-  };
-  NAVPATH_RETURN_NOT_OK(admit());
-
-  std::uint64_t decisions = 0;
-  std::size_t consecutive_yields = 0;
-  PathInstance inst;
-  while (!active.empty() || next_admit < jobs_.size()) {
-    if (active.empty()) {
-      // Open system, idle gap: nothing to run until the next arrival.
-      db_->clock()->WaitUntil(jobs_[next_admit].arrival);
-      NAVPATH_RETURN_NOT_OK(admit());
-      continue;
-    }
-    // Open-system arrivals join the active set mid-run; the gate keeps
-    // closed workloads (every arrival == 0) on the exact admission
-    // sequence they had before arrivals existed.
-    if (next_admit < jobs_.size() && jobs_[next_admit].arrival != 0 &&
-        jobs_[next_admit].arrival <= db_->clock()->now()) {
-      NAVPATH_RETURN_NOT_OK(admit());
-    }
-    const std::size_t pick = PickNext(active, decisions);
-    Job& job = jobs_[active[pick]];
-    if (options_.on_pull) options_.on_pull(active[pick], active.size());
-    // One scheduling decision per pull: picking the query is a set probe
-    // over the active list, not free.
-    db_->clock()->ChargeCpu(db_->costs().set_op);
-    job.last_pull = ++decisions;
-    ++job.result.pulls;
-    // Slide the classification window once it is full, so the hybrid
-    // policy judges a job on its recent behavior, not its whole history.
-    if (job.result.pulls - job.window_pulls0 >= kClassifyWindow) {
-      const PlanSharedState* shared = job.plan.shared();
-      job.window_pulls0 = job.result.pulls;
-      job.window_yields0 = shared->io_yields;
-      job.window_blocks0 = shared->io_blocks;
-    }
-
-    // An I/O-bound query yields instead of blocking while siblings still
-    // have CPU work — its pending reads keep pooling at the disk. Once a
-    // full round of active queries yielded, everyone is I/O bound: let
-    // this one block, serving the deepest possible pool.
-    PlanSharedState* shared = job.plan.shared();
-    shared->yield_on_block =
-        active.size() > 1 && consecutive_yields < active.size();
-
-    if (options_.priority_io && options_.stats != nullptr) {
-      // Drive-side priority class: the cheapest-remaining quartile of
-      // the active set submits its reads at high priority, so its few
-      // remaining pages jump the elevator sweep instead of queueing
-      // behind the long queries' scans. Ranked per pull from live
-      // estimates; ties break to the lower job id.
-      const double mine = RemainingCost(job);
-      std::size_t cheaper = 0;
-      for (const std::size_t idx : active) {
-        if (idx == active[pick]) continue;
-        const double cost = RemainingCost(jobs_[idx]);
-        if (cost < mine || (cost == mine && idx < active[pick])) ++cheaper;
-      }
-      shared->io_priority =
-          cheaper < std::max<std::size_t>(1, active.size() / 4);
-    }
-    if (job.share_group != kNoGroup) {
-      // Measurement-side: stream-buffer occupancy seen by shared pulls.
-      sched_.GetHistogram("share.buffered_instances")
-          .Record(groups_[job.share_group].fanout->buffered());
-    }
-
-    NAVPATH_ASSIGN_OR_RETURN(const bool have, job.plan.root()->Pull(&inst));
-    if (!have && shared->yielded) {
-      shared->yielded = false;
-      ++consecutive_yields;
-      continue;
-    }
-    consecutive_yields = 0;
-    if (have) {
-      // Final duplicate elimination, as in single-query execution.
-      db_->clock()->ChargeCpu(db_->costs().set_op);
-      if (!job.seen.insert(inst.right.node.Pack()).second) continue;
-      ++job.result.count;
-      ++job.produced_in_path;
-      if (options_.collect_nodes &&
-          job.query.mode == PathQuery::Mode::kNodes) {
-        job.result.nodes.push_back(
-            LogicalNode{inst.right.node, 0, inst.right.order});
-      }
-      continue;
-    }
-
-    // Exhaustion — unless the stream detached this member mid-flight
-    // (spill-to-recompute): then the member has NOT seen the whole
-    // stream and must re-derive its path privately.
-    if (job.share_group != kNoGroup &&
-        groups_[job.share_group].fanout->detached(job.share_slot)) {
-      NAVPATH_RETURN_NOT_OK(FallBackToPrivate(&job));
-      continue;
-    }
-
-    NAVPATH_RETURN_NOT_OK(job.plan.root()->Close());
-    FinishPath(&job);
-    ++job.path_index;
-    if (job.path_index < job.query.paths.size()) {
-      NAVPATH_RETURN_NOT_OK(StartNextPath(&job));
-      continue;
-    }
-
-    // Query finished: order its results, free its plan and footprint,
-    // and let the admission controller top the active set back up.
-    if (job.result.nodes.size() > 1) {
-      const double n = static_cast<double>(job.result.nodes.size());
-      db_->clock()->ChargeCpu(static_cast<SimTime>(
-          n * std::max(1.0, std::log2(n)) *
-          static_cast<double>(db_->costs().sort_op)));
-      std::sort(job.result.nodes.begin(), job.result.nodes.end(),
-                [](const LogicalNode& a, const LogicalNode& b) {
-                  return a.order < b.order;
-                });
-    }
-    job.result.finished_at = db_->clock()->now();
-    job.plan = PathPlan();
-    job.seen.clear();
-    if (job.share_group != kNoGroup) LeaveShareGroup(&job);
-    ++completed_;
-    footprint_used_ -= job.footprint;
-    active.erase(active.begin() + static_cast<std::ptrdiff_t>(pick));
-    NAVPATH_RETURN_NOT_OK(admit());
+Result<std::size_t> WorkloadExecutor::PullOnce() {
+  NAVPATH_DCHECK(!run_active_.empty());
+  const std::size_t pick = PickNext(run_active_, run_decisions_);
+  const std::size_t job_index = run_active_[pick];
+  Job& job = jobs_[job_index];
+  if (options_.on_pull) options_.on_pull(job_index, run_active_.size());
+  // One scheduling decision per pull: picking the query is a set probe
+  // over the active list, not free.
+  db_->clock()->ChargeCpu(db_->costs().set_op);
+  job.last_pull = ++run_decisions_;
+  ++job.result.pulls;
+  // Slide the classification window once it is full, so the hybrid
+  // policy judges a job on its recent behavior, not its whole history.
+  if (job.result.pulls - job.window_pulls0 >= kClassifyWindow) {
+    const PlanSharedState* window_shared = job.plan.shared();
+    job.window_pulls0 = job.result.pulls;
+    job.window_yields0 = window_shared->io_yields;
+    job.window_blocks0 = window_shared->io_blocks;
   }
 
+  // An I/O-bound query yields instead of blocking while siblings still
+  // have CPU work — its pending reads keep pooling at the disk. Once a
+  // full round of active queries yielded, everyone is I/O bound: let
+  // this one block, serving the deepest possible pool.
+  PlanSharedState* shared = job.plan.shared();
+  shared->yield_on_block = run_active_.size() > 1 &&
+                           consecutive_yields_ < run_active_.size();
+
+  if (options_.priority_io && options_.stats != nullptr) {
+    // Drive-side priority class: the cheapest-remaining quartile of
+    // the active set submits its reads at high priority, so its few
+    // remaining pages jump the elevator sweep instead of queueing
+    // behind the long queries' scans. Ranked per pull from live
+    // estimates; ties break to the lower job id. A job whose deadline
+    // slack ran out joins the class regardless of rank.
+    const double mine = RemainingCost(job);
+    std::size_t cheaper = 0;
+    for (const std::size_t idx : run_active_) {
+      if (idx == job_index) continue;
+      const double cost = RemainingCost(jobs_[idx]);
+      if (cost < mine || (cost == mine && idx < job_index)) ++cheaper;
+    }
+    shared->io_priority =
+        cheaper < std::max<std::size_t>(1, run_active_.size() / 4) ||
+        DeadlineUrgent(job);
+  }
+  if (job.share_group != kNoGroup) {
+    // Measurement-side: stream-buffer occupancy seen by shared pulls.
+    sched_.GetHistogram("share.buffered_instances")
+        .Record(groups_[job.share_group].fanout->buffered());
+  }
+
+  Result<bool> pulled = job.plan.root()->Pull(&step_inst_);
+  if (!pulled.ok()) {
+    // Per-query fault isolation: a pull that surfaces an error (e.g.
+    // Status::Corruption from a permanently bad page after retries)
+    // fails this query alone. Its neighbors and the serving loop keep
+    // running; the error is reported in the query's result status.
+    job.result.status = pulled.status();
+    (void)job.plan.root()->Close();  // best-effort resource release
+    FinishJob(pick);
+    return job_index;
+  }
+  const bool have = *pulled;
+  if (!have && shared->yielded) {
+    shared->yielded = false;
+    ++consecutive_yields_;
+    return kNoJob;
+  }
+  consecutive_yields_ = 0;
+  if (have) {
+    // Final duplicate elimination, as in single-query execution.
+    db_->clock()->ChargeCpu(db_->costs().set_op);
+    if (!job.seen.insert(step_inst_.right.node.Pack()).second) {
+      return kNoJob;
+    }
+    ++job.result.count;
+    ++job.produced_in_path;
+    if (options_.collect_nodes &&
+        job.query.mode == PathQuery::Mode::kNodes) {
+      job.result.nodes.push_back(
+          LogicalNode{step_inst_.right.node, 0, step_inst_.right.order});
+    }
+    return kNoJob;
+  }
+
+  // Exhaustion — unless the stream detached this member mid-flight
+  // (spill-to-recompute): then the member has NOT seen the whole
+  // stream and must re-derive its path privately.
+  if (job.share_group != kNoGroup &&
+      groups_[job.share_group].fanout->detached(job.share_slot)) {
+    NAVPATH_RETURN_NOT_OK(FallBackToPrivate(&job));
+    return kNoJob;
+  }
+
+  const Status closed = job.plan.root()->Close();
+  if (!closed.ok()) {
+    job.result.status = closed;
+    FinishJob(pick);
+    return job_index;
+  }
+  FinishPath(&job);
+  ++job.path_index;
+  if (job.path_index < job.query.paths.size()) {
+    const Status started = StartNextPath(&job);
+    if (!started.ok()) {
+      job.result.status = started;
+      FinishJob(pick);
+      return job_index;
+    }
+    return kNoJob;
+  }
+
+  // Query finished: order its results, free its plan and footprint,
+  // and let the admission controller top the active set back up.
+  if (job.result.nodes.size() > 1) {
+    const double n = static_cast<double>(job.result.nodes.size());
+    db_->clock()->ChargeCpu(static_cast<SimTime>(
+        n * std::max(1.0, std::log2(n)) *
+        static_cast<double>(db_->costs().sort_op)));
+    std::sort(job.result.nodes.begin(), job.result.nodes.end(),
+              [](const LogicalNode& a, const LogicalNode& b) {
+                return a.order < b.order;
+              });
+  }
+  FinishJob(pick);
+  return job_index;
+}
+
+WorkloadResult WorkloadExecutor::CollectResult() {
   // Drain speculative reads no query consumed (cross-query completion
   // stealing can leave a closed plan's prefetches in flight), so the
   // database is reusable and the device-busy tail is accounted for.
@@ -790,11 +828,225 @@ Result<WorkloadResult> WorkloadExecutor::Run() {
     result.queries.push_back(std::move(job.result));
   }
   jobs_.clear();
-  result.total_time = db_->clock()->now() - window_t0;
-  result.cpu_time = db_->clock()->cpu_time() - window_cpu0;
-  result.metrics = db_->metrics()->Delta(window_start);
+  result.total_time = db_->clock()->now() - window_t0_;
+  result.cpu_time = db_->clock()->cpu_time() - window_cpu0_;
+  result.metrics = db_->metrics()->Delta(window_start_);
   result.scheduler = sched_.Snapshot();
   return result;
+}
+
+Result<WorkloadResult> WorkloadExecutor::Run() {
+  if (jobs_.empty()) {
+    return Status::InvalidArgument("empty workload");
+  }
+  stepping_ = false;
+  NAVPATH_RETURN_NOT_OK(BeginRun());
+
+  // Sharing groups are planned after the prefetch caps settle, so the
+  // producers inherit the effective per-query options and the members'
+  // consumer footprints are not clobbered by the recomputation above.
+  NAVPATH_RETURN_NOT_OK(PlanShareGroups());
+
+  std::size_t next_admit = 0;
+
+  auto admit = [&]() -> Status {
+    while (next_admit < jobs_.size()) {
+      Job& job = jobs_[next_admit];
+      if (job.arrival > db_->clock()->now()) break;  // not yet in system
+      const bool have_slot =
+          options_.max_concurrent == 0 ||
+          run_active_.size() < options_.max_concurrent;
+      // A shared member's first admission also charges its group's
+      // producer footprint (once per group).
+      std::size_t charge = job.footprint;
+      if (job.share_group != kNoGroup &&
+          !groups_[job.share_group].charged) {
+        charge += groups_[job.share_group].footprint;
+      }
+      const bool fits =
+          run_active_.empty() || footprint_used_ + charge <= budget_;
+      if (!have_slot || !fits) break;
+      job.activated = true;
+      const Status started = StartNextPath(&job);
+      job.result.admitted_at = db_->clock()->now();
+      if (!started.ok()) {
+        // A plan that fails to open fails its query alone; the workload
+        // keeps serving (per-query status isolation).
+        job.result.status = started;
+        job.result.finished_at = db_->clock()->now();
+        job.plan = PathPlan();
+        if (job.share_group != kNoGroup) LeaveShareGroup(&job);
+        job.done = true;
+        ++completed_;
+        ++next_admit;
+        continue;
+      }
+      // StartNextPath may have fallen back to private (pre-start
+      // detach), so the charge derives from the job's current state.
+      footprint_used_ += job.footprint;
+      if (job.share_group != kNoGroup) {
+        ShareGroup& group = groups_[job.share_group];
+        if (!group.charged) {
+          group.charged = true;
+          footprint_used_ += group.footprint;
+        }
+      }
+      run_active_.push_back(next_admit);
+      ++next_admit;
+    }
+    return Status::OK();
+  };
+  NAVPATH_RETURN_NOT_OK(admit());
+
+  while (!run_active_.empty() || next_admit < jobs_.size()) {
+    if (run_active_.empty()) {
+      // Open system, idle gap: nothing to run until the next arrival.
+      db_->clock()->WaitUntil(jobs_[next_admit].arrival);
+      NAVPATH_RETURN_NOT_OK(admit());
+      continue;
+    }
+    // Open-system arrivals join the active set mid-run; the gate keeps
+    // closed workloads (every arrival == 0) on the exact admission
+    // sequence they had before arrivals existed.
+    if (next_admit < jobs_.size() && jobs_[next_admit].arrival != 0 &&
+        jobs_[next_admit].arrival <= db_->clock()->now()) {
+      NAVPATH_RETURN_NOT_OK(admit());
+    }
+    NAVPATH_ASSIGN_OR_RETURN(const std::size_t done, PullOnce());
+    if (done != kNoJob) {
+      NAVPATH_RETURN_NOT_OK(admit());
+    }
+  }
+
+  return CollectResult();
+}
+
+Status WorkloadExecutor::BeginStepping(std::size_t expected_jobs) {
+  if (options_.enable_sharing) {
+    return Status::InvalidArgument(
+        "cross-query sharing plans the whole workload up front and is "
+        "not available under external admission");
+  }
+  stepping_ = true;
+  n_total_ = expected_jobs;
+  const Status begun = BeginRun();
+  if (!begun.ok()) stepping_ = false;
+  return begun;
+}
+
+Status WorkloadExecutor::ActivateJob(std::size_t index) {
+  if (!stepping_) {
+    return Status::InvalidArgument("not in stepping mode");
+  }
+  if (index >= jobs_.size()) {
+    return Status::InvalidArgument("no such job");
+  }
+  Job& job = jobs_[index];
+  if (job.activated || job.done) {
+    return Status::InvalidArgument("job already activated");
+  }
+  if (job.arrival > db_->clock()->now()) {
+    return Status::InvalidArgument("job has not arrived yet");
+  }
+  job.activated = true;
+  const Status started = StartNextPath(&job);
+  job.result.admitted_at = db_->clock()->now();
+  if (!started.ok()) {
+    // Per-query isolation, as in Run()'s admission: the driver's loop
+    // survives one query's bad plan; the job reports the error itself.
+    job.result.status = started;
+    job.result.finished_at = db_->clock()->now();
+    job.plan = PathPlan();
+    job.done = true;
+    ++completed_;
+    return Status::OK();
+  }
+  footprint_used_ += job.footprint;
+  // Keep the active set ascending by job id: the rotation picks
+  // (kRoundRobin, hybrid I/O set) rely on that order for fairness.
+  run_active_.insert(
+      std::lower_bound(run_active_.begin(), run_active_.end(), index),
+      index);
+  return Status::OK();
+}
+
+Status WorkloadExecutor::RetierJob(std::size_t index,
+                                   const PlanOptions& plan) {
+  if (!stepping_) {
+    return Status::InvalidArgument("not in stepping mode");
+  }
+  if (index >= jobs_.size()) {
+    return Status::InvalidArgument("no such job");
+  }
+  Job& job = jobs_[index];
+  if (job.activated || job.done) {
+    return Status::InvalidArgument(
+        "cannot re-tier a job that already started");
+  }
+  job.plan_options = plan;
+  if (options_.explain) job.plan_options.profile = true;
+  if (options_.prefetch_inflight_cap > 0 &&
+      job.plan_options.kind == PlanKind::kXSchedule) {
+    job.plan_options.prefetch_inflight_cap = options_.prefetch_inflight_cap;
+  }
+  ComputeEstimates(&job);
+  job.footprint = FootprintFor(job);
+  job.result.degraded = true;
+  return Status::OK();
+}
+
+Result<std::size_t> WorkloadExecutor::StepOnce() {
+  if (!stepping_) {
+    return Status::InvalidArgument("not in stepping mode");
+  }
+  if (run_active_.empty()) {
+    return Status::InvalidArgument("nothing active to pull");
+  }
+  return PullOnce();
+}
+
+Result<WorkloadResult> WorkloadExecutor::EndStepping() {
+  if (!stepping_) {
+    return Status::InvalidArgument("not in stepping mode");
+  }
+  stepping_ = false;
+  return CollectResult();
+}
+
+bool WorkloadExecutor::CanAdmit(std::size_t index) const {
+  NAVPATH_DCHECK(index < jobs_.size());
+  const Job& job = jobs_[index];
+  const bool have_slot = options_.max_concurrent == 0 ||
+                         run_active_.size() < options_.max_concurrent;
+  const bool fits =
+      run_active_.empty() || footprint_used_ + job.footprint <= budget_;
+  return have_slot && fits;
+}
+
+double WorkloadExecutor::EstimatedCost(std::size_t index) const {
+  NAVPATH_DCHECK(index < jobs_.size());
+  double total = 0.0;
+  for (const double cost : jobs_[index].path_costs) total += cost;
+  return total;
+}
+
+SimTime WorkloadExecutor::JobArrival(std::size_t index) const {
+  NAVPATH_DCHECK(index < jobs_.size());
+  return jobs_[index].arrival;
+}
+
+const WorkloadQueryResult& WorkloadExecutor::JobResult(
+    std::size_t index) const {
+  NAVPATH_DCHECK(index < jobs_.size());
+  return jobs_[index].result;
+}
+
+bool WorkloadExecutor::DeadlineUrgent(const Job& job) const {
+  if (job.deadline == 0) return false;
+  const SimTime now = db_->clock()->now();
+  if (now >= job.deadline) return true;
+  const double slack = static_cast<double>(job.deadline - now);
+  return slack < kDeadlineHeadroom * RemainingCost(job);
 }
 
 }  // namespace navpath

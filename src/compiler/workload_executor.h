@@ -132,12 +132,27 @@ struct WorkloadOptions {
       on_pull;
 };
 
+/// Entry validation for WorkloadOptions: a serving front-end feeds these
+/// from per-tenant configuration, so malformed budgets must surface as
+/// InvalidArgument instead of tripping asserts mid-run. Checked by Run()
+/// and BeginStepping().
+Status ValidateWorkloadOptions(const WorkloadOptions& options);
+
 /// Outcome of one query of the workload.
 struct WorkloadQueryResult {
   /// Distinct result nodes (summed over count() operands).
   std::uint64_t count = 0;
   /// Node mode with collect_nodes: distinct nodes in document order.
   std::vector<LogicalNode> nodes;
+
+  /// Per-query execution status. A query whose pull surfaces an error
+  /// (e.g. Status::Corruption from a permanently bad page) is failed
+  /// individually: its status records the error, its neighbors and the
+  /// serving loop keep running, and Run() still returns OK.
+  Status status;
+  /// The query ran on a cheaper tier than requested (serving-layer
+  /// overload degradation via RetierJob).
+  bool degraded = false;
 
   /// Simulated arrival time (0 for closed-system workloads where every
   /// query is present at the start), when the admission controller
@@ -209,13 +224,19 @@ class WorkloadExecutor {
   /// pull-interleavable). Relative paths need `contexts`. `arrival` is
   /// the simulated time the query enters the system (open-system
   /// workloads); arrivals must be nondecreasing in Add() order, and a
-  /// query is not admitted before its arrival.
+  /// query is not admitted before its arrival. `deadline` (absolute
+  /// simulated time; 0 = none) marks the query's turnaround target: with
+  /// WorkloadOptions.priority_io, a job whose remaining slack is tight
+  /// submits its reads at high drive priority and is always placed inside
+  /// the hybrid scheduling window. A nonzero deadline at or before the
+  /// arrival is rejected as InvalidArgument.
   Status Add(const PathQuery& query, const PlanOptions& plan,
-             std::vector<LogicalNode> contexts = {}, SimTime arrival = 0);
+             std::vector<LogicalNode> contexts = {}, SimTime arrival = 0,
+             SimTime deadline = 0);
 
   /// Parses `query` against the database's tag registry and admits it.
   Status Add(const std::string& query, const PlanOptions& plan,
-             SimTime arrival = 0);
+             SimTime arrival = 0, SimTime deadline = 0);
 
   std::size_t size() const { return jobs_.size(); }
 
@@ -225,6 +246,69 @@ class WorkloadExecutor {
   /// executor can be reused: Run() clears the job list afterwards.
   Result<WorkloadResult> Run();
 
+  // --- Stepping interface (serving-layer driver) -----------------------
+  //
+  // Run() owns its admission policy (FIFO in Add() order). A serving
+  // front-end (src/serve) instead drives the engine one scheduling
+  // decision at a time and decides itself which job to activate when —
+  // per-tenant queues, weighted fair sharing, overload degradation. The
+  // pull loop (PullOnce) is the very same code Run() executes, so a
+  // stepping driver that mirrors Run()'s admission policy reproduces its
+  // schedule byte for byte.
+
+  /// Enters stepping mode: validates options, performs the cold start and
+  /// measurement-window setup Run() would, and leaves admission to the
+  /// caller. Jobs may still be Add()ed while stepping (nondecreasing
+  /// arrivals). `expected_jobs` declares the workload size the driver
+  /// intends to feed in: scheduling rules that depend on the total count
+  /// (the hybrid window-widening point) use it, so a driver that adds
+  /// jobs lazily at arrival time still reproduces Run()'s decisions. Pass
+  /// 0 when unknown (the live job count is used instead). Cross-query
+  /// sharing is a whole-workload plan and is not available under external
+  /// admission (InvalidArgument).
+  Status BeginStepping(std::size_t expected_jobs = 0);
+
+  /// Returned by StepOnce when no job completed on that decision.
+  static constexpr std::size_t kNoJob = static_cast<std::size_t>(-1);
+
+  /// Activates job `index` (opens its plan, charges its footprint). The
+  /// job must have arrived and not yet have been activated. A plan that
+  /// fails to open fails the job individually (its result carries the
+  /// status) and still returns OK — the serving loop must survive one
+  /// query's bad plan.
+  Status ActivateJob(std::size_t index);
+
+  /// Re-plans a not-yet-activated job onto different plan options (the
+  /// overload controller's cheaper tier: Simple-method chain or reduced
+  /// queue_k). Re-prices the job's cost estimates and admission
+  /// footprint, and marks its result degraded.
+  Status RetierJob(std::size_t index, const PlanOptions& plan);
+
+  /// Executes one scheduling decision over the activated jobs: picks per
+  /// policy, pulls once, and handles yields/completions exactly as
+  /// Run()'s loop does. Returns the jobs_ index of the job that completed
+  /// (or individually failed) on this decision, kNoJob otherwise.
+  /// InvalidArgument when nothing is active.
+  Result<std::size_t> StepOnce();
+
+  /// Leaves stepping mode: drains orphaned prefetches and reports the run
+  /// exactly as Run() does (per-query results in Add() order, window
+  /// deltas, scheduler snapshot). Clears the job list.
+  Result<WorkloadResult> EndStepping();
+
+  // Driver-side introspection (valid while stepping).
+  std::size_t active_count() const { return run_active_.size(); }
+  std::size_t footprint_used() const { return footprint_used_; }
+  std::size_t footprint_budget() const { return budget_; }
+  /// Whether Run()'s admission gate would admit `index` right now: a free
+  /// slot and either an empty active set or room in the buffer budget.
+  bool CanAdmit(std::size_t index) const;
+  /// The cost model's up-front estimate for the whole job (sum over its
+  /// paths; 0 without stats). The DRR admission quantum currency.
+  double EstimatedCost(std::size_t index) const;
+  SimTime JobArrival(std::size_t index) const;
+  const WorkloadQueryResult& JobResult(std::size_t index) const;
+
  private:
   struct Job {
     PathQuery query;
@@ -232,8 +316,15 @@ class WorkloadExecutor {
     std::vector<LogicalNode> contexts;
     std::uint32_t owner_id = 0;
     SimTime arrival = 0;
+    /// Absolute turnaround deadline (0 = none): maps onto drive read
+    /// priority and hybrid-window placement, never onto correctness.
+    SimTime deadline = 0;
     /// Buffer pages the job's prefetch state may occupy (admission).
     std::size_t footprint = 0;
+    /// Lifecycle under external admission (BeginStepping drivers). Run()
+    /// keeps its own next_admit_ cursor and leaves these in sync.
+    bool activated = false;
+    bool done = false;
 
     // Cost-model estimates per path (kShortestRemainingCost, kHybrid and
     // cost-derived admission footprints).
@@ -292,6 +383,34 @@ class WorkloadExecutor {
   };
 
   static constexpr std::size_t kNoGroup = static_cast<std::size_t>(-1);
+
+  /// Computes the cost-model estimates (per-path costs, cardinalities,
+  /// clusters) for the job's current plan options. Shared by Add and
+  /// RetierJob.
+  void ComputeEstimates(Job* job) const;
+
+  /// Shared setup of Run() and BeginStepping(): option validation, cold
+  /// start, measurement-window snapshots, per-query prefetch caps, the
+  /// admission budget, and scheduler-state reset. `n_target` is the
+  /// effective concurrency bound used for the prefetch-cap decision.
+  Status BeginRun();
+
+  /// One scheduling decision over run_active_: pick, pull, account.
+  /// Handles yields, results, path transitions, sharing detach/fallback,
+  /// and completion (including footprint release). A pull that surfaces
+  /// an error fails that job alone: the error lands in the job's result
+  /// status and the loop keeps serving its neighbors. Returns the jobs_
+  /// index of the job that finished on this decision, kNoJob otherwise.
+  Result<std::size_t> PullOnce();
+
+  /// Completion bookkeeping shared by the success and failure exits of
+  /// PullOnce: stamps finished_at, frees plan + footprint, leaves any
+  /// share group, and removes the job from the active set.
+  void FinishJob(std::size_t active_pos);
+
+  /// Builds the final WorkloadResult from the measurement window (shared
+  /// by Run and EndStepping).
+  WorkloadResult CollectResult();
 
   /// Admission footprint of `job`: the static prefetch-state bound,
   /// tightened by the cost model's clusters_touched estimate when
@@ -366,11 +485,31 @@ class WorkloadExecutor {
   std::size_t PickNext(const std::vector<std::size_t>& active,
                        std::uint64_t decisions);
 
+  /// Deadline urgency: the job's remaining slack no longer covers its
+  /// estimated remaining cost (with headroom). Urgent jobs submit reads
+  /// at high drive priority and stay inside the hybrid window.
+  bool DeadlineUrgent(const Job& job) const;
+
   Database* db_;
   const ImportedDocument* doc_;
   WorkloadOptions options_;
   std::vector<Job> jobs_;
   std::vector<ShareGroup> groups_;
+  /// Run/stepping state: the active set (jobs_ indices), the decision
+  /// stamp, the yield streak, and the measurement-window bases.
+  std::vector<std::size_t> run_active_;
+  std::uint64_t run_decisions_ = 0;
+  std::size_t consecutive_yields_ = 0;
+  std::size_t budget_ = 0;
+  bool stepping_ = false;
+  /// Workload size the count-relative scheduling rules divide by: the
+  /// Add()ed job count under Run(), the driver-declared expected total
+  /// under stepping (where jobs may not all exist yet).
+  std::size_t n_total_ = 0;
+  Metrics window_start_;
+  SimTime window_t0_ = 0;
+  SimTime window_cpu0_ = 0;
+  PathInstance step_inst_;
   /// Aggregate admission footprint of the active set (plus charged
   /// producer footprints); a member so FallBackToPrivate can re-charge a
   /// spilled job's private footprint mid-run.

@@ -69,6 +69,7 @@ std::string PathExplain::ToString() const {
 
 std::string QueryExplain::ToString() const {
   std::string out;
+  if (degraded) out += "DEGRADED: served at reduced fidelity tier\n";
   for (const PathExplain& path : paths) out += path.ToString();
   return out;
 }

@@ -65,6 +65,11 @@ struct PathExplain {
 struct QueryExplain {
   std::vector<PathExplain> paths;  // one per path in the query (usually 1)
 
+  // Set when the serving layer re-planned this query to a cheaper tier
+  // (overload degradation) before it ran; the per-path plan_kind then
+  // reports the degraded plan, not the one the client asked for.
+  bool degraded = false;
+
   std::string ToString() const;
 };
 

@@ -103,6 +103,17 @@ class SimulatedDisk {
     return pending_.size() + completed_.size();
   }
 
+  /// Number of not-yet-served reads currently queued at high priority.
+  /// A serving layer reads this as a live backlog signal for its
+  /// deadline class (alongside queue depth and turnaround EWMA).
+  std::size_t pending_high_requests() const {
+    std::size_t n = 0;
+    for (const PendingRequest& req : pending_) {
+      if (req.priority == ReadPriority::kHigh) ++n;
+    }
+    return n;
+  }
+
   /// One finished asynchronous read. `io` is OK when the payload was
   /// delivered into the caller's buffer; an injected transient fault
   /// completes the request with IOError and no data (the page can be

@@ -1,0 +1,400 @@
+// Tests for the serving layer: an underloaded server must be transparent
+// (byte-identical schedule and metrics to a serving-layer-off run), an
+// overloaded one must shed at bounded queues with ResourceExhausted,
+// degrade admitted queries to the cost model's cheaper tier without
+// changing answers, and recover to full fidelity with hysteresis. The
+// whole pipeline must be deterministic (same seed + arrivals => same
+// admission order, shed set, and disk.priority_jumps) and survive one
+// query's media corruption without failing its neighbors.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "benchlib/harness.h"
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "serve/server.h"
+#include "storage/disk.h"
+#include "storage/fault_injector.h"
+#include "storage/page.h"
+
+namespace navpath {
+namespace {
+
+const char* const kServeQueries[] = {
+    "/site/regions//item",
+    "/site/people/person/email",
+    "/site//keyword",
+};
+
+ServeOptions TwoTenantOptions(const DocumentStats* stats) {
+  ServeOptions options;
+  options.tenants.resize(2);
+  options.tenants[0].name = "gold";
+  options.tenants[0].queue_capacity = 16;
+  options.tenants[0].weight = 4.0;
+  options.tenants[1].name = "bronze";
+  options.tenants[1].queue_capacity = 16;
+  options.tenants[1].weight = 1.0;
+  options.workload.policy = WorkloadPolicy::kHybrid;
+  options.workload.stats = stats;
+  options.workload.priority_io = true;
+  return options;
+}
+
+TEST(ServeTest, UnderloadIsByteIdenticalToServingLayerOff) {
+  auto fixture = XMarkFixture::Create(0.005);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  XMarkFixture* fx = fixture->get();
+
+  // Arrivals far apart relative to service time: the controller never
+  // leaves the normal state and admission is the executor's own FIFO.
+  struct Arrival {
+    std::size_t tenant;
+    const char* query;
+    SimTime at;
+  };
+  const std::vector<Arrival> arrivals = {
+      {0, kServeQueries[0], 0},
+      {1, kServeQueries[1], 0},
+      {0, kServeQueries[2], 400 * kSimMillisecond},
+      {1, kServeQueries[0], 900 * kSimMillisecond},
+      {0, kServeQueries[1], 1400 * kSimMillisecond},
+  };
+  const SimTime deadline_slack = 5 * kSimSecond;
+
+  // Serving-layer-off reference: the plain executor with the same
+  // arrivals and deadlines, pull schedule recorded.
+  std::vector<std::size_t> off_schedule;
+  WorkloadOptions off = TwoTenantOptions(&fx->stats()).workload;
+  off.on_pull = [&](std::size_t job, std::size_t) {
+    off_schedule.push_back(job);
+  };
+  WorkloadExecutor executor(fx->db(), fx->doc(), off);
+  for (const Arrival& a : arrivals) {
+    ASSERT_TRUE(executor
+                    .Add(a.query, PaperPlan(PlanKind::kXSchedule), a.at,
+                         a.at + deadline_slack)
+                    .ok());
+  }
+  auto off_run = executor.Run();
+  ASSERT_TRUE(off_run.ok()) << off_run.status().ToString();
+
+  std::vector<std::size_t> serve_schedule;
+  ServeOptions options = TwoTenantOptions(&fx->stats());
+  options.workload.on_pull = [&](std::size_t job, std::size_t) {
+    serve_schedule.push_back(job);
+  };
+  Server server(fx->db(), fx->doc(), options);
+  for (const Arrival& a : arrivals) {
+    ASSERT_TRUE(server
+                    .Submit(a.tenant, a.query,
+                            PaperPlan(PlanKind::kXSchedule), a.at,
+                            a.at + deadline_slack)
+                    .ok());
+  }
+  auto served = server.Run();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+
+  // Byte-identity: the serving layer replayed Run()'s exact decisions.
+  EXPECT_EQ(serve_schedule, off_schedule);
+  EXPECT_EQ(served->workload.total_time, off_run->total_time);
+  EXPECT_EQ(served->workload.metrics.disk_reads,
+            off_run->metrics.disk_reads);
+  EXPECT_EQ(served->workload.metrics.priority_jumps,
+            off_run->metrics.priority_jumps);
+
+  // Nothing shed, nothing degraded, FIFO admission order preserved.
+  EXPECT_TRUE(served->shed.empty());
+  EXPECT_EQ(served->final_state, OverloadState::kNormal);
+  EXPECT_EQ(served->metrics.CounterOr("serve.shed"), 0u);
+  EXPECT_EQ(served->metrics.CounterOr("serve.degraded"), 0u);
+  ASSERT_EQ(served->admission_order.size(), arrivals.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    EXPECT_EQ(served->admission_order[i], i);
+    EXPECT_FALSE(served->outcomes[i].shed);
+    EXPECT_FALSE(served->outcomes[i].degraded);
+    EXPECT_TRUE(served->outcomes[i].status.ok());
+    EXPECT_EQ(served->outcomes[i].count, off_run->queries[i].count);
+  }
+}
+
+TEST(ServeTest, OverloadShedsDegradesAndRecovers) {
+  auto fixture = XMarkFixture::Create(0.005);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  XMarkFixture* fx = fixture->get();
+
+  // Clean per-query expected counts (degradation must not change them).
+  std::vector<std::uint64_t> expected;
+  for (const char* q : kServeQueries) {
+    auto solo = fx->Run(q, PaperPlan(PlanKind::kXSchedule));
+    ASSERT_TRUE(solo.ok()) << solo.status().ToString();
+    expected.push_back(solo->count);
+  }
+
+  ServeOptions options = TwoTenantOptions(&fx->stats());
+  options.workload.max_concurrent = 2;  // forces a backlog under a burst
+  options.tenants[0].queue_capacity = 6;
+  options.tenants[1].queue_capacity = 2;  // bronze overflows first
+  options.degrade_queue_depth = 3;
+  options.shed_queue_depth = 6;
+  options.recover_below = 1;
+  options.recover_hold = 2;
+  Server server(fx->db(), fx->doc(), options);
+
+  // A burst well past the queue bounds, then a drained tail that lets the
+  // hysteresis walk the controller back to normal.
+  std::vector<std::size_t> burst_tenants;
+  for (std::size_t i = 0; i < 12; ++i) {
+    const std::size_t tenant = i % 2;
+    burst_tenants.push_back(tenant);
+    ASSERT_TRUE(server
+                    .Submit(tenant, kServeQueries[i % 3],
+                            PaperPlan(PlanKind::kXSchedule),
+                            static_cast<SimTime>(i) * kSimMicrosecond)
+                    .ok());
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(server
+                    .Submit(0, kServeQueries[i % 3],
+                            PaperPlan(PlanKind::kXSchedule),
+                            5 * kSimSecond +
+                                static_cast<SimTime>(i) * kSimSecond)
+                    .ok());
+  }
+  auto served = server.Run();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+
+  // All three responses fired: shed, degrade, recover.
+  EXPECT_GT(served->metrics.CounterOr("serve.shed"), 0u);
+  EXPECT_GT(served->metrics.CounterOr("serve.degraded"), 0u);
+  // The burst lands in one arrival batch, so the controller escalates
+  // straight to shed; recovery then walks back through degrade to normal.
+  EXPECT_GT(served->metrics.CounterOr("serve.state.shed_entered"), 0u);
+  EXPECT_GT(served->metrics.CounterOr("serve.state.recovered"), 0u);
+  EXPECT_EQ(served->final_state, OverloadState::kNormal);
+  EXPECT_FALSE(served->shed.empty());
+
+  bool saw_degraded = false;
+  for (std::size_t i = 0; i < served->outcomes.size(); ++i) {
+    const ServeOutcome& out = served->outcomes[i];
+    if (out.shed) {
+      EXPECT_TRUE(out.status.IsResourceExhausted())
+          << out.status.ToString();
+      // The rejection carries the tenant's budget context.
+      const std::string tenant_name =
+          options.tenants[out.tenant].name;
+      EXPECT_NE(out.status.ToString().find(tenant_name), std::string::npos)
+          << out.status.ToString();
+      continue;
+    }
+    EXPECT_TRUE(out.status.ok()) << out.status.ToString();
+    saw_degraded = saw_degraded || out.degraded;
+    // Degradation trades latency, never answers.
+    const std::size_t q = i < 12 ? i % 3 : (i - 12) % 3;
+    EXPECT_EQ(out.count, expected[q]) << i;
+  }
+  EXPECT_TRUE(saw_degraded);
+
+  // The quiet tail arrived under a recovered controller: full fidelity.
+  for (std::size_t i = 12; i < 16; ++i) {
+    EXPECT_FALSE(served->outcomes[i].shed);
+    EXPECT_FALSE(served->outcomes[i].degraded);
+  }
+}
+
+TEST(ServeTest, DeterministicAdmissionShedAndPriorityJumps) {
+  // Same seed + same arrivals => byte-identical admission order, shed
+  // set, and disk.priority_jumps, run on two independent fixtures.
+  auto run_once = [](std::uint64_t seed) {
+    auto fixture = XMarkFixture::Create(0.005);
+    EXPECT_TRUE(fixture.ok()) << fixture.status().ToString();
+    XMarkFixture* fx = fixture->get();
+    ServeOptions options = TwoTenantOptions(&fx->stats());
+    options.workload.max_concurrent = 2;
+    options.tenants[1].queue_capacity = 2;
+    options.degrade_queue_depth = 3;
+    options.shed_queue_depth = 6;
+    options.tenants[0].deadline_slack = 100 * kSimMillisecond;
+    Server server(fx->db(), fx->doc(), options);
+    Random rng(seed);
+    SimTime at = 0;
+    for (std::size_t i = 0; i < 14; ++i) {
+      at += rng.NextBounded(2 * kSimMillisecond);
+      EXPECT_TRUE(server
+                      .Submit(i % 2, kServeQueries[i % 3],
+                              PaperPlan(PlanKind::kXSchedule), at)
+                      .ok());
+    }
+    auto served = server.Run();
+    EXPECT_TRUE(served.ok()) << served.status().ToString();
+    return *std::move(served);
+  };
+  const ServeResult a = run_once(99);
+  const ServeResult b = run_once(99);
+  EXPECT_EQ(a.admission_order, b.admission_order);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.workload.metrics.priority_jumps,
+            b.workload.metrics.priority_jumps);
+  EXPECT_EQ(a.workload.total_time, b.workload.total_time);
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].shed, b.outcomes[i].shed) << i;
+    EXPECT_EQ(a.outcomes[i].degraded, b.outcomes[i].degraded) << i;
+    EXPECT_EQ(a.outcomes[i].finished_at, b.outcomes[i].finished_at) << i;
+  }
+}
+
+TEST(ServeTest, ValidationRejectsMalformedConfiguration) {
+  auto fixture = XMarkFixture::Create(0.002);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  XMarkFixture* fx = fixture->get();
+
+  // Each bad configuration is caught by Run()'s entry validation, not an
+  // assert mid-serve.
+  auto expect_invalid = [&](const ServeOptions& options, const char* what) {
+    Server server(fx->db(), fx->doc(), options);
+    ASSERT_TRUE(server
+                    .Submit(0, kServeQueries[0], PaperPlan(PlanKind::kSimple),
+                            0)
+                    .ok())
+        << what;
+    auto run = server.Run();
+    EXPECT_TRUE(!run.ok() && run.status().IsInvalidArgument())
+        << what << ": " << run.status().ToString();
+  };
+
+  ServeOptions base = TwoTenantOptions(&fx->stats());
+
+  ServeOptions no_tenants = base;
+  no_tenants.tenants.clear();
+  {
+    Server server(fx->db(), fx->doc(), no_tenants);
+    EXPECT_TRUE(server.Submit(0, kServeQueries[0],
+                              PaperPlan(PlanKind::kSimple), 0)
+                    .IsInvalidArgument());
+  }
+
+  ServeOptions zero_queue = base;
+  zero_queue.tenants[1].queue_capacity = 0;
+  expect_invalid(zero_queue, "zero-capacity tenant queue");
+
+  ServeOptions bad_weight = base;
+  bad_weight.tenants[0].weight = -1.0;
+  expect_invalid(bad_weight, "negative weight");
+
+  ServeOptions bad_alpha = base;
+  bad_alpha.ewma_alpha = 0.0;
+  expect_invalid(bad_alpha, "zero ewma_alpha");
+
+  ServeOptions inverted = base;
+  inverted.shed_queue_depth = 2;
+  inverted.degrade_queue_depth = 8;
+  expect_invalid(inverted, "shed depth below degrade depth");
+
+  ServeOptions bad_budget = base;
+  bad_budget.workload.buffer_budget_fraction = -0.5;
+  expect_invalid(bad_budget, "negative buffer budget");
+
+  ServeOptions sharing = base;
+  sharing.workload.enable_sharing = true;
+  expect_invalid(sharing, "sharing under external admission");
+
+  // Submission-side validation.
+  Server server(fx->db(), fx->doc(), base);
+  EXPECT_TRUE(server
+                  .Submit(7, kServeQueries[0], PaperPlan(PlanKind::kSimple),
+                          0)
+                  .IsInvalidArgument());  // unknown tenant
+  ASSERT_TRUE(server
+                  .Submit(0, kServeQueries[0], PaperPlan(PlanKind::kSimple),
+                          kSimSecond)
+                  .ok());
+  EXPECT_TRUE(server
+                  .Submit(0, kServeQueries[1], PaperPlan(PlanKind::kSimple),
+                          kSimMillisecond)
+                  .IsInvalidArgument());  // decreasing arrival
+  EXPECT_TRUE(server
+                  .Submit(0, kServeQueries[1], PaperPlan(PlanKind::kSimple),
+                          2 * kSimSecond, kSimSecond)
+                  .IsInvalidArgument());  // deadline in the past
+}
+
+TEST(ServeTest, ServingLoopSurvivesOneQuerysCorruption) {
+  // Victim navigates the people subtree; its neighbors stay inside
+  // regions, so a page only the victim reads exists and can be poisoned.
+  const std::string victim = "/site/people/person/email";
+  const std::vector<std::string> neighbors = {"/site/regions//item",
+                                              "/site/regions//name"};
+
+  FixtureOptions fixture_options;
+  auto clean = XMarkFixture::Create(0.005, fixture_options);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  XMarkFixture* cfx = clean->get();
+
+  auto trace_of = [&](const std::string& query) {
+    std::vector<PageId> trace;
+    cfx->db()->disk()->SetTrace(&trace);
+    auto run = cfx->Run(query, PaperPlan(PlanKind::kXSchedule));
+    cfx->db()->disk()->SetTrace(nullptr);
+    EXPECT_TRUE(run.ok()) << run.status().ToString();
+    return trace;
+  };
+  const std::vector<PageId> victim_trace = trace_of(victim);
+  std::unordered_set<PageId> neighbor_pages;
+  std::vector<std::uint64_t> neighbor_counts;
+  for (const std::string& q : neighbors) {
+    for (const PageId page : trace_of(q)) neighbor_pages.insert(page);
+    auto run = cfx->Run(q, PaperPlan(PlanKind::kXSchedule));
+    ASSERT_TRUE(run.ok());
+    neighbor_counts.push_back(run->count);
+  }
+  PageId bad_page = kInvalidPageId;
+  for (const PageId page : victim_trace) {
+    if (neighbor_pages.count(page) == 0) {
+      bad_page = page;
+      break;
+    }
+  }
+  ASSERT_NE(bad_page, kInvalidPageId)
+      << "no page exclusive to the victim query";
+
+  // Identical import on a poisoned device: every read of bad_page
+  // delivers corrupt data, no matter how often the retry loop re-reads.
+  FixtureOptions faulty_options = fixture_options;
+  faulty_options.db.faults.seed = 11;
+  faulty_options.db.faults.permanent_bad_pages = {bad_page};
+  auto faulty = XMarkFixture::Create(0.005, faulty_options);
+  ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+  XMarkFixture* ffx = faulty->get();
+
+  ServeOptions options = TwoTenantOptions(&ffx->stats());
+  Server server(ffx->db(), ffx->doc(), options);
+  ASSERT_TRUE(server
+                  .Submit(0, victim, PaperPlan(PlanKind::kXSchedule), 0)
+                  .ok());
+  for (std::size_t i = 0; i < neighbors.size(); ++i) {
+    ASSERT_TRUE(server
+                    .Submit(1, neighbors[i],
+                            PaperPlan(PlanKind::kXSchedule), 0)
+                    .ok());
+  }
+  auto served = server.Run();
+  // The serving loop survives: Run() itself is OK, only the victim's
+  // outcome carries the corruption.
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_FALSE(served->outcomes[0].status.ok());
+  EXPECT_TRUE(served->outcomes[0].status.IsCorruption())
+      << served->outcomes[0].status.ToString();
+  for (std::size_t i = 0; i < neighbors.size(); ++i) {
+    const ServeOutcome& out = served->outcomes[1 + i];
+    EXPECT_TRUE(out.status.ok()) << out.status.ToString();
+    EXPECT_EQ(out.count, neighbor_counts[i]) << neighbors[i];
+  }
+  EXPECT_EQ(served->metrics.CounterOr("serve.failed"), 1u);
+}
+
+}  // namespace
+}  // namespace navpath

@@ -6,11 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "benchlib/harness.h"
 #include "compiler/workload_executor.h"
+#include "storage/disk.h"
 #include "storage/fault_injector.h"
+#include "storage/page.h"
 #include "xmark/generator.h"
 #include "xpath/parser.h"
 
@@ -324,6 +327,105 @@ TEST(WorkloadExecutorTest, ExplicitInflightCapStillProducesExactResults) {
     EXPECT_EQ(OrdersOf(capped->queries[i].nodes),
               OrdersOf(unbounded->queries[i].nodes));
   }
+}
+
+TEST(WorkloadExecutorTest, OneQuerysCorruptionDoesNotFailItsNeighbors) {
+  // Per-query fault isolation: poison a page only one query reads and run
+  // the three-query workload. The victim's own result carries the
+  // Corruption status; its neighbors finish with exact answers and Run()
+  // itself succeeds.
+  const std::string victim = "/site/people/person/email";
+  const std::vector<std::string> neighbors = {"/site/regions//item",
+                                              "/site/regions//name"};
+
+  auto clean = XMarkFixture::Create(0.005);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  auto trace_of = [&](const std::string& query) {
+    std::vector<PageId> trace;
+    (*clean)->db()->disk()->SetTrace(&trace);
+    auto run = (*clean)->Run(query, PaperPlan(PlanKind::kXSchedule));
+    (*clean)->db()->disk()->SetTrace(nullptr);
+    EXPECT_TRUE(run.ok()) << run.status().ToString();
+    return trace;
+  };
+  std::unordered_set<PageId> neighbor_pages;
+  for (const std::string& q : neighbors) {
+    for (const PageId page : trace_of(q)) neighbor_pages.insert(page);
+  }
+  PageId bad_page = kInvalidPageId;
+  for (const PageId page : trace_of(victim)) {
+    if (neighbor_pages.count(page) == 0) {
+      bad_page = page;
+      break;
+    }
+  }
+  ASSERT_NE(bad_page, kInvalidPageId);
+
+  std::vector<std::string> queries = {victim};
+  queries.insert(queries.end(), neighbors.begin(), neighbors.end());
+  auto expected = RunWorkload(clean->get(), queries, PlanKind::kXSchedule,
+                              WorkloadPolicy::kHybrid, 0);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  FixtureOptions faulty_options;
+  faulty_options.db.faults.seed = 7;
+  faulty_options.db.faults.permanent_bad_pages = {bad_page};
+  auto faulty = XMarkFixture::Create(0.005, faulty_options);
+  ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+
+  auto survived = RunWorkload(faulty->get(), queries, PlanKind::kXSchedule,
+                              WorkloadPolicy::kHybrid, 0);
+  ASSERT_TRUE(survived.ok()) << survived.status().ToString();
+  EXPECT_TRUE(survived->queries[0].status.IsCorruption())
+      << survived->queries[0].status.ToString();
+  for (std::size_t i = 1; i < queries.size(); ++i) {
+    EXPECT_TRUE(survived->queries[i].status.ok())
+        << survived->queries[i].status.ToString();
+    EXPECT_EQ(survived->queries[i].count, expected->queries[i].count)
+        << queries[i];
+    EXPECT_EQ(OrdersOf(survived->queries[i].nodes),
+              OrdersOf(expected->queries[i].nodes))
+        << queries[i];
+  }
+}
+
+TEST(WorkloadExecutorTest, RejectsMalformedOptionsAndDeadlines) {
+  auto fixture = XMarkFixture::Create(0.005);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+
+  // Options are validated at the top of Run(), not asserted mid-flight.
+  WorkloadOptions bad_budget;
+  bad_budget.buffer_budget_fraction = 1.5;
+  WorkloadExecutor over((*fixture)->db(), (*fixture)->doc(), bad_budget);
+  ASSERT_TRUE(over.Add(kQueries[0], PaperPlan(PlanKind::kSimple)).ok());
+  EXPECT_TRUE(over.Run().status().IsInvalidArgument());
+
+  WorkloadOptions negative;
+  negative.buffer_budget_fraction = -0.25;
+  WorkloadExecutor under((*fixture)->db(), (*fixture)->doc(), negative);
+  ASSERT_TRUE(under.Add(kQueries[0], PaperPlan(PlanKind::kSimple)).ok());
+  EXPECT_TRUE(under.Run().status().IsInvalidArgument());
+
+  // A deadline at or before the arrival can never be met and is rejected
+  // at Add() time.
+  WorkloadExecutor executor((*fixture)->db(), (*fixture)->doc());
+  EXPECT_TRUE(executor
+                  .Add(kQueries[0], PaperPlan(PlanKind::kSimple),
+                       /*arrival=*/kSimSecond, /*deadline=*/kSimSecond)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(executor
+                  .Add(kQueries[0], PaperPlan(PlanKind::kSimple),
+                       /*arrival=*/2 * kSimSecond,
+                       /*deadline=*/kSimSecond)
+                  .IsInvalidArgument());
+  ASSERT_TRUE(executor
+                  .Add(kQueries[0], PaperPlan(PlanKind::kSimple),
+                       /*arrival=*/kSimSecond,
+                       /*deadline=*/2 * kSimSecond)
+                  .ok());
+  auto run = executor.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->queries[0].status.ok());
 }
 
 TEST(WorkloadExecutorTest, RejectsInvalidWorkloads) {
