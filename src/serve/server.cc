@@ -213,7 +213,8 @@ Status Server::AdmitDrr() {
   // queue heads while its deficit covers them. Weights therefore share
   // *work*, not query counts — a weight-2 tenant gets twice the estimated
   // cost through per round. The pass loop ends when a full pass admits
-  // nothing (budget exhausted or heads blocked by CanAdmit).
+  // nothing (budget exhausted or heads blocked by CanAdmit) — except
+  // while the executor is idle, when it must first admit something.
   double quantum = options_.drr_quantum;
   if (quantum <= 0.0) {
     double sum = 0.0;
@@ -225,9 +226,10 @@ Status Server::AdmitDrr() {
     }
     quantum = n == 0 ? 1.0 : sum / static_cast<double>(n);
   }
-  bool progress = true;
-  while (progress) {
-    progress = false;
+  bool admitted_any = false;
+  for (;;) {
+    bool progress = false;
+    bool admissible_head = false;
     for (std::size_t t = 0; t < queues_.size(); ++t) {
       std::deque<std::size_t>& queue = queues_[t];
       if (queue.empty()) {
@@ -235,18 +237,58 @@ Status Server::AdmitDrr() {
         continue;
       }
       if (!executor_.CanAdmit(job_of_[queue.front()])) continue;
+      admissible_head = true;
       deficit_[t] += quantum * options_.tenants[t].weight;
       while (!queue.empty()) {
         const std::size_t job = job_of_[queue.front()];
         if (!executor_.CanAdmit(job)) break;
-        const double cost = std::max(1.0, executor_.EstimatedCost(job));
-        if (deficit_[t] < cost) break;
-        deficit_[t] -= cost;
+        if (deficit_[t] < std::max(1.0, executor_.EstimatedCost(job))) {
+          break;
+        }
         NAVPATH_RETURN_NOT_OK(Activate(queue.front()));
+        // Charge the work actually admitted, not the requested tier:
+        // Activate may have re-tiered the job onto a cheaper plan, and
+        // fair share is shares of admitted work.
+        deficit_[t] -= std::max(1.0, executor_.EstimatedCost(job));
         progress = true;
+        admitted_any = true;
       }
       if (queue.empty()) deficit_[t] = 0.0;
     }
+    if (progress) continue;
+    // Progress guarantee: with an idle executor no completion will ever
+    // re-trigger admission, so ending on a pass that only banked deficit
+    // (small quantum or sub-unit weights) would strand the queued work —
+    // and the serving loop behind it. Jump straight to the pass on which
+    // the first head becomes covered: every admissible tenant banks the
+    // same number of rounds, so the accounting is exactly the pass loop's.
+    if (!admitted_any && executor_.active_count() == 0 && admissible_head) {
+      double passes = -1.0;
+      for (std::size_t t = 0; t < queues_.size(); ++t) {
+        const std::deque<std::size_t>& queue = queues_[t];
+        if (queue.empty()) continue;
+        const std::size_t job = job_of_[queue.front()];
+        if (!executor_.CanAdmit(job)) continue;
+        // A no-progress pass already topped this tenant up, so the head
+        // cost strictly exceeds the banked deficit. The pass on which the
+        // head crosses accrues in-pass, hence the -1: the jump banks only
+        // the rounds before it.
+        const double need =
+            std::max(1.0, executor_.EstimatedCost(job)) - deficit_[t];
+        const double rounds = std::max(
+            0.0,
+            std::ceil(need / (quantum * options_.tenants[t].weight)) - 1.0);
+        if (passes < 0.0 || rounds < passes) passes = rounds;
+      }
+      for (std::size_t t = 0; t < queues_.size(); ++t) {
+        const std::deque<std::size_t>& queue = queues_[t];
+        if (queue.empty()) continue;
+        if (!executor_.CanAdmit(job_of_[queue.front()])) continue;
+        deficit_[t] += passes * quantum * options_.tenants[t].weight;
+      }
+      continue;
+    }
+    break;
   }
   return Status::OK();
 }

@@ -122,7 +122,11 @@ struct ServeOutcome {
   SimTime finished_at = 0;   // completion time (0 when shed)
   std::uint64_t count = 0;   // result count (0 when shed)
 
-  SimTime turnaround() const { return finished_at - arrival; }
+  /// Zero for shed outcomes (finished_at stays 0, which would otherwise
+  /// wrap below a positive arrival).
+  SimTime turnaround() const {
+    return finished_at < arrival ? 0 : finished_at - arrival;
+  }
 };
 
 struct ServeResult {

@@ -184,6 +184,9 @@ TEST(ServeTest, OverloadShedsDegradesAndRecovers) {
     if (out.shed) {
       EXPECT_TRUE(out.status.IsResourceExhausted())
           << out.status.ToString();
+      // Shed outcomes never ran: turnaround must read zero, not a
+      // wrapped finished_at(0) - arrival.
+      EXPECT_EQ(out.turnaround(), 0u);
       // The rejection carries the tenant's budget context.
       const std::string tenant_name =
           options.tenants[out.tenant].name;
@@ -204,6 +207,48 @@ TEST(ServeTest, OverloadShedsDegradesAndRecovers) {
     EXPECT_FALSE(served->outcomes[i].shed);
     EXPECT_FALSE(served->outcomes[i].degraded);
   }
+}
+
+TEST(ServeTest, OverloadBurstWithSubUnitShareStillAdmits) {
+  // Regression: a simultaneous burst that trips the overload controller
+  // before anything is admitted used to abort the serving loop when the
+  // first DRR pass banked deficit without covering any head — a tenant
+  // weight under 1 (validation only requires > 0), or an explicit
+  // drr_quantum below every head's estimated cost, with the executor
+  // still idle. Admission must make progress instead.
+  auto fixture = XMarkFixture::Create(0.005);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  XMarkFixture* fx = fixture->get();
+
+  auto run_burst = [&](double weight, double drr_quantum) {
+    ServeOptions options;
+    options.tenants.resize(1);
+    options.tenants[0].name = "only";
+    options.tenants[0].queue_capacity = 16;
+    options.tenants[0].weight = weight;
+    options.workload.policy = WorkloadPolicy::kHybrid;
+    options.workload.stats = &fx->stats();
+    options.drr_quantum = drr_quantum;
+    Server server(fx->db(), fx->doc(), options);
+    // Ten arrivals in one batch: past degrade_queue_depth (8), inside
+    // the queue bound (16), so everything must eventually run.
+    for (std::size_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(server
+                      .Submit(0, kServeQueries[i % 3],
+                              PaperPlan(PlanKind::kXSchedule), 0)
+                      .ok());
+    }
+    auto served = server.Run();
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    EXPECT_TRUE(served->shed.empty());
+    EXPECT_EQ(served->metrics.CounterOr("serve.admitted"), 10u);
+    for (const ServeOutcome& out : served->outcomes) {
+      EXPECT_FALSE(out.shed);
+      EXPECT_TRUE(out.status.ok()) << out.status.ToString();
+    }
+  };
+  run_burst(0.5, 0.0);  // sub-unit weight, auto quantum
+  run_burst(1.0, 0.5);  // explicit quantum below every head cost
 }
 
 TEST(ServeTest, DeterministicAdmissionShedAndPriorityJumps) {
