@@ -70,6 +70,8 @@ ServeOptions ServeConfig(const DocumentStats* stats, SimTime gold_slack) {
   options.tenants[1].weight = 1.0;
   options.workload.policy = WorkloadPolicy::kHybrid;
   options.workload.stats = stats;
+  // Longitudinal trajectory: DRR charging from DocumentStats estimates.
+  options.workload.summary = false;
   options.workload.priority_io = true;
   options.workload.max_concurrent = 4;
   options.degrade_queue_depth = 4;

@@ -72,6 +72,9 @@ Result<WorkloadResult> RunPoint(XMarkFixture* fixture,
   WorkloadOptions options;
   options.policy = WorkloadPolicy::kHybrid;
   options.stats = &fixture->stats();
+  // Longitudinal trajectory: keep estimates on DocumentStats so the
+  // shared-scan schedule stays comparable across revisions.
+  options.summary = false;
   options.enable_sharing = enable_sharing;
   if (schedule != nullptr) {
     options.on_pull = [schedule](std::size_t job, std::size_t) {

@@ -46,6 +46,8 @@ Result<WorkloadResult> RunWorkload(XMarkFixture* fixture, std::size_t n,
   // revisions; the Poisson section below exercises the cost-derived
   // admission footprint.
   options.footprint_from_stats = false;
+  // Same reason: summary-exact estimates are benched by workload_summary.
+  options.summary = false;
   WorkloadExecutor executor(fixture->db(), fixture->doc(), options);
   for (std::size_t i = 0; i < n; ++i) {
     NAVPATH_RETURN_NOT_OK(executor.Add(kWorkloadQueries[i],
@@ -64,6 +66,7 @@ Result<WorkloadResult> RunPoisson(XMarkFixture* fixture, std::size_t jobs,
   WorkloadOptions options;
   options.policy = policy;
   options.stats = &fixture->stats();
+  options.summary = false;  // longitudinal trajectory; see RunWorkload
   WorkloadExecutor executor(fixture->db(), fixture->doc(), options);
   Random rng(seed);
   SimTime arrival = 0;

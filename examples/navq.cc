@@ -120,6 +120,9 @@ int Shell(const std::string& path) {
 
     ExecuteOptions exec;
     exec.plan = PaperPlan(kind);
+    // Unlike the paper-series benches, the shell wants the synopsis:
+    // supported count()/exists() queries answer without touching disk.
+    exec.plan.use_summary = true;
     exec.collect_nodes = query->mode == PathQuery::Mode::kNodes;
     auto result = ExecuteQuery(db, doc, *query, exec);
     if (!result.ok()) {

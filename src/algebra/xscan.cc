@@ -27,12 +27,51 @@ Status XScan::Open() {
               return a.right.node < b.right.node;
             });
   db_->clock()->ChargeCpu(contexts_.size() * db_->costs().sort_op);
+
+  // A restricted sweep must still visit every context's page: contexts
+  // are delivered while their cluster is open. The planner's touched set
+  // covers them for absolute paths; merge them in regardless so a
+  // mismatched restriction degrades to extra pages, not lost results.
+  restrict_idx_ = 0;
+  if (!options_.restrict_to.empty()) {
+    std::vector<PageId> pages;
+    for (const PathInstance& ctx : contexts_) {
+      pages.push_back(ctx.right.node.page);
+    }
+    std::sort(pages.begin(), pages.end());
+    pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+    std::vector<SummaryExtent> merged;
+    std::size_t pi = 0;
+    for (const SummaryExtent& e : options_.restrict_to) {
+      while (pi < pages.size() && pages[pi] < e.first) {
+        merged.push_back(SummaryExtent{pages[pi], pages[pi]});
+        ++pi;
+      }
+      while (pi < pages.size() && pages[pi] <= e.last) ++pi;
+      merged.push_back(e);
+    }
+    while (pi < pages.size()) {
+      merged.push_back(SummaryExtent{pages[pi], pages[pi]});
+      ++pi;
+    }
+    options_.restrict_to = std::move(merged);
+  }
   return Status::OK();
 }
 
 Status XScan::Close() {
   shared_->cluster.Clear();
   return producer_->Close();
+}
+
+PageId XScan::NextAllowedPage(PageId page) {
+  const std::vector<SummaryExtent>& ext = options_.restrict_to;
+  if (ext.empty()) return page;
+  while (restrict_idx_ < ext.size() && ext[restrict_idx_].last < page) {
+    ++restrict_idx_;
+  }
+  if (restrict_idx_ >= ext.size()) return kInvalidPageId;
+  return std::max(page, ext[restrict_idx_].first);
 }
 
 bool XScan::EmitSeed(PathInstance* out) {
@@ -84,6 +123,7 @@ Result<bool> XScan::Next(PathInstance* out) {
       page_open_ = false;
     }
 
+    if (next_page_ != kInvalidPageId) next_page_ = NextAllowedPage(next_page_);
     if (next_page_ == kInvalidPageId || next_page_ > options_.last_page) {
       shared_->cluster.Clear();
       return false;

@@ -18,6 +18,7 @@
 
 #include "algebra/operator.h"
 #include "store/import.h"
+#include "store/path_summary.h"
 
 namespace navpath {
 
@@ -25,6 +26,12 @@ struct XScanOptions {
   PageId first_page = kInvalidPageId;
   PageId last_page = kInvalidPageId;
   int path_length = 0;
+  /// Pages the sweep may restrict itself to (sorted, merged page ranges
+  /// from the path summary's touched-extent union; empty = sweep the
+  /// whole [first_page, last_page] range). Pages outside the union hold
+  /// no candidate node of any step, so skipping them cannot change the
+  /// result. Context pages are re-added defensively at Open().
+  std::vector<SummaryExtent> restrict_to;
 };
 
 class XScan : public PathOperator {
@@ -42,6 +49,10 @@ class XScan : public PathOperator {
  private:
   bool EmitSeed(PathInstance* out);
 
+  /// Smallest page >= `page` the restricted sweep may visit (== `page`
+  /// when no restriction is set). Monotone calls; advances restrict_idx_.
+  PageId NextAllowedPage(PageId page);
+
   Database* db_;
   PlanSharedState* shared_;
   PathOperator* producer_;
@@ -58,6 +69,8 @@ class XScan : public PathOperator {
 
   bool fallback_started_ = false;
   std::size_t fallback_pos_ = 0;
+
+  std::size_t restrict_idx_ = 0;
 
   std::uint64_t clusters_scanned_ = 0;
 };

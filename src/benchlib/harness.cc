@@ -75,6 +75,10 @@ PlanOptions PaperPlan(PlanKind kind) {
   options.speculative = false;  // Sec. 6.2: XSchedule, speculative off
   options.queue_k = 100;        // Sec. 5.3.4 default
   options.s_budget = 0;
+  // The paper's experiments measure the navigational primitives; the
+  // path-summary synopsis (post-paper extension) would answer its count
+  // queries without navigating. Keep paper-series benches byte-identical.
+  options.use_summary = false;
   return options;
 }
 

@@ -125,13 +125,62 @@ std::vector<TagId> UniverseOf(const DocumentStats& stats,
 }  // namespace
 
 PathEstimate EstimatePath(const DocumentStats& stats,
-                          const LocationPath& path) {
-  return EstimatePathDetailed(stats, path, nullptr);
+                          const LocationPath& path,
+                          const PathSummary* summary) {
+  return EstimatePathDetailed(stats, path, nullptr, summary);
 }
+
+namespace {
+
+/// Exact estimate from the path-summary synopsis; only called when the
+/// path lies in the summary's exactness domain.
+PathEstimate EstimateFromSummary(const DocumentStats& stats,
+                                 const PathSummary& summary,
+                                 const LocationPath& path,
+                                 std::vector<double>* per_step) {
+  const SummaryMatch match = summary.Match(path);
+  NAVPATH_DCHECK(match.applicable);
+  PathEstimate estimate;
+  estimate.summary_exact = true;
+  estimate.result_cardinality = static_cast<double>(match.result_count);
+  estimate.nodes_examined = static_cast<double>(match.nodes_examined);
+  // Crossings stay an estimate: the synopsis counts instances, not which
+  // logical edges became border pairs at import.
+  estimate.crossings = estimate.nodes_examined * stats.crossing_probability();
+  // The touched-extent union is the page set any navigational plan can
+  // be confined to — a hard bound, unlike balls-into-bins.
+  const std::uint64_t extent_pages =
+      PathSummary::ExtentPages(summary.ExtentUnion(match.touched));
+  estimate.scan_pages = static_cast<double>(std::max<std::uint64_t>(
+      1, extent_pages));
+  // Same balls-into-bins shape as the stats path, but the candidate page
+  // set is the exact extent union instead of an examined-nodes guess.
+  const double candidate_pages = std::min(
+      estimate.scan_pages,
+      std::max(1.0, estimate.nodes_examined / stats.nodes_per_page()));
+  estimate.clusters_touched = std::min(
+      estimate.scan_pages,
+      1.0 + candidate_pages *
+                (1.0 - std::exp(-estimate.crossings / candidate_pages)));
+  if (per_step != nullptr) {
+    per_step->clear();
+    per_step->reserve(match.steps.size());
+    for (const SummaryMatch::Step& step : match.steps) {
+      per_step->push_back(static_cast<double>(step.selected));
+    }
+  }
+  return estimate;
+}
+
+}  // namespace
 
 PathEstimate EstimatePathDetailed(const DocumentStats& stats,
                                   const LocationPath& path,
-                                  std::vector<double>* per_step) {
+                                  std::vector<double>* per_step,
+                                  const PathSummary* summary) {
+  if (summary != nullptr && PathSummary::Supports(path)) {
+    return EstimateFromSummary(stats, *summary, path, per_step);
+  }
   PathEstimate estimate;
   if (per_step != nullptr) {
     per_step->clear();
@@ -234,6 +283,8 @@ PathEstimate EstimatePathDetailed(const DocumentStats& stats,
   estimate.clusters_touched =
       1.0 + candidate_pages *
                 (1.0 - std::exp(-estimate.crossings / candidate_pages));
+  // Without a summary nothing restricts a sweep: XScan visits every page.
+  estimate.scan_pages = std::max(1.0, static_cast<double>(stats.page_count()));
   return estimate;
 }
 
@@ -276,9 +327,14 @@ PhysicalReads EstimatePhysicalReads(const DocumentStats& stats,
 
 PlanCosts EstimatePlanCosts(const DocumentStats& stats,
                             const LocationPath& path, const DiskModel& disk,
-                            const CpuCostModel& cpu) {
-  const PathEstimate est = EstimatePath(stats, path);
+                            const CpuCostModel& cpu,
+                            const PathSummary* summary) {
+  const PathEstimate est = EstimatePath(stats, path, summary);
   const double pages = static_cast<double>(stats.page_count());
+  // Pages an XScan sweep visits: the whole document, or — with a summary
+  // — only the touched-extent union (the sweep skips over the rest).
+  const double swept = std::min(std::max(1.0, est.scan_pages), pages);
+  const double swept_fraction = pages == 0 ? 1.0 : swept / pages;
   const double touched = std::max(1.0, est.clusters_touched);
 
   const PhysicalReads reads = EstimatePhysicalReads(stats, disk);
@@ -304,16 +360,20 @@ PlanCosts EstimatePlanCosts(const DocumentStats& stats,
   // seed additionally spawns a short intra-cluster enumeration
   // (empirically ~12 hops on XMark-like pages).
   constexpr double kHopsPerSeed = 12.0;
+  // Seeds and record enumeration scale with the pages actually swept
+  // (borders and records are uniform across the layout, so a restricted
+  // sweep meets the swept fraction of both).
   const double seed_count = static_cast<double>(stats.border_records()) *
-                            static_cast<double>(path.length());
+                            static_cast<double>(path.length()) *
+                            swept_fraction;
   const double scan_cpu =
       nav_cpu +
       seed_count * (static_cast<double>(cpu.instance_op + cpu.set_op) +
                     kHopsPerSeed * hop) +
-      static_cast<double>(stats.node_count()) * 0.3 *
+      static_cast<double>(stats.node_count()) * swept_fraction * 0.3 *
           static_cast<double>(cpu.record_hop);
-  costs.xscan = pages * sequential_read +
-                pages * static_cast<double>(cpu.buffer_probe +
+  costs.xscan = swept * sequential_read +
+                swept * static_cast<double>(cpu.buffer_probe +
                                             cpu.page_install) +
                 scan_cpu;
   return costs;
@@ -362,10 +422,11 @@ SharedPrefixEstimate EstimateSharedPrefix(const DocumentStats& stats,
 }
 
 PlanKind ChoosePlanKind(const DocumentStats& stats, const PathQuery& query,
-                        const DiskModel& disk, const CpuCostModel& cpu) {
+                        const DiskModel& disk, const CpuCostModel& cpu,
+                        const PathSummary* summary) {
   PlanCosts total;
   for (const LocationPath& path : query.paths) {
-    const PlanCosts costs = EstimatePlanCosts(stats, path, disk, cpu);
+    const PlanCosts costs = EstimatePlanCosts(stats, path, disk, cpu, summary);
     total.simple += costs.simple;
     total.xschedule += costs.xschedule;
     total.xscan += costs.xscan;
@@ -377,7 +438,8 @@ DegradedTier ChooseDegradedTier(const DocumentStats& stats,
                                 const PathQuery& query,
                                 const PlanOptions& requested,
                                 const DiskModel& disk,
-                                const CpuCostModel& cpu) {
+                                const CpuCostModel& cpu,
+                                const PathSummary* summary) {
   // Never shrink the elevator window below this: a pool this shallow
   // still merges overlapping reads but frees most of the admission
   // footprint (queue_k + 2 pages).
@@ -406,7 +468,7 @@ DegradedTier ChooseDegradedTier(const DocumentStats& stats,
   const double shrink = static_cast<double>(reduced.queue_k) /
                         static_cast<double>(requested.queue_k);
   for (const LocationPath& path : query.paths) {
-    const PlanCosts costs = EstimatePlanCosts(stats, path, disk, cpu);
+    const PlanCosts costs = EstimatePlanCosts(stats, path, disk, cpu, summary);
     tier.requested_cost += costs.xschedule;
     simple_cost += costs.simple;
     const double lost = std::max(costs.simple, costs.xschedule) -

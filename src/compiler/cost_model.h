@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "compiler/plan.h"
+#include "store/path_summary.h"
 #include "xml/dom.h"
 #include "xpath/location_path.h"
 
@@ -82,11 +83,21 @@ struct PathEstimate {
   double crossings = 0;           // expected inter-cluster traversals
   double clusters_touched = 0;    // distinct clusters a navigational plan
                                   // must load
+  /// Pages an XScan-style sweep must visit: the whole document under
+  /// DocumentStats, the touched-extent union under a summary.
+  double scan_pages = 0;
+  /// True when the path-summary synopsis supplied exact cardinalities
+  /// (result, per-step and nodes_examined are then exact counts, not
+  /// independence-assumption estimates; crossings stay estimated).
+  bool summary_exact = false;
 };
 
-/// Estimates `path` against the statistics.
+/// Estimates `path` against the statistics. When `summary` is non-null
+/// and the path lies in the synopsis' exactness domain (absolute,
+/// predicate-free, downward axes), cardinalities are exact.
 PathEstimate EstimatePath(const DocumentStats& stats,
-                          const LocationPath& path);
+                          const LocationPath& path,
+                          const PathSummary* summary = nullptr);
 
 /// Fraction (in [0, 1]) of a path's estimated output already produced,
 /// for progress-discounting remaining-cost and remaining-clusters
@@ -103,7 +114,8 @@ double EstimatedProgress(std::uint64_t produced,
 /// per-step row counts.
 PathEstimate EstimatePathDetailed(const DocumentStats& stats,
                                   const LocationPath& path,
-                                  std::vector<double>* per_step);
+                                  std::vector<double>* per_step,
+                                  const PathSummary* summary = nullptr);
 
 /// Estimated total simulated cost of running `path` with each plan kind.
 struct PlanCosts {
@@ -121,7 +133,8 @@ struct PlanCosts {
 
 PlanCosts EstimatePlanCosts(const DocumentStats& stats,
                             const LocationPath& path, const DiskModel& disk,
-                            const CpuCostModel& cpu);
+                            const CpuCostModel& cpu,
+                            const PathSummary* summary = nullptr);
 
 /// Estimated benefit of evaluating one shared prefix for a group of
 /// queries: a single XSchedule producer materializes the prefix instances
@@ -147,7 +160,8 @@ SharedPrefixEstimate EstimateSharedPrefix(const DocumentStats& stats,
 /// The optimizer: picks the cheapest I/O-performing operator for `query`
 /// (summing estimates over count() operands).
 PlanKind ChoosePlanKind(const DocumentStats& stats, const PathQuery& query,
-                        const DiskModel& disk, const CpuCostModel& cpu);
+                        const DiskModel& disk, const CpuCostModel& cpu,
+                        const PathSummary* summary = nullptr);
 
 /// Overload degradation tier for a serving layer: a plan for `query` with
 /// a much smaller buffer/prefetch footprint than `requested`, priced by
@@ -169,7 +183,8 @@ DegradedTier ChooseDegradedTier(const DocumentStats& stats,
                                 const PathQuery& query,
                                 const PlanOptions& requested,
                                 const DiskModel& disk,
-                                const CpuCostModel& cpu);
+                                const CpuCostModel& cpu,
+                                const PathSummary* summary = nullptr);
 
 }  // namespace navpath
 

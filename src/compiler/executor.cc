@@ -8,10 +8,15 @@ namespace navpath {
 namespace {
 
 /// Runs one prepared plan to exhaustion, deduplicating result nodes.
+/// `stop_after` > 0 stops pulling once that many distinct results exist
+/// (existence queries need just one).
 Status DrainPlan(Database* db, PathPlan* plan, bool collect_nodes,
-                 std::uint64_t* count, std::vector<LogicalNode>* nodes) {
+                 std::uint64_t* count, std::vector<LogicalNode>* nodes,
+                 std::uint64_t stop_after = 0) {
   NAVPATH_RETURN_NOT_OK(plan->root()->Open());
   std::unordered_set<std::uint64_t> seen;
+  std::uint64_t produced = 0;
+  bool stopped_early = false;
   PathInstance inst;
   for (;;) {
     NAVPATH_ASSIGN_OR_RETURN(const bool have, plan->root()->Pull(&inst));
@@ -21,11 +26,26 @@ Status DrainPlan(Database* db, PathPlan* plan, bool collect_nodes,
     db->clock()->ChargeCpu(db->costs().set_op);
     if (!seen.insert(inst.right.node.Pack()).second) continue;
     ++*count;
+    ++produced;
     if (collect_nodes) {
       nodes->push_back(LogicalNode{inst.right.node, 0, inst.right.order});
     }
+    if (stop_after != 0 && produced >= stop_after) {
+      stopped_early = true;
+      break;
+    }
   }
-  return plan->root()->Close();
+  NAVPATH_RETURN_NOT_OK(plan->root()->Close());
+  // An early stop (existence queries) abandons the plan's speculative
+  // prefetches mid-flight; drain them so the database stays reusable and
+  // the device-busy tail is accounted for (same contract as
+  // WorkloadExecutor::CollectResult).
+  if (stopped_early) {
+    while (db->buffer()->HasPrefetchInFlight()) {
+      (void)db->buffer()->WaitAnyPrefetch();
+    }
+  }
+  return Status::OK();
 }
 
 /// String value of a node (element text or attribute value).
@@ -160,7 +180,8 @@ PathExplain BuildPathExplain(Database* db, const LocationPath& path,
                              const PlanOptions& plan_options,
                              const DocumentStats* stats,
                              std::uint64_t result_count, SimTime total_time,
-                             SimTime io_wait_time, const Metrics& window) {
+                             SimTime io_wait_time, const Metrics& window,
+                             const PathSummary* summary) {
   PathExplain explain;
   explain.query = path.ToString();
   explain.plan_kind = PlanKindName(plan_options.kind);
@@ -171,15 +192,18 @@ PathExplain BuildPathExplain(Database* db, const LocationPath& path,
   explain.buffer_hits = window.buffer_hits;
   explain.buffer_misses = window.buffer_misses;
   explain.fallback_activated = window.fallback_activations > 0;
+  explain.summary_pruned = plan.summary_pruned();
 
   std::vector<double> est_steps;
+  bool est_exact = false;
   if (stats != nullptr) {
     const PathEstimate estimate =
-        EstimatePathDetailed(*stats, path, &est_steps);
+        EstimatePathDetailed(*stats, path, &est_steps, summary);
+    est_exact = estimate.summary_exact;
     explain.estimated_clusters_touched = estimate.clusters_touched;
     const PlanCosts costs =
         EstimatePlanCosts(*stats, path, db->options().disk_model,
-                          db->options().cpu_costs);
+                          db->options().cpu_costs, summary);
     switch (plan_options.kind) {
       case PlanKind::kSimple:
         explain.estimated_cost = costs.simple;
@@ -198,6 +222,9 @@ PathExplain BuildPathExplain(Database* db, const LocationPath& path,
     ExplainStep step;
     step.description = path.steps[i].ToString();
     if (i < est_steps.size()) step.estimated_rows = est_steps[i];
+    if (stats != nullptr) {
+      step.estimate_source = est_exact ? "summary-exact" : "stats-estimate";
+    }
     if (profiler != nullptr && i + 1 < profiler->step_rows.size()) {
       step.actual_rows = profiler->step_rows[i + 1];
     }
@@ -221,19 +248,13 @@ PathExplain BuildPathExplain(Database* db, const LocationPath& path,
   return explain;
 }
 
-Result<QueryRunResult> ExecutePath(Database* db, const ImportedDocument& doc,
-                                   const LocationPath& path,
-                                   const ExecuteOptions& options) {
-  PathQuery query;
-  query.mode = options.collect_nodes ? PathQuery::Mode::kNodes
-                                     : PathQuery::Mode::kCount;
-  query.paths.push_back(path);
-  return ExecuteQuery(db, doc, query, options);
-}
+namespace {
 
-Result<QueryRunResult> ExecuteQuery(Database* db, const ImportedDocument& doc,
-                                    const PathQuery& query,
-                                    const ExecuteOptions& options) {
+Result<QueryRunResult> ExecuteQueryImpl(Database* db,
+                                        const ImportedDocument& doc,
+                                        const PathQuery& query,
+                                        const ExecuteOptions& options,
+                                        bool allow_summary_answer) {
   if (query.paths.empty()) {
     return Status::InvalidArgument("query without paths");
   }
@@ -253,19 +274,68 @@ Result<QueryRunResult> ExecuteQuery(Database* db, const ImportedDocument& doc,
   PlanOptions plan_options = options.plan;
   if (options.explain) plan_options.profile = true;
 
+  const PathSummary* summary =
+      plan_options.use_summary ? db->summary() : nullptr;
+  const bool exists_mode = query.mode == PathQuery::Mode::kExists;
+
   QueryRunResult result;
   if (options.explain) result.explain = std::make_shared<QueryExplain>();
   for (const LocationPath& path : query.paths) {
+    // exists(a)+exists(b) is the logical OR: one hit settles the query.
+    if (exists_mode && result.count > 0) break;
     if (path.HasPredicates()) {
       NAVPATH_ASSIGN_OR_RETURN(
           const std::vector<LogicalNode> nodes,
           EvaluateWithPredicates(db, doc, path, options.contexts,
                                  plan_options));
-      result.count += nodes.size();
+      if (exists_mode) {
+        if (!nodes.empty()) result.count = 1;
+      } else {
+        result.count += nodes.size();
+      }
       if (collect) {
         result.nodes.insert(result.nodes.end(), nodes.begin(), nodes.end());
       }
       continue;
+    }
+    // Navigation-free fast path: a predicate-free count()/exists() is
+    // answered from the path summary alone — exact, zero cluster accesses.
+    if (allow_summary_answer && summary != nullptr &&
+        query.mode != PathQuery::Mode::kNodes &&
+        PathSummary::Supports(path)) {
+      const SummaryMatch match = summary->Match(path);
+      if (match.applicable) {
+        const SimTime fast_t0 = db->clock()->now();
+        db->clock()->ChargeCpu(
+            static_cast<SimTime>(match.nodes_examined) *
+            db->costs().node_test);
+        if (exists_mode) {
+          if (match.result_count > 0) result.count = 1;
+        } else {
+          result.count += match.result_count;
+        }
+        if (result.explain != nullptr) {
+          PathExplain explain;
+          explain.query = path.ToString();
+          explain.plan_kind = "SummaryIndex";
+          explain.result_count = exists_mode
+                                     ? (match.result_count > 0 ? 1 : 0)
+                                     : match.result_count;
+          explain.total_time = db->clock()->now() - fast_t0;
+          for (std::size_t i = 0; i < path.steps.size(); ++i) {
+            ExplainStep step;
+            step.description = path.steps[i].ToString();
+            const std::uint64_t selected =
+                i < match.steps.size() ? match.steps[i].selected : 0;
+            step.estimated_rows = static_cast<double>(selected);
+            step.actual_rows = selected;
+            step.estimate_source = "summary-exact";
+            explain.steps.push_back(std::move(step));
+          }
+          result.explain->paths.push_back(std::move(explain));
+        }
+        continue;
+      }
     }
     const Metrics path_start = db->metrics()->Snapshot();
     const SimTime path_t0 = db->clock()->now();
@@ -275,13 +345,14 @@ Result<QueryRunResult> ExecuteQuery(Database* db, const ImportedDocument& doc,
         PathPlan plan,
         BuildPlan(db, doc, path, options.contexts, plan_options));
     NAVPATH_RETURN_NOT_OK(
-        DrainPlan(db, &plan, collect, &result.count, &result.nodes));
+        DrainPlan(db, &plan, collect, &result.count, &result.nodes,
+                  exists_mode ? 1 : 0));
     if (result.explain != nullptr) {
       result.explain->paths.push_back(BuildPathExplain(
           db, path, plan, plan_options, options.stats,
           result.count - count_before, db->clock()->now() - path_t0,
           db->clock()->io_wait_time() - path_io0,
-          db->metrics()->Delta(path_start)));
+          db->metrics()->Delta(path_start), summary));
     }
   }
 
@@ -302,6 +373,30 @@ Result<QueryRunResult> ExecuteQuery(Database* db, const ImportedDocument& doc,
   result.cpu_time = db->clock()->cpu_time() - window_cpu0;
   result.metrics = db->metrics()->Delta(window_start);
   return result;
+}
+
+}  // namespace
+
+Result<QueryRunResult> ExecutePath(Database* db, const ImportedDocument& doc,
+                                   const LocationPath& path,
+                                   const ExecuteOptions& options) {
+  PathQuery query;
+  query.mode = options.collect_nodes ? PathQuery::Mode::kNodes
+                                     : PathQuery::Mode::kCount;
+  query.paths.push_back(path);
+  // ExecutePath drives the caller's chosen physical plan even for counts:
+  // its contract is "run this path", so the navigation-free summary answer
+  // would bypass exactly what plan-level callers measure. Full queries go
+  // through ExecuteQuery, where count()/exists() may skip navigation.
+  return ExecuteQueryImpl(db, doc, query, options,
+                          /*allow_summary_answer=*/false);
+}
+
+Result<QueryRunResult> ExecuteQuery(Database* db, const ImportedDocument& doc,
+                                    const PathQuery& query,
+                                    const ExecuteOptions& options) {
+  return ExecuteQueryImpl(db, doc, query, options,
+                          /*allow_summary_answer=*/true);
 }
 
 }  // namespace navpath

@@ -72,7 +72,8 @@ PathExplain BuildPathExplain(Database* db, const LocationPath& path,
                              const PlanOptions& plan_options,
                              const DocumentStats* stats,
                              std::uint64_t result_count, SimTime total_time,
-                             SimTime io_wait_time, const Metrics& window);
+                             SimTime io_wait_time, const Metrics& window,
+                             const PathSummary* summary = nullptr);
 
 /// Runs one location path and returns its (distinct) result nodes/count.
 Result<QueryRunResult> ExecutePath(Database* db, const ImportedDocument& doc,

@@ -47,11 +47,31 @@ Result<PathPlan> BuildPlan(Database* db, const ImportedDocument& doc,
            path.steps[static_cast<std::size_t>(i)].ToString() + ")";
   };
 
+  // Path-summary consultation: a provably empty path needs no operators
+  // beyond an empty ContextScan (zero cluster accesses); a supported
+  // XScan path confines the sweep to the touched-extent union.
+  const PathSummary* summary =
+      options.use_summary ? db->summary() : nullptr;
+  std::vector<SummaryExtent> scan_extents;
+  if (summary != nullptr && PathSummary::Supports(path)) {
+    const SummaryMatch match = summary->Match(path);
+    if (match.empty) {
+      plan.summary_pruned_ = true;
+      contexts.clear();
+    } else if (options.kind == PlanKind::kXScan) {
+      scan_extents = summary->ExtentUnion(match.touched);
+    }
+  }
+
   PathOperator* tip = add(std::make_unique<ContextScan>(std::move(contexts)),
                           "ContextScan", 0);
   const int length = static_cast<int>(path.length());
 
-  switch (options.kind) {
+  if (plan.summary_pruned_) {
+    // The summary proved the path empty: the context-less scan is the
+    // whole plan, no step ever runs, no cluster is touched.
+    plan.root_ = tip;
+  } else switch (options.kind) {
     case PlanKind::kSimple: {
       for (int i = 0; i < length; ++i) {
         tip = add(std::make_unique<UnnestMap>(db, plan.shared_.get(), tip,
@@ -95,6 +115,7 @@ Result<PathPlan> BuildPlan(Database* db, const ImportedDocument& doc,
       scan_options.first_page = doc.first_page;
       scan_options.last_page = doc.last_page;
       scan_options.path_length = length;
+      scan_options.restrict_to = std::move(scan_extents);
       tip = add(std::make_unique<XScan>(db, plan.shared_.get(), tip,
                                         scan_options),
                 "XScan");

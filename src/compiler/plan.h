@@ -55,6 +55,11 @@ struct PlanOptions {
   /// so simulated costs are unchanged. Ignored (and free) on builds
   /// configured with -DNAVPATH_OBSERVE=OFF.
   bool profile = false;
+  /// Consult the document's path-summary synopsis (when the database has
+  /// one): a path the summary proves empty collapses to an empty plan
+  /// with zero cluster accesses, and an XScan sweep is restricted to the
+  /// touched-extent union. Off reproduces pre-summary plans exactly.
+  bool use_summary = true;
 };
 
 /// An executable operator tree. Movable; owns all operators and the shared
@@ -67,6 +72,9 @@ class PathPlan {
   /// Non-null iff built with PlanOptions.profile on an observe-enabled
   /// build; holds the per-operator measurements after execution.
   PlanProfiler* profiler() const { return profiler_.get(); }
+  /// True when the path summary proved the path empty and BuildPlan
+  /// collapsed it to an empty ContextScan (no cluster is ever touched).
+  bool summary_pruned() const { return summary_pruned_; }
 
   /// Assembles a plan from pre-built operators. Used by the sharing
   /// subsystem, whose consumer plans read a shared stream instead of the
@@ -88,6 +96,7 @@ class PathPlan {
   std::unique_ptr<PlanProfiler> profiler_;
   PathOperator* root_ = nullptr;
   XAssembly* assembly_ = nullptr;
+  bool summary_pruned_ = false;
 };
 
 /// Builds a plan for `path` over `doc`. `contexts` seeds relative paths;

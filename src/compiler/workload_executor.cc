@@ -163,16 +163,20 @@ void WorkloadExecutor::ComputeEstimates(Job* job) const {
   job->path_clusters.clear();
   job->clusters_touched = 0.0;
   if (options_.stats == nullptr) return;
+  const PathSummary* summary =
+      options_.summary ? db_->summary() : nullptr;
   for (const LocationPath& path : job->query.paths) {
-    const PlanCosts costs = EstimatePlanCosts(
-        *options_.stats, path, db_->options().disk_model, db_->costs());
+    const PlanCosts costs =
+        EstimatePlanCosts(*options_.stats, path, db_->options().disk_model,
+                          db_->costs(), summary);
     double cost = costs.simple;
     if (job->plan_options.kind == PlanKind::kXSchedule) {
       cost = costs.xschedule;
     }
     if (job->plan_options.kind == PlanKind::kXScan) cost = costs.xscan;
     job->path_costs.push_back(cost);
-    const PathEstimate estimate = EstimatePath(*options_.stats, path);
+    const PathEstimate estimate =
+        EstimatePath(*options_.stats, path, summary);
     job->path_cards.push_back(estimate.result_cardinality);
     job->path_clusters.push_back(estimate.clusters_touched);
     job->clusters_touched =

@@ -97,6 +97,13 @@ struct WorkloadOptions {
   /// admission sequences comparable across revisions.
   bool footprint_from_stats = true;
 
+  /// Let per-query cost/cardinality estimates (admission footprints, DRR
+  /// cost charging, shortest-remaining-cost ordering) use the database's
+  /// path-summary synopsis where a path is in its exactness domain; off
+  /// reproduces pure DocumentStats estimates byte-for-byte. Summary use
+  /// inside each query's own plan stays governed by its PlanOptions.
+  bool summary = true;
+
   /// Produce an EXPLAIN ANALYZE report per query (forces plan profiling).
   bool explain = false;
 

@@ -45,12 +45,15 @@ std::string PathExplain::ToString() const {
                 actual_clusters_entered, disk_reads, buffer_hits,
                 buffer_misses, fallback_activated ? "  [FALLBACK]" : "");
   out += buf;
+  if (summary_pruned) out += "  [SUMMARY-PRUNED: provably empty]\n";
   out += "  steps (est rows -> actual rows):\n";
   for (std::size_t i = 0; i < steps.size(); ++i) {
     const ExplainStep& s = steps[i];
-    std::snprintf(buf, sizeof(buf), "    #%zu %-28s est=%-10.1f actual=%" PRIu64
-                  "\n",
-                  i, s.description.c_str(), s.estimated_rows, s.actual_rows);
+    std::snprintf(buf, sizeof(buf),
+                  "    #%zu %-28s est=%-10.1f actual=%" PRIu64 "%s%s\n",
+                  i, s.description.c_str(), s.estimated_rows, s.actual_rows,
+                  s.estimate_source.empty() ? "" : "  src=",
+                  s.estimate_source.c_str());
     out += buf;
   }
   out += "  operators (self/total simulated time):\n";

@@ -23,6 +23,10 @@ struct ExplainStep {
   std::string description;          // "child::b", "descendant-or-self::*"
   double estimated_rows = 0;        // cost model cardinality after this step
   std::uint64_t actual_rows = 0;    // rows observed crossing this step
+  /// Where the estimate came from: "summary-exact" (path-summary synopsis,
+  /// the estimate is an exact count) or "stats-estimate" (DocumentStats
+  /// independence-assumption model). Empty when no estimate was computed.
+  std::string estimate_source;
 };
 
 /// One physical operator in the executed plan.
@@ -56,6 +60,9 @@ struct PathExplain {
   std::uint64_t buffer_hits = 0;
   std::uint64_t buffer_misses = 0;
   bool fallback_activated = false;
+  /// The path summary proved this path empty; the plan collapsed to an
+  /// empty scan and never touched a cluster.
+  bool summary_pruned = false;
 
   /// Human-readable report, one line per step and per operator.
   std::string ToString() const;

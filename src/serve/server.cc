@@ -167,7 +167,8 @@ Status Server::Activate(std::size_t sub) {
       options_.workload.stats != nullptr) {
     const DegradedTier tier = ChooseDegradedTier(
         *options_.workload.stats, s.query, s.plan,
-        db_->options().disk_model, db_->costs());
+        db_->options().disk_model, db_->costs(),
+        options_.workload.summary ? db_->summary() : nullptr);
     if (tier.viable) {
       NAVPATH_RETURN_NOT_OK(executor_.RetierJob(job, tier.plan));
       ++serve_.Counter("serve.degraded");

@@ -51,7 +51,24 @@ Result<ImportedDocument> Database::Import(const DomTree& tree,
         "document was built against a foreign tag registry");
   }
   const ClusterAssignment assignment = policy->Assign(tree);
-  return MaterializeDocument(tree, assignment, disk_.get(), options_.import);
+  const bool want_summary =
+      options_.import.build_summary && imported_docs_ == 0;
+  std::vector<PageId> node_pages;
+  std::vector<std::pair<DomNodeId, PageId>> glue_pages;
+  NAVPATH_ASSIGN_OR_RETURN(
+      ImportedDocument doc,
+      MaterializeDocument(tree, assignment, disk_.get(), options_.import,
+                          want_summary ? &node_pages : nullptr,
+                          want_summary ? &glue_pages : nullptr));
+  ++imported_docs_;
+  if (want_summary) {
+    summary_ = PathSummary::Build(tree, node_pages, glue_pages);
+  } else {
+    // The synopsis describes exactly one document; a second import (or a
+    // summary-off import) leaves the database without one.
+    summary_.reset();
+  }
+  return doc;
 }
 
 Status Database::ResetMeasurement() {

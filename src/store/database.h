@@ -19,6 +19,7 @@
 #include "store/cluster_view.h"
 #include "store/clustering.h"
 #include "store/import.h"
+#include "store/path_summary.h"
 #include "xml/dom.h"
 #include "xml/tag_registry.h"
 
@@ -68,8 +69,25 @@ class Database {
 
   /// Imports `tree` clustered by `policy`. The tree must have been built
   /// against this database's tag registry and have order keys assigned.
+  /// When ImportOptions::build_summary is set, the first import also
+  /// builds the path-summary synopsis; a second import into the same
+  /// database invalidates it (the summary is per-document).
   Result<ImportedDocument> Import(const DomTree& tree,
                                   ClusteringPolicy* policy);
+
+  /// The path-summary synopsis of the (single) imported document, or
+  /// nullptr when disabled, invalidated, or nothing was imported yet.
+  const PathSummary* summary() const { return summary_.get(); }
+  std::shared_ptr<const PathSummary> shared_summary() const {
+    return summary_;
+  }
+  /// Installs a summary (persistence load, tests).
+  void SetSummary(std::shared_ptr<const PathSummary> summary) {
+    summary_ = std::move(summary);
+  }
+  /// Drops the summary. Store mutations (DocumentUpdater) call this: a
+  /// stale synopsis would return confidently wrong exact counts.
+  void InvalidateSummary() { summary_.reset(); }
 
   /// Builds a cost-charging view over a pinned page.
   ClusterView MakeView(const PageGuard& guard) {
@@ -88,6 +106,8 @@ class Database {
   std::unique_ptr<SimulatedDisk> disk_;
   std::unique_ptr<FaultInjector> fault_injector_;
   std::unique_ptr<BufferManager> buffer_;
+  std::shared_ptr<const PathSummary> summary_;
+  std::size_t imported_docs_ = 0;
   /// Owned; raw because the observe-off build must not reference ~Tracer.
   Tracer* tracer_ = nullptr;
 };

@@ -23,12 +23,16 @@ struct AttachState {
 class Materializer {
  public:
   Materializer(const DomTree& tree, const ClusterAssignment& assignment,
-               SimulatedDisk* disk, const ImportOptions& options)
+               SimulatedDisk* disk, const ImportOptions& options,
+               std::vector<PageId>* node_pages,
+               std::vector<std::pair<DomNodeId, PageId>>* glue_pages)
       : tree_(tree),
         assignment_(assignment),
         disk_(disk),
         page_size_(disk->page_size()),
-        options_(options) {}
+        options_(options),
+        node_pages_(node_pages),
+        glue_pages_(glue_pages) {}
 
   Result<ImportedDocument> Run();
 
@@ -102,6 +106,7 @@ class Materializer {
         page.SetNextSibling(prev, slot);
       }
       prev = slot;
+      RecordNodePage(a, page_idx);
       ++doc_.attribute_records;
     }
     return Status::OK();
@@ -168,6 +173,10 @@ class Materializer {
     st.page = new_idx;
     st.parent_slot = cont_up;
     st.last_elem = kInvalidSlot;
+    // The fresh page extends u's child list: border records for u's later
+    // children land here even if no record of u (or of any node the
+    // synopsis tracks) ever does. Report it as u's glue page.
+    if (glue_pages_ != nullptr) cont_page_.emplace_back(u, new_idx);
     ++doc_.border_pairs;
     ++doc_.continuation_pairs;
     NAVPATH_DCHECK(EffectiveFree(new_idx) >= need);
@@ -184,11 +193,23 @@ class Materializer {
   std::size_t page_size_;
   ImportOptions options_;
 
+  /// Records node v's placement build page. AttachState::page can move
+  /// later (continuation splits re-point the attach page); the record
+  /// itself stays where it was placed, so capture the page here.
+  void RecordNodePage(DomNodeId v, std::uint32_t build_idx) {
+    if (node_pages_ != nullptr) build_page_[v] = build_idx;
+  }
+
   std::vector<BuildPage> pages_;
   std::unordered_map<std::uint32_t, std::uint32_t> cluster_open_;
   std::vector<AttachState> attach_;
   PageId base_page_ = 0;
   ImportedDocument doc_;
+  std::vector<PageId>* node_pages_;
+  std::vector<std::pair<DomNodeId, PageId>>* glue_pages_;
+  std::vector<std::uint32_t> build_page_;
+  /// (owner, build page) per continuation split, in creation order.
+  std::vector<std::pair<DomNodeId, std::uint32_t>> cont_page_;
 };
 
 Status Materializer::PlaceRoot(DomNodeId root) {
@@ -200,6 +221,7 @@ Status Materializer::PlaceRoot(DomNodeId root) {
                          CappedText(root)));
   NAVPATH_RETURN_NOT_OK(PlaceAttributes(root, idx, slot));
   attach_[root] = AttachState{idx, slot, kInvalidSlot};
+  RecordNodePage(root, idx);
   pages_[idx].reserved += TreePage::BorderRecordSpace();
   doc_.root = IdOf(idx, slot);
   doc_.root_order = tree_.node(root).order;
@@ -227,6 +249,7 @@ Status Materializer::PlaceChild(DomNodeId v) {
     NAVPATH_RETURN_NOT_OK(PlaceAttributes(v, ust.page, slot));
     LinkChild(u, slot);
     attach_[v] = AttachState{ust.page, slot, kInvalidSlot};
+    RecordNodePage(v, ust.page);
     pages_[ust.page].reserved += reserve_space;
   } else {
     // v starts (or extends) a foreign cluster: border pair for the edge.
@@ -264,6 +287,7 @@ Status Materializer::PlaceChild(DomNodeId v) {
     u_page.SetPartner(down, IdOf(v_idx, up));
     View(v_idx).SetPartner(up, IdOf(ust.page, down));
     attach_[v] = AttachState{v_idx, slot, kInvalidSlot};
+    RecordNodePage(v, v_idx);
     ++doc_.border_pairs;
   }
   ++doc_.core_records;
@@ -296,6 +320,7 @@ Result<ImportedDocument> Materializer::Run() {
   options_.text_cap = std::min(options_.text_cap, page_size_ - overhead - 16);
 
   attach_.resize(tree_.size());
+  if (node_pages_ != nullptr) build_page_.resize(tree_.size(), 0);
   base_page_ = disk_->num_pages();
 
   // Depth-first traversal with pre/post events; parents are placed before
@@ -365,6 +390,19 @@ Result<ImportedDocument> Materializer::Run() {
   doc_.first_page = base_page_;
   doc_.last_page = base_page_ + static_cast<PageId>(pages_.size()) - 1;
   doc_.pages = pages_.size();
+  if (node_pages_ != nullptr) {
+    node_pages_->resize(tree_.size());
+    for (DomNodeId v = 0; v < tree_.size(); ++v) {
+      (*node_pages_)[v] = base_page_ + position[build_page_[v]];
+    }
+  }
+  if (glue_pages_ != nullptr) {
+    glue_pages_->clear();
+    glue_pages_->reserve(cont_page_.size());
+    for (const auto& [owner, idx] : cont_page_) {
+      glue_pages_->emplace_back(owner, base_page_ + position[idx]);
+    }
+  }
   return doc_;
 }
 
@@ -372,9 +410,11 @@ Result<ImportedDocument> Materializer::Run() {
 
 Result<ImportedDocument> MaterializeDocument(
     const DomTree& tree, const ClusterAssignment& assignment,
-    SimulatedDisk* disk, const ImportOptions& options) {
+    SimulatedDisk* disk, const ImportOptions& options,
+    std::vector<PageId>* node_pages,
+    std::vector<std::pair<DomNodeId, PageId>>* glue_pages) {
   NAVPATH_CHECK(disk != nullptr);
-  Materializer m(tree, assignment, disk, options);
+  Materializer m(tree, assignment, disk, options, node_pages, glue_pages);
   return m.Run();
 }
 

@@ -14,6 +14,8 @@
 #define NAVPATH_STORE_IMPORT_H_
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "storage/disk.h"
@@ -60,14 +62,34 @@ struct ImportOptions {
   double fragmentation = 0.0;
   std::size_t fragmentation_window = 64;
   std::uint64_t fragmentation_seed = 1;
+
+  /// Build the path-summary synopsis at import (Database::Import). The
+  /// summary gives the planner exact cardinalities, empty-path proofs and
+  /// navigation-free count()/existence answers on predicate-free paths;
+  /// off reproduces pre-summary behavior byte-for-byte.
+  bool build_summary = true;
 };
 
 /// Builds pages for `tree` under `assignment` and writes them to `disk`.
 /// The caller typically resets the simulated clock and metrics afterwards
 /// (import cost is not part of any measured query).
+///
+/// When `node_pages` is non-null it is resized to tree.size() and filled
+/// with the final physical page of every DOM node's core (or attribute)
+/// record — placement page with the fragmentation permutation applied.
+/// The path-summary synopsis derives its cluster extents from this.
+///
+/// When `glue_pages` is non-null it receives one (owner, page) pair per
+/// continuation split: the fresh page holds the up-border that extends
+/// `owner`'s child list, so border records linking owner's children may
+/// live there without any record of owner itself. The synopsis must count
+/// such pages among owner's extents or a restricted sweep would skip the
+/// glue that cross-page assembly needs.
 Result<ImportedDocument> MaterializeDocument(
     const DomTree& tree, const ClusterAssignment& assignment,
-    SimulatedDisk* disk, const ImportOptions& options = {});
+    SimulatedDisk* disk, const ImportOptions& options = {},
+    std::vector<PageId>* node_pages = nullptr,
+    std::vector<std::pair<DomNodeId, PageId>>* glue_pages = nullptr);
 
 }  // namespace navpath
 

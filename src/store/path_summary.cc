@@ -1,0 +1,387 @@
+#include "store/path_summary.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace navpath {
+namespace {
+
+void AppendU8(std::string* out, std::uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void AppendU32(std::string* out, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void AppendU64(std::string* out, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+/// Bounds-checked little cursor over the encoded bytes.
+class Reader {
+ public:
+  Reader(const void* data, std::size_t size)
+      : p_(static_cast<const unsigned char*>(data)), left_(size) {}
+
+  bool ReadU8(std::uint8_t* v) {
+    if (left_ < 1) return false;
+    *v = *p_;
+    p_ += 1;
+    left_ -= 1;
+    return true;
+  }
+  bool ReadU32(std::uint32_t* v) {
+    if (left_ < 4) return false;
+    std::memcpy(v, p_, 4);
+    p_ += 4;
+    left_ -= 4;
+    return true;
+  }
+  bool ReadU64(std::uint64_t* v) {
+    if (left_ < 8) return false;
+    std::memcpy(v, p_, 8);
+    p_ += 8;
+    left_ -= 8;
+    return true;
+  }
+  bool exhausted() const { return left_ == 0; }
+
+ private:
+  const unsigned char* p_;
+  std::size_t left_;
+};
+
+/// Merges a sorted page list into inclusive [first, last] extents.
+std::vector<SummaryExtent> MergePages(std::vector<PageId>* pages) {
+  std::vector<SummaryExtent> extents;
+  std::sort(pages->begin(), pages->end());
+  pages->erase(std::unique(pages->begin(), pages->end()), pages->end());
+  for (const PageId p : *pages) {
+    if (!extents.empty() && p == extents.back().last + 1) {
+      extents.back().last = p;
+    } else {
+      extents.push_back(SummaryExtent{p, p});
+    }
+  }
+  return extents;
+}
+
+}  // namespace
+
+std::unique_ptr<PathSummary> PathSummary::Build(
+    const DomTree& tree, const std::vector<PageId>& node_pages,
+    const std::vector<std::pair<DomNodeId, PageId>>& glue_pages) {
+  NAVPATH_CHECK(!tree.empty());
+  NAVPATH_CHECK(node_pages.size() == tree.size());
+  std::unique_ptr<PathSummary> summary(new PathSummary());
+
+  // summary_of[v] = summary node of DOM node v; filled top-down in
+  // document order, so children vectors come out in first-encounter
+  // (document) order — the encoding is deterministic by construction.
+  std::vector<std::uint32_t> summary_of(tree.size(), kNoParent);
+  std::vector<std::vector<PageId>> pages_of;
+
+  auto child_summary = [&](std::uint32_t parent_sid, TagId tag,
+                           DomNodeKind kind) {
+    // Fan-out of *distinct* child paths is small; a linear scan of the
+    // parent's children beats hashing and is order-deterministic.
+    for (const std::uint32_t c : summary->nodes_[parent_sid].children) {
+      const Node& cn = summary->nodes_[c];
+      if (cn.tag == tag && cn.kind == kind) return c;
+    }
+    const std::uint32_t sid =
+        static_cast<std::uint32_t>(summary->nodes_.size());
+    Node node;
+    node.tag = tag;
+    node.kind = kind;
+    node.parent = parent_sid;
+    summary->nodes_.push_back(std::move(node));
+    pages_of.emplace_back();
+    summary->nodes_[parent_sid].children.push_back(sid);
+    return sid;
+  };
+
+  auto record = [&](DomNodeId v, std::uint32_t sid) {
+    summary_of[v] = sid;
+    ++summary->nodes_[sid].count;
+    ++summary->total_instances_;
+    pages_of[sid].push_back(node_pages[v]);
+  };
+
+  // Root summary node.
+  {
+    Node node;
+    node.tag = tree.node(tree.root()).tag;
+    summary->nodes_.push_back(std::move(node));
+    pages_of.emplace_back();
+    record(tree.root(), 0);
+  }
+
+  // Document-order DFS over elements; attributes handled at their owner.
+  std::vector<DomNodeId> stack;
+  stack.push_back(tree.root());
+  while (!stack.empty()) {
+    const DomNodeId v = stack.back();
+    stack.pop_back();
+    const std::uint32_t sid = summary_of[v];
+    for (DomNodeId a = tree.node(v).first_attr; a != kNilDomNode;
+         a = tree.node(a).next_sibling) {
+      record(a, child_summary(sid, tree.node(a).tag, DomNodeKind::kAttribute));
+    }
+    // Children pushed right-to-left so they are visited in document order.
+    for (DomNodeId c = tree.node(v).last_child; c != kNilDomNode;
+         c = tree.node(c).prev_sibling) {
+      record(c, child_summary(sid, tree.node(c).tag, DomNodeKind::kElement));
+      stack.push_back(c);
+    }
+  }
+
+  // Continuation pages carry border glue of the owner's child list; count
+  // them as the owner's so restricted sweeps keep cross-page assembly
+  // intact even when no tracked record lives there.
+  for (const auto& [owner, page] : glue_pages) {
+    pages_of[summary_of[owner]].push_back(page);
+  }
+
+  for (std::uint32_t i = 0; i < summary->nodes_.size(); ++i) {
+    summary->nodes_[i].extents = MergePages(&pages_of[i]);
+  }
+  return summary;
+}
+
+bool PathSummary::Supports(const LocationPath& path) {
+  if (!path.absolute) return false;
+  for (const LocationStep& step : path.steps) {
+    if (!step.predicates.empty()) return false;
+    switch (step.axis) {
+      case Axis::kSelf:
+      case Axis::kChild:
+      case Axis::kDescendant:
+      case Axis::kDescendantOrSelf:
+      case Axis::kAttribute:
+        break;
+      case Axis::kParent:
+      case Axis::kAncestor:
+      case Axis::kAncestorOrSelf:
+      case Axis::kFollowingSibling:
+      case Axis::kPrecedingSibling:
+        // Upward/sideways axes leave the frontier-instance-set argument
+        // (DESIGN.md Sec. 11): counts would no longer be exact.
+        return false;
+    }
+  }
+  return true;
+}
+
+SummaryMatch PathSummary::Match(const LocationPath& path) const {
+  SummaryMatch match;
+  if (!Supports(path)) return match;
+  match.applicable = true;
+
+  const std::uint32_t n = static_cast<std::uint32_t>(nodes_.size());
+  std::vector<std::uint8_t> touched(n, 0);
+  std::vector<std::uint8_t> in_set(n, 0);  // scratch mask per step
+
+  std::vector<std::uint32_t> frontier = {root()};
+  touched[root()] = 1;
+
+  auto count_of = [&](const std::vector<std::uint32_t>& set) {
+    std::uint64_t total = 0;
+    for (const std::uint32_t s : set) total += nodes_[s].count;
+    return total;
+  };
+
+  for (std::size_t si = 0; si < path.steps.size(); ++si) {
+    const LocationStep& step = path.steps[si];
+    // Candidates the navigation inspects for this step, dedup'd via
+    // in_set (overlapping descendant subtrees count once).
+    std::vector<std::uint32_t> candidates;
+    auto add_candidate = [&](std::uint32_t s) {
+      if (in_set[s]) return;
+      in_set[s] = 1;
+      touched[s] = 1;
+      candidates.push_back(s);
+    };
+    switch (step.axis) {
+      case Axis::kSelf:
+        for (const std::uint32_t f : frontier) add_candidate(f);
+        break;
+      case Axis::kChild:
+      case Axis::kAttribute: {
+        const DomNodeKind want = step.axis == Axis::kAttribute
+                                     ? DomNodeKind::kAttribute
+                                     : DomNodeKind::kElement;
+        for (const std::uint32_t f : frontier) {
+          for (const std::uint32_t c : nodes_[f].children) {
+            if (nodes_[c].kind == want) add_candidate(c);
+          }
+        }
+        break;
+      }
+      case Axis::kDescendant:
+      case Axis::kDescendantOrSelf: {
+        std::vector<std::uint32_t> walk;
+        for (const std::uint32_t f : frontier) {
+          if (step.axis == Axis::kDescendantOrSelf) add_candidate(f);
+          walk.push_back(f);
+        }
+        while (!walk.empty()) {
+          const std::uint32_t s = walk.back();
+          walk.pop_back();
+          for (const std::uint32_t c : nodes_[s].children) {
+            if (nodes_[c].kind != DomNodeKind::kElement) continue;
+            const bool fresh = !in_set[c];
+            add_candidate(c);
+            if (fresh) walk.push_back(c);
+          }
+        }
+        break;
+      }
+      case Axis::kParent:
+      case Axis::kAncestor:
+      case Axis::kAncestorOrSelf:
+      case Axis::kFollowingSibling:
+      case Axis::kPrecedingSibling:
+        NAVPATH_CHECK_MSG(false, "unreachable: Supports() filtered axis");
+    }
+    std::sort(candidates.begin(), candidates.end());
+    for (const std::uint32_t s : candidates) in_set[s] = 0;
+
+    std::vector<std::uint32_t> matched;
+    for (const std::uint32_t s : candidates) {
+      if (step.test.Matches(nodes_[s].tag)) matched.push_back(s);
+    }
+
+    SummaryMatch::Step info;
+    info.examined = count_of(candidates);
+    info.selected = count_of(matched);
+    match.nodes_examined += info.examined;
+    match.steps.push_back(info);
+
+    frontier = std::move(matched);
+    if (frontier.empty()) {
+      match.empty = true;
+      match.empty_at = static_cast<int>(si);
+      // Remaining steps select and examine nothing.
+      for (std::size_t r = si + 1; r < path.steps.size(); ++r) {
+        match.steps.push_back(SummaryMatch::Step{});
+      }
+      break;
+    }
+  }
+
+  match.final_nodes = frontier;
+  match.result_count = count_of(frontier);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (touched[s]) match.touched.push_back(s);
+  }
+  return match;
+}
+
+std::vector<SummaryExtent> PathSummary::ExtentUnion(
+    const std::vector<std::uint32_t>& nodes) const {
+  std::vector<SummaryExtent> all;
+  for (const std::uint32_t s : nodes) {
+    NAVPATH_DCHECK(s < nodes_.size());
+    all.insert(all.end(), nodes_[s].extents.begin(), nodes_[s].extents.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const SummaryExtent& a, const SummaryExtent& b) {
+              return a.first != b.first ? a.first < b.first : a.last < b.last;
+            });
+  std::vector<SummaryExtent> merged;
+  for (const SummaryExtent& e : all) {
+    if (!merged.empty() && e.first <= merged.back().last + 1 &&
+        merged.back().last != kInvalidPageId) {
+      merged.back().last = std::max(merged.back().last, e.last);
+    } else {
+      merged.push_back(e);
+    }
+  }
+  return merged;
+}
+
+std::uint64_t PathSummary::ExtentPages(
+    const std::vector<SummaryExtent>& extents) {
+  std::uint64_t total = 0;
+  for (const SummaryExtent& e : extents) total += e.pages();
+  return total;
+}
+
+void PathSummary::Encode(std::string* out) const {
+  AppendU32(out, static_cast<std::uint32_t>(nodes_.size()));
+  AppendU64(out, total_instances_);
+  for (const Node& node : nodes_) {
+    AppendU32(out, node.tag);
+    AppendU8(out, static_cast<std::uint8_t>(node.kind));
+    AppendU32(out, node.parent);
+    AppendU64(out, node.count);
+    AppendU32(out, static_cast<std::uint32_t>(node.extents.size()));
+    for (const SummaryExtent& e : node.extents) {
+      AppendU32(out, e.first);
+      AppendU32(out, e.last);
+    }
+  }
+}
+
+Result<std::unique_ptr<PathSummary>> PathSummary::Decode(const void* data,
+                                                         std::size_t size) {
+  Reader reader(data, size);
+  std::uint32_t count = 0;
+  std::unique_ptr<PathSummary> summary(new PathSummary());
+  if (!reader.ReadU32(&count) || !reader.ReadU64(&summary->total_instances_)) {
+    return Status::Corruption("path summary header truncated");
+  }
+  if (count == 0) return Status::Corruption("path summary has no nodes");
+  summary->nodes_.reserve(count);
+  std::uint64_t instance_sum = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Node node;
+    std::uint8_t kind = 0;
+    std::uint32_t extent_count = 0;
+    if (!reader.ReadU32(&node.tag) || !reader.ReadU8(&kind) ||
+        !reader.ReadU32(&node.parent) || !reader.ReadU64(&node.count) ||
+        !reader.ReadU32(&extent_count)) {
+      return Status::Corruption("path summary node truncated");
+    }
+    if (kind > static_cast<std::uint8_t>(DomNodeKind::kAttribute)) {
+      return Status::Corruption("path summary node kind out of range");
+    }
+    node.kind = static_cast<DomNodeKind>(kind);
+    // Creation order places every parent before its children; the root
+    // (and only the root) has no parent.
+    if (i == 0 ? node.parent != kNoParent : node.parent >= i) {
+      return Status::Corruption("path summary parent link out of order");
+    }
+    node.extents.reserve(extent_count);
+    for (std::uint32_t e = 0; e < extent_count; ++e) {
+      SummaryExtent extent;
+      if (!reader.ReadU32(&extent.first) || !reader.ReadU32(&extent.last)) {
+        return Status::Corruption("path summary extent truncated");
+      }
+      if (extent.first > extent.last ||
+          (!node.extents.empty() &&
+           extent.first <= node.extents.back().last)) {
+        return Status::Corruption("path summary extents unordered");
+      }
+      node.extents.push_back(extent);
+    }
+    instance_sum += node.count;
+    if (i != 0) summary->nodes_[node.parent].children.push_back(i);
+    summary->nodes_.push_back(std::move(node));
+  }
+  if (!reader.exhausted()) {
+    return Status::Corruption("path summary has trailing bytes");
+  }
+  if (instance_sum != summary->total_instances_) {
+    return Status::Corruption("path summary instance counts inconsistent");
+  }
+  return summary;
+}
+
+}  // namespace navpath

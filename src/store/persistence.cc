@@ -12,8 +12,13 @@ namespace {
 
 constexpr char kMagic[4] = {'N', 'V', 'P', 'H'};
 // Version 2: every page image is followed by its 8-byte integrity trailer.
-constexpr std::uint32_t kVersion = 2;
+// Version 3: CRC-protected path-summary block between catalog and pages.
+constexpr std::uint32_t kVersion = 3;
+constexpr std::uint32_t kMinVersion = 2;
 
+void WriteU8(std::ostream& out, std::uint8_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
 void WriteU32(std::ostream& out, std::uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
@@ -21,6 +26,10 @@ void WriteU64(std::ostream& out, std::uint64_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
+bool ReadU8(std::istream& in, std::uint8_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
 bool ReadU32(std::istream& in, std::uint32_t* v) {
   in.read(reinterpret_cast<char*>(v), sizeof(*v));
   return in.good();
@@ -66,6 +75,21 @@ Status SaveDatabase(Database* db, const ImportedDocument& doc,
   WriteU64(out, doc.continuation_pairs);
   WriteU64(out, doc.pages);
 
+  // Path-summary block: derived data, so it travels with its own CRC and
+  // never invalidates the rest of the file.
+  const PathSummary* summary = db->summary();
+  if (summary != nullptr) {
+    std::string encoded;
+    summary->Encode(&encoded);
+    WriteU8(out, 1);
+    WriteU64(out, encoded.size());
+    out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
+    WriteU32(out, Crc32c(reinterpret_cast<const std::byte*>(encoded.data()),
+                         encoded.size()));
+  } else {
+    WriteU8(out, 0);
+  }
+
   for (PageId p = 0; p < page_count; ++p) {
     out.write(reinterpret_cast<const char*>(db->disk()->RawPage(p)),
               static_cast<std::streamsize>(db->options().page_size));
@@ -89,7 +113,8 @@ Result<LoadedDatabase> LoadDatabase(const std::string& path,
     return Status::Corruption("not a navpath database: " + path);
   }
   std::uint32_t version = 0, page_size = 0, page_count = 0, tag_count = 0;
-  if (!ReadU32(in, &version) || version != kVersion) {
+  if (!ReadU32(in, &version) || version < kMinVersion ||
+      version > kVersion) {
     return Status::Corruption("unsupported database version");
   }
   if (!ReadU32(in, &page_size) || !ReadU32(in, &page_count) ||
@@ -127,6 +152,40 @@ Result<LoadedDatabase> LoadDatabase(const std::string& path,
       !ReadU64(in, &doc.border_pairs) ||
       !ReadU64(in, &doc.continuation_pairs) || !ReadU64(in, &doc.pages)) {
     return Status::Corruption("truncated catalog");
+  }
+
+  if (version >= 3) {
+    // The summary is derived data: any damage here degrades to "no
+    // synopsis" (recorded in summary_status) instead of failing the load.
+    std::uint8_t has_summary = 0;
+    if (!ReadU8(in, &has_summary) || has_summary > 1) {
+      return Status::Corruption("truncated summary block");
+    }
+    if (has_summary == 1) {
+      std::uint64_t len = 0;
+      if (!ReadU64(in, &len) || len > (1ull << 31)) {
+        return Status::Corruption("bad summary block length");
+      }
+      std::string encoded(len, '\0');
+      in.read(encoded.data(), static_cast<std::streamsize>(len));
+      std::uint32_t stored_crc = 0;
+      if (!in || !ReadU32(in, &stored_crc)) {
+        return Status::Corruption("truncated summary block");
+      }
+      if (Crc32c(reinterpret_cast<const std::byte*>(encoded.data()),
+                 encoded.size()) != stored_crc) {
+        loaded.summary_status =
+            Status::Corruption("path summary failed checksum verification");
+      } else {
+        auto summary = PathSummary::Decode(encoded.data(), encoded.size());
+        if (summary.ok()) {
+          loaded.db->SetSummary(std::shared_ptr<const PathSummary>(
+              std::move(*summary)));
+        } else {
+          loaded.summary_status = summary.status();
+        }
+      }
+    }
   }
 
   std::vector<std::byte> buf(page_size);

@@ -9,6 +9,7 @@
 //   [magic "NVPH"][u32 version][u32 page_size][u32 page_count]
 //   [u32 tag_count][tag_count x (u32 len, bytes)]      -- tag registry
 //   [catalog: root NodeID, root order, page range, record counts]
+//   [u8 has_summary][u64 len, bytes, u32 crc]          -- path summary (v3)
 //   [page_count x (page_size bytes + 8-byte trailer)]  -- raw pages
 //
 // Since version 2 every page image is followed by its trailer (CRC32C of
@@ -16,6 +17,13 @@
 // trailer and fails with Status::Corruption on the first mismatch, so a
 // damaged database file is detected at open time rather than surfacing as
 // undefined navigation behaviour later.
+//
+// Version 3 adds the path-summary synopsis between catalog and pages,
+// protected by its own CRC32C. Summary damage is NOT fatal: the synopsis
+// is derived data, so load degrades — the database comes up without a
+// summary (queries fall back to navigation and DocumentStats estimates)
+// and LoadedDatabase.summary_status carries the Corruption report.
+// Version-2 files load unchanged, with no summary.
 #ifndef NAVPATH_STORE_PERSISTENCE_H_
 #define NAVPATH_STORE_PERSISTENCE_H_
 
@@ -35,6 +43,10 @@ Status SaveDatabase(Database* db, const ImportedDocument& doc,
 struct LoadedDatabase {
   std::unique_ptr<Database> db;
   ImportedDocument doc;
+  /// OK when the summary block loaded cleanly (or the file has none);
+  /// Status::Corruption when the block was damaged and the database was
+  /// opened without a synopsis (degrade-to-rebuild, never abort).
+  Status summary_status = Status::OK();
 };
 
 /// Restores a database saved with SaveDatabase. `options` configures the

@@ -95,6 +95,8 @@ Status DocumentUpdater::DeleteSubtree(NodeID node) {
   if (node == doc_->root) {
     return Status::InvalidArgument("cannot delete the document root");
   }
+  // A stale synopsis would keep reporting the deleted subtree's counts.
+  db_->InvalidateSummary();
   std::unordered_set<PageId> touched;
   {
     NAVPATH_ASSIGN_OR_RETURN(PageGuard guard,
@@ -343,6 +345,8 @@ Result<InsertedNode> DocumentUpdater::InsertElement(
     NodeID parent, NodeID after, TagId tag, std::string_view text,
     const std::vector<AttributeSpec>& attrs) {
   const std::size_t page_size = db_->options().page_size;
+  // The summary's exact counts and extents no longer describe the store.
+  db_->InvalidateSummary();
   CrossClusterCursor cursor(db_);
 
   // Validate the anchors and find the document-order neighbors.

@@ -77,10 +77,12 @@ struct LocationPath {
   std::string ToString() const;
 };
 
-/// A benchmark-style query: either the node set of one path, or the sum of
-/// count() over several paths (XMark Q7 adds three counts).
+/// A benchmark-style query: the node set of one path, the sum of count()
+/// over several paths (XMark Q7 adds three counts), or an existence test
+/// exists(path) returning 1/0 (answerable from the path summary without
+/// touching a cluster when the path is predicate-free).
 struct PathQuery {
-  enum class Mode { kNodes, kCount };
+  enum class Mode { kNodes, kCount, kExists };
 
   Mode mode = Mode::kNodes;
   std::vector<LocationPath> paths;

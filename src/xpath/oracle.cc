@@ -175,7 +175,13 @@ std::uint64_t OracleCount(const DomTree& tree, const PathQuery& query,
                           DomNodeId context) {
   std::uint64_t total = 0;
   for (const LocationPath& path : query.paths) {
-    total += OracleEvaluate(tree, path, context).size();
+    const std::size_t matched = OracleEvaluate(tree, path, context).size();
+    // exists(a)+exists(b) is a logical OR: 1 iff any operand is non-empty.
+    if (query.mode == PathQuery::Mode::kExists) {
+      if (matched > 0) return 1;
+    } else {
+      total += matched;
+    }
   }
   return total;
 }

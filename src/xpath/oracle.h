@@ -25,7 +25,8 @@ std::vector<DomNodeId> OracleEvaluate(const DomTree& tree,
                                       const LocationPath& path,
                                       DomNodeId context);
 
-/// count()-mode evaluation of a query.
+/// count()/exists()-mode evaluation of a query (exists: 1 iff any
+/// operand path selects a node).
 std::uint64_t OracleCount(const DomTree& tree, const PathQuery& query,
                           DomNodeId context);
 

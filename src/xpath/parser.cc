@@ -27,10 +27,11 @@ std::string LocationPath::ToString() const {
 
 std::string PathQuery::ToString() const {
   if (mode == Mode::kNodes) return paths.front().ToString();
+  const char* fn = mode == Mode::kExists ? "exists" : "count";
   std::string out;
   for (std::size_t i = 0; i < paths.size(); ++i) {
     if (i > 0) out += "+";
-    out += "count(" + paths[i].ToString() + ")";
+    out += std::string(fn) + "(" + paths[i].ToString() + ")";
   }
   return out;
 }
@@ -62,6 +63,23 @@ class PathParser {
         NAVPATH_ASSIGN_OR_RETURN(LocationPath path, ParsePathExpr());
         SkipSpace();
         if (!Match(')')) return Error("expected ')' after count path");
+        query.paths.push_back(std::move(path));
+        SkipSpace();
+        if (!Match('+')) break;
+      }
+    } else if (PeekWord("exists")) {
+      // exists(path): true iff the path selects at least one node. An
+      // existence query over several paths (exists(a)+exists(b)) is the
+      // logical OR, mirroring count()'s additive form.
+      query.mode = PathQuery::Mode::kExists;
+      for (;;) {
+        SkipSpace();
+        if (!MatchWord("exists")) return Error("expected 'exists'");
+        SkipSpace();
+        if (!Match('(')) return Error("expected '(' after exists");
+        NAVPATH_ASSIGN_OR_RETURN(LocationPath path, ParsePathExpr());
+        SkipSpace();
+        if (!Match(')')) return Error("expected ')' after exists path");
         query.paths.push_back(std::move(path));
         SkipSpace();
         if (!Match('+')) break;

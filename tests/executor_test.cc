@@ -87,6 +87,33 @@ TEST(ExecutorTest, CountModeSumsOperands) {
   EXPECT_TRUE(result->nodes.empty());
 }
 
+TEST(ExecutorTest, ExistsEarlyStopLeavesNoPrefetchInFlight) {
+  // exists() stops pulling after the first hit, abandoning whatever the
+  // elevator still has queued (XSchedule) or speculated (XScan). The
+  // executor must drain those before returning, or the next cold start
+  // trips ResetTimeline's no-requests-in-flight check.
+  ExecFixture f;
+  auto query = ParseQuery("exists(//t1)", f.db.tags());
+  ASSERT_TRUE(query.ok());
+  for (const PlanKind kind :
+       {PlanKind::kSimple, PlanKind::kXSchedule, PlanKind::kXScan}) {
+    ExecuteOptions exec;
+    exec.plan.kind = kind;
+    exec.plan.use_summary = false;  // force navigation, not the synopsis
+    auto result = ExecuteQuery(&f.db, f.doc, *query, exec);
+    ASSERT_TRUE(result.ok()) << PlanKindName(kind);
+    EXPECT_EQ(result->count, 1u) << PlanKindName(kind);
+    EXPECT_FALSE(f.db.buffer()->HasPrefetchInFlight()) << PlanKindName(kind);
+    // The database must be reusable: a cold-start run resets the
+    // timeline, which asserts that nothing is in flight.
+    ExecuteOptions cold;
+    cold.plan.kind = kind;
+    cold.cold_start = true;
+    auto again = ExecuteQuery(&f.db, f.doc, *query, cold);
+    ASSERT_TRUE(again.ok()) << PlanKindName(kind);
+  }
+}
+
 TEST(ExecutorTest, ColdStartResetsMeasurement) {
   ExecFixture f;
   auto path = ParsePath("//t1", f.db.tags());

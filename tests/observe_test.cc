@@ -331,6 +331,69 @@ TEST(ExplainTest, ActualRowsReportedForEveryStep) {
   }
 }
 
+TEST(ExplainTest, SummaryExactEstimatesMatchActualsExactly) {
+  ObserveFixture f;
+  ASSERT_NE(f.db.summary(), nullptr);
+  // Child-only absolute path: no duplicate rows, so with the synopsis
+  // supplying exact cardinalities every step's estimate must equal its
+  // measured row count — not approximately, exactly.
+  auto path = ParsePath("/t2/t0", f.db.tags());
+  ASSERT_TRUE(path.ok());
+  ExecuteOptions exec;
+  exec.plan.kind = PlanKind::kXSchedule;
+  exec.explain = true;
+  exec.stats = &f.stats;
+  auto result = ExecutePath(&f.db, f.doc, *path, exec);
+  ASSERT_TRUE(result.ok());
+  const PathExplain& explain = result->explain->paths[0];
+  ASSERT_EQ(explain.steps.size(), path->steps.size());
+  for (const ExplainStep& step : explain.steps) {
+    EXPECT_EQ(step.estimate_source, "summary-exact") << step.description;
+    EXPECT_DOUBLE_EQ(step.estimated_rows,
+                     static_cast<double>(step.actual_rows))
+        << step.description;
+  }
+  EXPECT_NE(explain.ToString().find("summary-exact"), std::string::npos);
+}
+
+TEST(ExplainTest, EstimateSourceFallsBackToStatsOutsideDomain) {
+  ObserveFixture f;
+  // Relative path: outside the synopsis' exactness domain, the estimate
+  // column comes from the DocumentStats independence model.
+  auto path = ParsePath("t0/t1", f.db.tags());
+  ASSERT_TRUE(path.ok());
+  ExecuteOptions exec;
+  exec.plan.kind = PlanKind::kXSchedule;
+  exec.contexts.push_back(LogicalNode{f.doc.root, 0, f.doc.root_order});
+  exec.explain = true;
+  exec.stats = &f.stats;
+  auto result = ExecutePath(&f.db, f.doc, *path, exec);
+  ASSERT_TRUE(result.ok());
+  const PathExplain& explain = result->explain->paths[0];
+  for (const ExplainStep& step : explain.steps) {
+    EXPECT_EQ(step.estimate_source, "stats-estimate") << step.description;
+  }
+}
+
+TEST(ExplainTest, SummaryPrunedPathIsMarked) {
+  ObserveFixture f;
+  // The random alphabet is t0..t2: t3 exists in no document path, so the
+  // summary proves the query empty before any operator runs.
+  auto path = ParsePath("//t3", f.db.tags());
+  ASSERT_TRUE(path.ok());
+  ExecuteOptions exec;
+  exec.plan.kind = PlanKind::kXScan;
+  exec.explain = true;
+  exec.stats = &f.stats;
+  auto result = ExecutePath(&f.db, f.doc, *path, exec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->count, 0u);
+  EXPECT_EQ(result->metrics.clusters_visited, 0u);
+  const PathExplain& explain = result->explain->paths[0];
+  EXPECT_TRUE(explain.summary_pruned);
+  EXPECT_NE(explain.ToString().find("SUMMARY-PRUNED"), std::string::npos);
+}
+
 TEST(ExplainTest, ProfilingDoesNotChangeCosts) {
   auto run = [](bool explain) {
     ObserveFixture f;
@@ -436,6 +499,39 @@ TEST(WorkloadObserveTest, CostDerivedFootprintPreservesResults) {
   };
   // Tightening footprints can change the schedule, never the answers.
   EXPECT_EQ(run(true), run(false));
+}
+
+TEST(WorkloadObserveTest, SummaryEstimatesPreserveResultsAndDeterminism) {
+  // Summary-exact admission footprints and DRR charges can reorder the
+  // schedule, never change the answers — and with the synopsis on, the
+  // schedule itself is deterministic across identical runs.
+  auto run = [](bool summary, std::vector<std::size_t>* schedule) {
+    ObserveFixture f;
+    WorkloadOptions options;
+    options.stats = &f.stats;
+    options.summary = summary;
+    options.policy = WorkloadPolicy::kShortestRemainingCost;
+    if (schedule != nullptr) {
+      options.on_pull = [schedule](std::size_t job, std::size_t) {
+        schedule->push_back(job);
+      };
+    }
+    WorkloadExecutor executor(&f.db, f.doc, options);
+    PlanOptions plan;
+    plan.kind = PlanKind::kXSchedule;
+    for (const char* q : {"//t0", "//t1", "//t2", "//t0//t1"}) {
+      executor.Add(q, plan).AbortIfNotOk();
+    }
+    auto result = executor.Run();
+    result.status().AbortIfNotOk();
+    std::vector<std::uint64_t> counts;
+    for (const auto& query : result->queries) counts.push_back(query.count);
+    return counts;
+  };
+  EXPECT_EQ(run(true, nullptr), run(false, nullptr));
+  std::vector<std::size_t> first, second;
+  EXPECT_EQ(run(true, &first), run(true, &second));
+  EXPECT_EQ(first, second);
 }
 
 TEST(WorkloadObserveTest, RepeatedRunsReportIndependentWindows) {

@@ -13,6 +13,7 @@
 #include "xml/parser.h"
 #include "tests/test_util.h"
 #include "xmark/generator.h"
+#include "xpath/oracle.h"
 #include "xpath/parser.h"
 
 namespace navpath {
@@ -94,6 +95,105 @@ TEST(PersistenceTest, SurvivesUpdatesBeforeSave) {
   auto exported = ExportDocument(loaded->db.get(), loaded->doc);
   ASSERT_TRUE(exported.ok());
   EXPECT_EQ(*exported, "<r><n k=\"v\">x</n><a/><b/></r>");
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, RoundTripPreservesSummary) {
+  DatabaseOptions options;
+  options.page_size = 1024;
+  Database db(options);
+  XMarkOptions xmark;
+  xmark.scale = 0.005;
+  const DomTree tree = GenerateXMark(xmark, db.tags());
+  SubtreeClusteringPolicy policy(896);
+  auto doc = db.Import(tree, &policy);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_NE(db.summary(), nullptr);
+  std::string original_bytes;
+  db.summary()->Encode(&original_bytes);
+
+  const std::string path = TempPath("summary_roundtrip.nvph");
+  ASSERT_TRUE(SaveDatabase(&db, *doc, path).ok());
+  auto loaded = LoadDatabase(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->summary_status.ok())
+      << loaded->summary_status.ToString();
+  ASSERT_NE(loaded->db->summary(), nullptr);
+  std::string reloaded_bytes;
+  loaded->db->summary()->Encode(&reloaded_bytes);
+  EXPECT_EQ(reloaded_bytes, original_bytes);
+
+  // The reloaded synopsis answers count queries without navigating.
+  auto query = ParseQuery("count(/site/regions//item)", loaded->db->tags());
+  ASSERT_TRUE(query.ok());
+  ExecuteOptions exec;
+  exec.plan.kind = PlanKind::kXSchedule;
+  auto result = ExecuteQuery(loaded->db.get(), loaded->doc, *query, exec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->count, OracleCount(tree, *query, tree.root()));
+  EXPECT_EQ(result->metrics.clusters_visited, 0u);
+  EXPECT_EQ(result->metrics.disk_reads, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, CorruptSummaryBlockDegradesToSummaryFreeLoad) {
+  DatabaseOptions options;
+  options.page_size = 1024;
+  Database db(options);
+  XMarkOptions xmark;
+  xmark.scale = 0.005;
+  const DomTree tree = GenerateXMark(xmark, db.tags());
+  SubtreeClusteringPolicy policy(896);
+  auto doc = db.Import(tree, &policy);
+  ASSERT_TRUE(doc.ok());
+  auto original = ExportDocument(&db, *doc);
+  ASSERT_TRUE(original.ok());
+
+  const std::string path = TempPath("summary_corrupt.nvph");
+  ASSERT_TRUE(SaveDatabase(&db, *doc, path).ok());
+
+  // Flip one byte inside the summary block. The block's bytes are the
+  // summary's own encoding, so locate them by searching the file.
+  std::string encoded;
+  db.summary()->Encode(&encoded);
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string file;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      file.append(buf, got);
+    }
+    std::fclose(f);
+    const std::size_t at = file.find(encoded);
+    ASSERT_NE(at, std::string::npos);
+    f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(at + encoded.size() / 2),
+                         SEEK_SET),
+              0);
+    std::fputc(file[at + encoded.size() / 2] ^ 0x40, f);
+    std::fclose(f);
+  }
+
+  // The summary is derived data: the load succeeds, records the damage,
+  // and the database works — navigationally — without a synopsis.
+  auto loaded = LoadDatabase(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded->summary_status.ok());
+  EXPECT_EQ(loaded->db->summary(), nullptr);
+  auto exported = ExportDocument(loaded->db.get(), loaded->doc);
+  ASSERT_TRUE(exported.ok());
+  EXPECT_EQ(*exported, *original);
+  auto query = ParseQuery("count(/site/regions//item)", loaded->db->tags());
+  ASSERT_TRUE(query.ok());
+  ExecuteOptions exec;
+  exec.plan.kind = PlanKind::kXSchedule;
+  auto result = ExecuteQuery(loaded->db.get(), loaded->doc, *query, exec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->count, OracleCount(tree, *query, tree.root()));
+  EXPECT_GT(result->metrics.clusters_visited, 0u);
   std::remove(path.c_str());
 }
 
