@@ -87,18 +87,29 @@ class ClusterContext {
   explicit ClusterContext(Database* db) : db_(db) {}
 
   bool valid() const { return view_.has_value(); }
-  PageId page() const { return valid() ? guard_.page_id() : kInvalidPageId; }
+  PageId page() const { return valid() ? logical_page_ : kInvalidPageId; }
   const ClusterView& view() const {
     NAVPATH_DCHECK(valid());
     return *view_;
   }
 
-  /// Pins `page` as the current cluster (entering a cluster swizzles).
+  /// Snapshot/transaction page translation (MVCC). All operator-level page
+  /// ids stay logical; only the buffer fix below maps to the physical
+  /// (possibly shadow-copied) page. nullptr = identity = current version.
+  void SetTranslator(const PageTranslator* translator) {
+    translator_ = translator;
+  }
+  const PageTranslator* translator() const { return translator_; }
+
+  /// Pins `page` (a logical id) as the current cluster (entering a
+  /// cluster swizzles).
   Status Switch(PageId page) {
-    NAVPATH_ASSIGN_OR_RETURN(PageGuard guard,
-                             db_->buffer()->FixSwizzle(page));
+    NAVPATH_ASSIGN_OR_RETURN(
+        PageGuard guard,
+        db_->buffer()->FixSwizzle(TranslateToPhysical(translator_, page)));
     guard_ = std::move(guard);
-    view_.emplace(db_->MakeView(guard_));
+    logical_page_ = page;
+    view_.emplace(db_->MakeView(guard_, page));
     ++db_->metrics()->clusters_visited;
 #if NAVPATH_OBSERVE_ENABLED
     if (visit_counter_ != nullptr) ++*visit_counter_;
@@ -109,6 +120,7 @@ class ClusterContext {
   void Clear() {
     view_.reset();
     guard_.Release();
+    logical_page_ = kInvalidPageId;
   }
 
 #if NAVPATH_OBSERVE_ENABLED
@@ -119,7 +131,9 @@ class ClusterContext {
 
  private:
   Database* db_;
+  const PageTranslator* translator_ = nullptr;
   PageGuard guard_;
+  PageId logical_page_ = kInvalidPageId;
   std::optional<ClusterView> view_;
 #if NAVPATH_OBSERVE_ENABLED
   std::uint64_t* visit_counter_ = nullptr;

@@ -123,10 +123,23 @@ Result<bool> XScan::Next(PathInstance* out) {
       page_open_ = false;
     }
 
-    if (next_page_ != kInvalidPageId) next_page_ = NextAllowedPage(next_page_);
-    if (next_page_ == kInvalidPageId || next_page_ > options_.last_page) {
-      shared_->cluster.Clear();
-      return false;
+    for (;;) {
+      if (next_page_ != kInvalidPageId) {
+        next_page_ = NextAllowedPage(next_page_);
+      }
+      if (next_page_ == kInvalidPageId || next_page_ > options_.last_page) {
+        shared_->cluster.Clear();
+        return false;
+      }
+      // Under MVCC, shadow copies live in the same id space as appended
+      // logical pages, so the sweep range can straddle them. They are
+      // never part of any version's logical document — skip.
+      const PageTranslator* translator = shared_->cluster.translator();
+      if (translator != nullptr && translator->IsShadow(next_page_)) {
+        ++next_page_;
+        continue;
+      }
+      break;
     }
     // Sequential access: the previous page of the scan is the disk head's
     // position, so this fix costs transfer time only.

@@ -34,17 +34,21 @@ Status XSchedule::Enqueue(const PathInstance& inst) {
 }
 
 Status XSchedule::SchedulePrefetch(PageId page) {
+  // The queue and ready/deferred sets stay in logical page ids; only the
+  // buffer/drive interactions below use the snapshot's physical mapping.
+  const PageTranslator* translator = shared_->cluster.translator();
+  const PageId physical = TranslateToPhysical(translator, page);
   if (options_.max_inflight > 0 && deferred_set_.count(page) == 0 &&
       db_->buffer()->PendingFor(shared_->owner_id) >=
           options_.max_inflight &&
-      !db_->buffer()->IsResident(page)) {
+      !db_->buffer()->IsResident(physical)) {
     deferred_.push_back(page);
     deferred_set_.insert(page);
     return Status::OK();
   }
   NAVPATH_ASSIGN_OR_RETURN(
       const BufferManager::PrefetchOutcome outcome,
-      db_->buffer()->Prefetch(page, shared_->owner_id,
+      db_->buffer()->Prefetch(physical, shared_->owner_id,
                               shared_->io_priority ? ReadPriority::kHigh
                                                    : ReadPriority::kNormal));
   if (outcome == BufferManager::PrefetchOutcome::kResident) {
@@ -62,7 +66,9 @@ Status XSchedule::TopUpPrefetches() {
     deferred_set_.erase(page);
     NAVPATH_ASSIGN_OR_RETURN(
         const BufferManager::PrefetchOutcome outcome,
-        db_->buffer()->Prefetch(page, shared_->owner_id,
+        db_->buffer()->Prefetch(
+            TranslateToPhysical(shared_->cluster.translator(), page),
+            shared_->owner_id,
                                 shared_->io_priority
                                     ? ReadPriority::kHigh
                                     : ReadPriority::kNormal));
@@ -102,7 +108,8 @@ Result<bool> XSchedule::SwitchToNextCluster() {
       // first); pick those up instead of blocking on our own prefetches.
       for (const auto& [page, entries] : q_) {
         if (!entries.empty() && ready_set_.count(page) == 0 &&
-            db_->buffer()->IsResident(page)) {
+            db_->buffer()->IsResident(TranslateToPhysical(
+                shared_->cluster.translator(), page))) {
           MarkReady(page);
         }
       }
@@ -135,7 +142,10 @@ Result<bool> XSchedule::SwitchToNextCluster() {
         Result<PageId> polled = db_->buffer()->PollAnyPrefetch();
         if (polled.ok()) {
           if (*polled != kInvalidPageId) {
-            MarkReady(*polled);
+            // Completions report the physical page; map back before
+            // matching against the logical ready set.
+            MarkReady(TranslateToLogical(shared_->cluster.translator(),
+                                         *polled));
             continue;
           }
           shared_->yielded = true;
@@ -160,7 +170,8 @@ Result<bool> XSchedule::SwitchToNextCluster() {
                          "io_block", block_begin, db_->clock()->now(),
                          {{"owner", shared_->owner_id}}));
       if (waited.ok()) {
-        MarkReady(*waited);
+        MarkReady(TranslateToLogical(shared_->cluster.translator(),
+                                     *waited));
         continue;
       }
       // Corruption (and anything else unrecoverable) fails the plan with a

@@ -46,6 +46,9 @@ class XMarkFixture {
 
   Database* db() { return &db_; }
   const ImportedDocument& doc() const { return doc_; }
+  /// Mutable catalog handle for benches that run write transactions
+  /// (TxnManager keeps the canonical document in sync with commits).
+  ImportedDocument* mutable_doc() { return &doc_; }
   /// Cardinality statistics for cost-based plan choice.
   const DocumentStats& stats() const { return stats_; }
 

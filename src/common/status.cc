@@ -27,6 +27,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kUnknown:
       return "Unknown";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "UnknownCode";
 }

@@ -25,6 +25,7 @@ enum class StatusCode : int {
   kParseError = 7,
   kResourceExhausted = 8,
   kUnknown = 9,
+  kAborted = 10,
 };
 
 /// Returns a human-readable name for a status code ("OK", "IOError", ...).
@@ -72,6 +73,11 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  /// The operation lost a race (e.g. an optimistic transaction whose base
+  /// version is no longer current) and can be retried from scratch.
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -91,6 +97,7 @@ class Status {
   bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;
   }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

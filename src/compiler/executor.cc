@@ -48,30 +48,38 @@ Status DrainPlan(Database* db, PathPlan* plan, bool collect_nodes,
   return Status::OK();
 }
 
-/// String value of a node (element text or attribute value).
-Result<std::string> NodeStringValue(Database* db, NodeID id) {
-  NAVPATH_ASSIGN_OR_RETURN(PageGuard guard, db->buffer()->Fix(id.page));
-  const ClusterView view = db->MakeView(guard);
+/// String value of a node (element text or attribute value). `id` is
+/// logical; `translator` (nullable) supplies the MVCC page mapping.
+Result<std::string> NodeStringValue(Database* db, NodeID id,
+                                    const PageTranslator* translator) {
+  NAVPATH_ASSIGN_OR_RETURN(
+      PageGuard guard,
+      db->buffer()->Fix(TranslateToPhysical(translator, id.page)));
+  const ClusterView view = db->MakeView(guard, id.page);
   return std::string(view.TextOf(id.slot));
 }
 
 /// Existence (or string-equality) check of a relative path from `context`,
 /// navigating the paged store directly. Nested predicates recurse.
 Result<bool> StorePredicateHolds(Database* db, NodeID context,
-                                 const Predicate& pred);
+                                 const Predicate& pred,
+                                 const PageTranslator* translator);
 
 Result<bool> StepSatisfiesPredicates(Database* db, const LogicalNode& node,
-                                     const LocationStep& step) {
+                                     const LocationStep& step,
+                                     const PageTranslator* translator) {
   for (const Predicate& pred : step.predicates) {
-    NAVPATH_ASSIGN_OR_RETURN(const bool holds,
-                             StorePredicateHolds(db, node.id, pred));
+    NAVPATH_ASSIGN_OR_RETURN(
+        const bool holds,
+        StorePredicateHolds(db, node.id, pred, translator));
     if (!holds) return false;
   }
   return true;
 }
 
 Result<bool> StorePredicateHolds(Database* db, NodeID context,
-                                 const Predicate& pred) {
+                                 const Predicate& pred,
+                                 const PageTranslator* translator) {
   std::vector<NodeID> frontier{context};
   const LocationPath& path = *pred.path;
   for (std::size_t i = 0; i < path.steps.size(); ++i) {
@@ -79,7 +87,7 @@ Result<bool> StorePredicateHolds(Database* db, NodeID context,
     const bool last = i + 1 == path.steps.size();
     std::vector<NodeID> next;
     std::unordered_set<std::uint64_t> seen;
-    CrossClusterCursor cursor(db);
+    CrossClusterCursor cursor(db, translator);
     for (const NodeID ctx : frontier) {
       NAVPATH_RETURN_NOT_OK(cursor.Start(step.axis, ctx));
       LogicalNode node;
@@ -89,13 +97,15 @@ Result<bool> StorePredicateHolds(Database* db, NodeID context,
         db->clock()->ChargeCpu(db->costs().node_test);
         if (!step.test.Matches(node.tag)) continue;
         if (!seen.insert(node.id.Pack()).second) continue;
-        NAVPATH_ASSIGN_OR_RETURN(const bool keep,
-                                 StepSatisfiesPredicates(db, node, step));
+        NAVPATH_ASSIGN_OR_RETURN(
+            const bool keep,
+            StepSatisfiesPredicates(db, node, step, translator));
         if (!keep) continue;
         if (last && !pred.has_value) return true;  // existence: early out
         if (last && pred.has_value) {
-          NAVPATH_ASSIGN_OR_RETURN(const std::string value,
-                                   NodeStringValue(db, node.id));
+          NAVPATH_ASSIGN_OR_RETURN(
+              const std::string value,
+              NodeStringValue(db, node.id, translator));
           if (value == pred.value) return true;
           continue;
         }
@@ -160,7 +170,9 @@ Result<std::vector<LogicalNode>> EvaluateWithPredicates(
       std::vector<LogicalNode> kept;
       for (const LogicalNode& node : nodes) {
         NAVPATH_ASSIGN_OR_RETURN(
-            const bool keep, StepSatisfiesPredicates(db, node, predicated));
+            const bool keep,
+            StepSatisfiesPredicates(db, node, predicated,
+                                    plan_options.translator));
         if (keep) kept.push_back(node);
       }
       nodes = std::move(kept);
@@ -275,7 +287,11 @@ Result<QueryRunResult> ExecuteQueryImpl(Database* db,
   if (options.explain) plan_options.profile = true;
 
   const PathSummary* summary =
-      plan_options.use_summary ? db->summary() : nullptr;
+      plan_options.use_summary
+          ? (plan_options.translator != nullptr
+                 ? plan_options.snapshot_summary
+                 : db->summary())
+          : nullptr;
   const bool exists_mode = query.mode == PathQuery::Mode::kExists;
 
   QueryRunResult result;

@@ -25,6 +25,7 @@ Result<PathPlan> BuildPlan(Database* db, const ImportedDocument& doc,
                            const PlanOptions& options) {
   PathPlan plan;
   plan.shared_ = std::make_unique<PlanSharedState>(db);
+  plan.shared_->cluster.SetTranslator(options.translator);
 
   if (path.absolute) {
     contexts.clear();
@@ -51,7 +52,10 @@ Result<PathPlan> BuildPlan(Database* db, const ImportedDocument& doc,
   // beyond an empty ContextScan (zero cluster accesses); a supported
   // XScan path confines the sweep to the touched-extent union.
   const PathSummary* summary =
-      options.use_summary ? db->summary() : nullptr;
+      options.use_summary
+          ? (options.translator != nullptr ? options.snapshot_summary
+                                           : db->summary())
+          : nullptr;
   std::vector<SummaryExtent> scan_extents;
   if (summary != nullptr && PathSummary::Supports(path)) {
     const SummaryMatch match = summary->Match(path);

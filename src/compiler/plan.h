@@ -60,6 +60,16 @@ struct PlanOptions {
   /// with zero cluster accesses, and an XScan sweep is restricted to the
   /// touched-extent union. Off reproduces pre-summary plans exactly.
   bool use_summary = true;
+  /// MVCC page translation for every buffer access the plan makes
+  /// (typically a Snapshot or WriterTxn). nullptr — the default — runs
+  /// against the current page images with identity translation,
+  /// byte-identical to pre-MVCC execution. The translator must outlive
+  /// the plan.
+  const PageTranslator* translator = nullptr;
+  /// Summary to consult instead of the database's when `translator` is
+  /// set: a snapshot must plan against its own version's synopsis, not
+  /// the latest commit's. Ignored without a translator.
+  const PathSummary* snapshot_summary = nullptr;
 };
 
 /// An executable operator tree. Movable; owns all operators and the shared

@@ -67,6 +67,11 @@ constexpr std::size_t kInstanceBytes = 64;
 /// of reacting only when it is already lost.
 constexpr double kDeadlineHeadroom = 2.0;
 
+/// Admission footprint of a write transaction: copy-on-write touches one
+/// base page and one shadow page at a time (both pinned across the copy),
+/// plus slack for the chain page a gapped insert may redistribute into.
+constexpr std::size_t kWriterFootprint = 4;
+
 }  // namespace
 
 Status ValidateWorkloadOptions(const WorkloadOptions& options) {
@@ -79,6 +84,11 @@ Status ValidateWorkloadOptions(const WorkloadOptions& options) {
   if (options.enable_sharing && options.share_buffer_pages == 0) {
     return Status::InvalidArgument(
         "sharing requires a nonzero share_buffer_pages stream budget");
+  }
+  if (options.txn != nullptr && options.enable_sharing) {
+    return Status::InvalidArgument(
+        "cross-query sharing streams one producer's instances to all "
+        "members and cannot serve snapshots pinned to different versions");
   }
   return Status::OK();
 }
@@ -157,6 +167,31 @@ Status WorkloadExecutor::Add(const std::string& query,
   return Add(parsed, plan, {}, arrival, deadline);
 }
 
+Status WorkloadExecutor::AddWrite(std::vector<WriteOp> ops,
+                                  SimTime arrival) {
+  if (options_.txn == nullptr) {
+    return Status::InvalidArgument(
+        "write transactions require WorkloadOptions.txn");
+  }
+  if (ops.empty()) {
+    return Status::InvalidArgument("write transaction without operations");
+  }
+  if (!jobs_.empty() && arrival < jobs_.back().arrival) {
+    return Status::InvalidArgument(
+        "arrivals must be nondecreasing in Add() order");
+  }
+  Job job;
+  job.is_write = true;
+  job.write_ops = std::move(ops);
+  job.arrival = arrival;
+  job.result.arrival = arrival;
+  job.result.is_write = true;
+  job.owner_id = static_cast<std::uint32_t>(jobs_.size()) + 1;
+  job.footprint = kWriterFootprint;
+  jobs_.push_back(std::move(job));
+  return Status::OK();
+}
+
 void WorkloadExecutor::ComputeEstimates(Job* job) const {
   job->path_costs.clear();
   job->path_cards.clear();
@@ -185,6 +220,7 @@ void WorkloadExecutor::ComputeEstimates(Job* job) const {
 }
 
 std::size_t WorkloadExecutor::FootprintFor(const Job& job) const {
+  if (job.is_write) return kWriterFootprint;
   const std::size_t static_bound = EstimateFootprint(job.plan_options);
   // A query whose whole result set fits in few clusters can never keep
   // more pages than that in flight, no matter how large its prefetch
@@ -370,6 +406,29 @@ Status WorkloadExecutor::FallBackToPrivate(Job* job) {
 }
 
 Status WorkloadExecutor::StartNextPath(Job* job) {
+  if (job->is_write) {
+    // Activation of a write transaction: open the writer against the
+    // current version. The ops themselves are applied one per pull (see
+    // PullOnce), so writes interleave with reads at pull granularity.
+    job->writer = options_.txn->BeginWrite();
+    job->result.snapshot_seq = job->writer->base_seq();
+    writer_active_ = true;
+    return Status::OK();
+  }
+  if (options_.txn != nullptr && job->snapshot == nullptr) {
+    // Snapshot isolation: the query pins one committed version at
+    // activation and every path of the query reads it, no matter what
+    // commits mid-flight. Opening a snapshot is a host-side operation
+    // (no simulated-clock charges), and a genesis snapshot translates
+    // identically, so a zero-writer workload schedules byte for byte
+    // like one without a TxnManager.
+    job->snapshot = options_.txn->OpenSnapshot();
+    job->result.snapshot_seq = job->snapshot->seq();
+  }
+  if (job->snapshot != nullptr) {
+    job->plan_options.translator = job->snapshot.get();
+    job->plan_options.snapshot_summary = job->snapshot->summary();
+  }
   if (job->share_group != kNoGroup && job->path_index == 0) {
     ShareGroup& group = groups_[job->share_group];
     if (!group.fanout->detached(job->share_slot)) {
@@ -384,9 +443,13 @@ Status WorkloadExecutor::StartNextPath(Job* job) {
     job->footprint = FootprintFor(*job);
   }
   const LocationPath& path = job->query.paths[job->path_index];
+  // A snapshot-pinned query plans over its version's document (root and
+  // scan bounds may differ from the canonical one after appends).
+  const ImportedDocument& doc =
+      job->snapshot != nullptr ? job->snapshot->doc() : *doc_;
   NAVPATH_ASSIGN_OR_RETURN(
       PathPlan plan,
-      BuildPlan(db_, *doc_, path, job->contexts, job->plan_options));
+      BuildPlan(db_, doc, path, job->contexts, job->plan_options));
   plan.shared()->owner_id = job->owner_id;
   plan.shared()->cooperative = true;
   job->plan = std::move(plan);
@@ -454,6 +517,10 @@ double WorkloadExecutor::RemainingClusters(const Job& job) const {
 }
 
 bool WorkloadExecutor::IoBound(const Job& job) const {
+  // Writers fix pages synchronously (no operator tree, no prefetches);
+  // they compete in the CPU/SJF half, where their empty cost vector
+  // ranks them cheapest — short transactions drain first.
+  if (job.is_write) return false;
   const std::size_t pending = db_->buffer()->PendingFor(job.owner_id);
   if (pending == 0) return false;  // nothing in flight: pure CPU work
   const PlanSharedState* shared = job.plan.shared();
@@ -641,6 +708,7 @@ Status WorkloadExecutor::BeginRun() {
   run_decisions_ = 0;
   consecutive_yields_ = 0;
   footprint_used_ = 0;
+  writer_active_ = false;
 
   // Everything below reports deltas over this window, so repeated runs on
   // a shared Database measure only themselves. After a cold start the
@@ -682,6 +750,13 @@ void WorkloadExecutor::FinishJob(std::size_t active_pos) {
   job.result.finished_at = db_->clock()->now();
   job.plan = PathPlan();
   job.seen.clear();
+  // Transaction state goes after the plan (the plan's translator points
+  // into the snapshot). Dropping the snapshot unpins its version for
+  // reclamation; a writer still open here (insert failure path) was
+  // already aborted. The writer slot frees for the next queued writer.
+  job.snapshot.reset();
+  job.writer.reset();
+  if (job.is_write) writer_active_ = false;
   if (job.share_group != kNoGroup) LeaveShareGroup(&job);
   job.done = true;
   ++completed_;
@@ -701,6 +776,42 @@ Result<std::size_t> WorkloadExecutor::PullOnce() {
   db_->clock()->ChargeCpu(db_->costs().set_op);
   job.last_pull = ++run_decisions_;
   ++job.result.pulls;
+
+  if (job.is_write) {
+    // A write transaction has no operator tree: each pull applies one
+    // WriteOp (copy-on-write fixes charge the clock through the buffer),
+    // and the pull after the last op commits. Failures — including a
+    // commit that loses the first-committer race (Status::Aborted) —
+    // fail this job alone, exactly like a reader's bad pull. A writer
+    // pull advances the clock (synchronous fixes), so yielded readers
+    // get a fresh round before anyone is allowed to block.
+    consecutive_yields_ = 0;
+    if (job.ops_done < job.write_ops.size()) {
+      const WriteOp& op = job.write_ops[job.ops_done];
+      const Result<InsertedNode> inserted =
+          job.writer->updater()->InsertElement(op.parent, op.after, op.tag,
+                                               op.text, op.attrs);
+      if (!inserted.ok()) {
+        job.result.status = inserted.status();
+        (void)job.writer->Abort();
+        FinishJob(pick);
+        return job_index;
+      }
+      ++job.ops_done;
+      ++job.result.writes_applied;
+      return kNoJob;
+    }
+    const Status committed = job.writer->Commit();
+    if (!committed.ok()) {
+      job.result.status = committed;
+      FinishJob(pick);
+      return job_index;
+    }
+    job.result.commit_seq = job.writer->commit_seq();
+    FinishJob(pick);
+    return job_index;
+  }
+
   // Slide the classification window once it is full, so the hybrid
   // policy judges a job on its recent behavior, not its whole history.
   if (job.result.pulls - job.window_pulls0 >= kClassifyWindow) {
@@ -869,7 +980,10 @@ Result<WorkloadResult> WorkloadExecutor::Run() {
       }
       const bool fits =
           run_active_.empty() || footprint_used_ + charge <= budget_;
-      if (!have_slot || !fits) break;
+      // Writer serialization (head-of-line): a queued writer waits for
+      // the active one to commit or abort before it activates.
+      const bool writer_ok = !job.is_write || !writer_active_;
+      if (!have_slot || !fits || !writer_ok) break;
       job.activated = true;
       const Status started = StartNextPath(&job);
       job.result.admitted_at = db_->clock()->now();
@@ -879,6 +993,7 @@ Result<WorkloadResult> WorkloadExecutor::Run() {
         job.result.status = started;
         job.result.finished_at = db_->clock()->now();
         job.plan = PathPlan();
+        job.snapshot.reset();
         if (job.share_group != kNoGroup) LeaveShareGroup(&job);
         job.done = true;
         ++completed_;
@@ -952,6 +1067,10 @@ Status WorkloadExecutor::ActivateJob(std::size_t index) {
   if (job.arrival > db_->clock()->now()) {
     return Status::InvalidArgument("job has not arrived yet");
   }
+  if (job.is_write && writer_active_) {
+    return Status::InvalidArgument(
+        "another write transaction is active (writers are serialized)");
+  }
   job.activated = true;
   const Status started = StartNextPath(&job);
   job.result.admitted_at = db_->clock()->now();
@@ -961,6 +1080,7 @@ Status WorkloadExecutor::ActivateJob(std::size_t index) {
     job.result.status = started;
     job.result.finished_at = db_->clock()->now();
     job.plan = PathPlan();
+    job.snapshot.reset();
     job.done = true;
     ++completed_;
     return Status::OK();
@@ -986,6 +1106,10 @@ Status WorkloadExecutor::RetierJob(std::size_t index,
   if (job.activated || job.done) {
     return Status::InvalidArgument(
         "cannot re-tier a job that already started");
+  }
+  if (job.is_write) {
+    return Status::InvalidArgument(
+        "write transactions have no plan tier to degrade to");
   }
   job.plan_options = plan;
   if (options_.explain) job.plan_options.profile = true;
@@ -1024,7 +1148,8 @@ bool WorkloadExecutor::CanAdmit(std::size_t index) const {
                          run_active_.size() < options_.max_concurrent;
   const bool fits =
       run_active_.empty() || footprint_used_ + job.footprint <= budget_;
-  return have_slot && fits;
+  const bool writer_ok = !job.is_write || !writer_active_;
+  return have_slot && fits && writer_ok;
 }
 
 double WorkloadExecutor::EstimatedCost(std::size_t index) const {

@@ -46,6 +46,8 @@
 #include "compiler/plan.h"
 #include "observe/metrics_registry.h"
 #include "share/prefix_trie.h"
+#include "store/update.h"
+#include "txn/txn.h"
 #include "xpath/location_path.h"
 
 namespace navpath {
@@ -137,6 +139,30 @@ struct WorkloadOptions {
   /// the hook runs outside the simulated clock.
   std::function<void(std::size_t job_index, std::size_t active_size)>
       on_pull;
+
+  /// MVCC transaction manager (src/txn) for mixed read/write workloads.
+  /// When set, every read query runs against a Snapshot opened at
+  /// activation (snapshot isolation: the query sees exactly one committed
+  /// version, no matter what commits mid-flight), and AddWrite() admits
+  /// write transactions that copy-on-write their touched pages and
+  /// publish at commit. Null — the default — reproduces pre-MVCC
+  /// execution byte for byte. Must outlive the executor. Incompatible
+  /// with enable_sharing (a shared producer stream cannot serve members
+  /// pinned to different versions).
+  TxnManager* txn = nullptr;
+};
+
+/// One primitive of a write transaction submitted via AddWrite: inserts
+/// a new element under `parent` after sibling `after` (kInvalidNodeID =
+/// as first child), carrying optional text and attributes. The
+/// auction-bid shape of the mixed benchmark — small subtree appends —
+/// is a sequence of these.
+struct WriteOp {
+  NodeID parent;
+  NodeID after = kInvalidNodeID;
+  TagId tag = 0;
+  std::string text;
+  std::vector<DocumentUpdater::AttributeSpec> attrs;
 };
 
 /// Entry validation for WorkloadOptions: a serving front-end feeds these
@@ -171,6 +197,14 @@ struct WorkloadQueryResult {
   SimTime finished_at = 0;
   /// Operator-tree pulls the scheduler spent on this query.
   std::uint64_t pulls = 0;
+
+  /// Mixed-workload (WorkloadOptions.txn) bookkeeping. Readers record
+  /// the version they ran against; writers record the version they
+  /// published (0 when the transaction aborted or failed).
+  bool is_write = false;
+  std::uint64_t snapshot_seq = 0;
+  std::uint64_t commit_seq = 0;
+  std::uint64_t writes_applied = 0;
 
   /// EXPLAIN ANALYZE report (WorkloadOptions.explain only).
   std::shared_ptr<QueryExplain> explain;
@@ -244,6 +278,16 @@ class WorkloadExecutor {
   /// Parses `query` against the database's tag registry and admits it.
   Status Add(const std::string& query, const PlanOptions& plan,
              SimTime arrival = 0, SimTime deadline = 0);
+
+  /// Admits a write transaction (requires WorkloadOptions.txn): at
+  /// activation it opens a WriterTxn, applies one WriteOp per scheduling
+  /// pull (so writes interleave with reads at the same granularity), and
+  /// commits after the last op. A commit that loses the first-committer
+  /// race fails the job individually with Status::Aborted — its
+  /// neighbors keep running. Arrivals share the nondecreasing rule
+  /// with Add(). At most one writer is active at a time (admission
+  /// serializes them; queued writers wait, readers are unaffected).
+  Status AddWrite(std::vector<WriteOp> ops, SimTime arrival = 0);
 
   std::size_t size() const { return jobs_.size(); }
 
@@ -332,6 +376,15 @@ class WorkloadExecutor {
     /// keeps its own next_admit_ cursor and leaves these in sync.
     bool activated = false;
     bool done = false;
+
+    // Mixed-workload state (WorkloadOptions.txn). A read job pins the
+    // snapshot its plans translate through; a write job owns the open
+    // writer transaction and steps through write_ops one pull at a time.
+    bool is_write = false;
+    std::vector<WriteOp> write_ops;
+    std::size_t ops_done = 0;
+    std::shared_ptr<Snapshot> snapshot;
+    std::unique_ptr<WriterTxn> writer;
 
     // Cost-model estimates per path (kShortestRemainingCost, kHybrid and
     // cost-derived admission footprints).
@@ -527,6 +580,11 @@ class WorkloadExecutor {
   std::size_t hybrid_io_cursor_ = static_cast<std::size_t>(-1);
   /// Jobs finished in the current Run() (widens kHybrid's window).
   std::size_t completed_ = 0;
+  /// A write transaction is currently active (WorkloadOptions.txn).
+  /// Admission serializes writers — optimistic first-committer-wins
+  /// would abort every overlapping writer anyway, so queueing them
+  /// converts guaranteed aborts into short waits.
+  bool writer_active_ = false;
   /// Scheduler observability for the current Run() (reset at its start);
   /// snapshotted into WorkloadResult::scheduler.
   MetricsRegistry sched_;

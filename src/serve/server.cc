@@ -109,6 +109,31 @@ Status Server::Submit(std::size_t tenant, const std::string& query,
   return Status::OK();
 }
 
+Status Server::SubmitWrite(std::size_t tenant, std::vector<WriteOp> ops,
+                           SimTime arrival) {
+  if (tenant >= options_.tenants.size()) {
+    return Status::InvalidArgument("unknown tenant index");
+  }
+  if (options_.workload.txn == nullptr) {
+    return Status::InvalidArgument(
+        "write submissions require WorkloadOptions.txn");
+  }
+  if (ops.empty()) {
+    return Status::InvalidArgument("write transaction without operations");
+  }
+  if (!subs_.empty() && arrival < subs_.back().arrival) {
+    return Status::InvalidArgument(
+        "arrivals must be nondecreasing in Submit() order");
+  }
+  Submission sub;
+  sub.tenant = tenant;
+  sub.arrival = arrival;
+  sub.is_write = true;
+  sub.write_ops = std::move(ops);
+  subs_.push_back(std::move(sub));
+  return Status::OK();
+}
+
 Status Server::ProcessArrivals() {
   const SimTime now = db_->clock()->now();
   while (next_submit_ < subs_.size() &&
@@ -141,8 +166,12 @@ Status Server::ProcessArrivals() {
       ++serve_.Counter("serve.tenant." + spec.name + ".shed");
       continue;
     }
-    NAVPATH_RETURN_NOT_OK(
-        executor_.Add(s.query, s.plan, {}, s.arrival, s.deadline));
+    if (s.is_write) {
+      NAVPATH_RETURN_NOT_OK(executor_.AddWrite(s.write_ops, s.arrival));
+    } else {
+      NAVPATH_RETURN_NOT_OK(
+          executor_.Add(s.query, s.plan, {}, s.arrival, s.deadline));
+    }
     job_of_[sub] = executor_.size() - 1;
     sub_of_job_.push_back(sub);
     job_activated_.push_back(0);
@@ -163,7 +192,9 @@ Status Server::Activate(std::size_t sub) {
   // activation is re-planned onto the cost model's cheaper tier (reduced
   // elevator window or Simple-method chain). Priced, not guessed: the
   // tier helper reports the latency traded for the freed footprint.
-  if (state_ != OverloadState::kNormal &&
+  // Writes are exempt — they have no plan tier, and dropping committed
+  // work is not an overload response.
+  if (!s.is_write && state_ != OverloadState::kNormal &&
       options_.workload.stats != nullptr) {
     const DegradedTier tier = ChooseDegradedTier(
         *options_.workload.stats, s.query, s.plan,
@@ -440,6 +471,7 @@ Result<ServeResult> Server::Run() {
     ServeOutcome& out = result.outcomes[sub];
     out.tenant = subs_[sub].tenant;
     out.arrival = subs_[sub].arrival;
+    out.is_write = subs_[sub].is_write;
     if (job_of_[sub] == kNoSub) {
       out.shed = true;
       out.status = shed_status_[sub];
@@ -448,6 +480,8 @@ Result<ServeResult> Server::Run() {
     const WorkloadQueryResult& qr = workload.queries[job_of_[sub]];
     out.status = qr.status;
     out.degraded = qr.degraded;
+    out.is_write = qr.is_write;
+    out.commit_seq = qr.commit_seq;
     out.admitted_at = qr.admitted_at;
     out.finished_at = qr.finished_at;
     out.count = qr.count;

@@ -112,6 +112,10 @@ struct ServeOutcome {
   std::size_t tenant = 0;
   /// The query was rejected at the queue and never ran.
   bool shed = false;
+  /// A write transaction (SubmitWrite). `count` stays 0; `commit_seq`
+  /// records the version it published (0 on abort or shed).
+  bool is_write = false;
+  std::uint64_t commit_seq = 0;
   /// ResourceExhausted when shed; otherwise the query's own execution
   /// status (per-query isolation: one query's corruption fails only it).
   Status status;
@@ -174,6 +178,15 @@ class Server {
                 const PlanOptions& plan, SimTime arrival,
                 SimTime deadline = 0);
 
+  /// Queues a write transaction for tenant `tenant` (requires
+  /// WorkloadOptions.txn on the serving configuration). Writes share the
+  /// tenant's bounded queue and shed rules with reads, pass through the
+  /// same admission passes (FIFO or DRR), and are never re-planned by
+  /// the overload controller — there is no cheaper tier for a write, and
+  /// degrading durability is not an overload response.
+  Status SubmitWrite(std::size_t tenant, std::vector<WriteOp> ops,
+                     SimTime arrival);
+
   std::size_t size() const { return subs_.size(); }
 
   /// Serves every submission to completion (or shedding) and reports the
@@ -188,6 +201,8 @@ class Server {
     PlanOptions plan;
     SimTime arrival = 0;
     SimTime deadline = 0;  // absolute, already defaulted from the tenant
+    bool is_write = false;
+    std::vector<WriteOp> write_ops;
   };
 
   /// Moves every submission whose arrival is due into its tenant queue

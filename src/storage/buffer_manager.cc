@@ -241,6 +241,44 @@ Result<PageGuard> BufferManager::NewPage() {
   return PageGuard(this, idx);
 }
 
+Result<PageGuard> BufferManager::AdoptPage(PageId id,
+                                           const std::byte* content) {
+  auto it = page_table_.find(id);
+  std::size_t idx;
+  if (it != page_table_.end()) {
+    idx = it->second;
+  } else {
+    std::memcpy(scratch_.get(), content, disk_->page_size());
+    NAVPATH_ASSIGN_OR_RETURN(idx, InstallFromScratch(id));
+  }
+  Frame& f = frames_[idx];
+  if (it != page_table_.end()) {
+    std::memcpy(f.data.get(), content, disk_->page_size());
+    clock_->ChargeCpu(costs_.page_install);
+  }
+  ++f.pin_count;
+  f.dirty = true;
+  f.claimed = false;
+  f.last_use = ++use_counter_;
+  return PageGuard(this, idx);
+}
+
+Status BufferManager::Discard(PageId id) {
+  const auto it = page_table_.find(id);
+  if (it == page_table_.end()) return Status::OK();
+  Frame& f = frames_[it->second];
+  if (f.pin_count > 0) {
+    return Status::InvalidArgument("cannot discard a pinned page");
+  }
+  page_table_.erase(it);
+  const std::size_t idx = &f - frames_.data();
+  f.page_id = kInvalidPageId;
+  f.dirty = false;
+  f.claimed = false;
+  free_frames_.push_back(idx);
+  return Status::OK();
+}
+
 Result<BufferManager::PrefetchOutcome> BufferManager::Prefetch(
     PageId id, std::uint32_t owner, ReadPriority priority) {
   const auto resident = page_table_.find(id);

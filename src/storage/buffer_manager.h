@@ -91,6 +91,24 @@ class BufferManager {
   /// Allocates a fresh zeroed page on disk and fixes it (used at import).
   Result<PageGuard> NewPage();
 
+  // --- Version-aware frame identity (MVCC shadow pages) -----------------
+  //
+  // Two versions of one logical page coexist in the pool as two distinct
+  // physical page ids; the txn layer owns the logical->physical mapping.
+  // These hooks let it install a shadow image without a disk round-trip
+  // and drop reclaimed versions without a write-back.
+
+  /// Installs `content` (page_size bytes) as page `id`, pinned and dirty.
+  /// If `id` is already resident — e.g. a stale prefetch of a recycled
+  /// shadow id completed first — its frame is overwritten in place, so
+  /// there is never more than one frame per physical id.
+  Result<PageGuard> AdoptPage(PageId id, const std::byte* content);
+
+  /// Drops `id`'s frame without write-back (reclaimed page versions are
+  /// dead; their disk image no longer matters). No-op if not resident;
+  /// InvalidArgument if pinned.
+  Status Discard(PageId id);
+
   // --- Asynchronous prefetch (XSchedule's I/O interface) ----------------
 
   enum class PrefetchOutcome {

@@ -19,6 +19,37 @@ constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
 /// (Sec. 3.3 of the paper: one cluster == one disk page).
 constexpr std::size_t kDefaultPageSize = 8192;
 
+/// Maps the logical page ids embedded in stored NodeIDs onto the physical
+/// page that holds the version a transaction snapshot should see. Stored
+/// page bytes (border partner pointers, context NodeIDs, summary extents)
+/// always speak logical ids; translation to a physical id happens exactly
+/// once, at buffer Fix/Prefetch time. The null translator is the identity
+/// map — the read-only, pre-MVCC behaviour.
+class PageTranslator {
+ public:
+  virtual ~PageTranslator() = default;
+
+  /// Physical page holding `logical`'s image in this snapshot.
+  virtual PageId ToPhysical(PageId logical) const = 0;
+
+  /// Logical id a physical page serves in this snapshot (inverse of
+  /// ToPhysical for mapped pages; identity otherwise). Needed when an
+  /// async completion reports the physical id that was submitted.
+  virtual PageId ToLogical(PageId physical) const = 0;
+
+  /// True if `page` is a shadow (version-copy) page that must never be
+  /// interpreted as a logical cluster during range sweeps.
+  virtual bool IsShadow(PageId page) const = 0;
+};
+
+inline PageId TranslateToPhysical(const PageTranslator* t, PageId logical) {
+  return t == nullptr ? logical : t->ToPhysical(logical);
+}
+
+inline PageId TranslateToLogical(const PageTranslator* t, PageId physical) {
+  return t == nullptr ? physical : t->ToLogical(physical);
+}
+
 }  // namespace navpath
 
 #endif  // NAVPATH_STORAGE_PAGE_H_

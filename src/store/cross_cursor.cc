@@ -5,14 +5,16 @@ namespace navpath {
 Status CrossClusterCursor::PushLevel(Axis axis, NodeID at) {
   // Crossing into a cluster translates a NodeID into a buffer address:
   // a swizzle plus possibly a synchronous page read.
-  NAVPATH_ASSIGN_OR_RETURN(PageGuard guard, db_->buffer()->FixSwizzle(at.page));
+  NAVPATH_ASSIGN_OR_RETURN(
+      PageGuard guard,
+      db_->buffer()->FixSwizzle(TranslateToPhysical(translator_, at.page)));
   // Only the top level keeps its page pinned; suspended levels are
   // re-fixed on resume. This bounds pin usage to one frame regardless of
   // crossing depth (and charges the realistic re-probe cost).
   if (!stack_.empty()) stack_.back()->guard.Release();
   auto level = std::make_unique<Level>();
   level->page = at.page;
-  const ClusterView view = db_->MakeView(guard);
+  const ClusterView view = db_->MakeView(guard, at.page);
   level->guard = std::move(guard);
   level->cursor = AxisCursor(view, axis, at.slot);
   stack_.push_back(std::move(level));
@@ -24,9 +26,10 @@ Result<bool> CrossClusterCursor::Next(LogicalNode* out) {
     Level& top = *stack_.back();
     if (!top.guard.valid()) {
       // Resuming a suspended level: fix its page again.
-      NAVPATH_ASSIGN_OR_RETURN(PageGuard guard,
-                               db_->buffer()->Fix(top.page));
-      const ClusterView view = db_->MakeView(guard);
+      NAVPATH_ASSIGN_OR_RETURN(
+          PageGuard guard,
+          db_->buffer()->Fix(TranslateToPhysical(translator_, top.page)));
+      const ClusterView view = db_->MakeView(guard, top.page);
       top.guard = std::move(guard);
       top.cursor.Rebind(view);
     }
@@ -35,7 +38,7 @@ Result<bool> CrossClusterCursor::Next(LogicalNode* out) {
       stack_.pop_back();
       continue;
     }
-    const ClusterView view = db_->MakeView(top.guard);
+    const ClusterView view = db_->MakeView(top.guard, top.page);
     if (entry.crossing) {
       const NodeID partner = view.PartnerOf(entry.slot);
       ++db_->metrics()->inter_cluster_hops;
@@ -57,8 +60,10 @@ Status CrossClusterCursor::Start(Axis axis, NodeID origin) {
 }
 
 Result<LogicalNode> CrossClusterCursor::Describe(NodeID id) {
-  NAVPATH_ASSIGN_OR_RETURN(PageGuard guard, db_->buffer()->Fix(id.page));
-  const ClusterView view = db_->MakeView(guard);
+  NAVPATH_ASSIGN_OR_RETURN(
+      PageGuard guard,
+      db_->buffer()->Fix(TranslateToPhysical(translator_, id.page)));
+  const ClusterView view = db_->MakeView(guard, id.page);
   if (id.slot >= view.slot_count() || !view.IsLive(id.slot) ||
       view.KindOf(id.slot) != RecordKind::kCore) {
     return Status::InvalidArgument("not a core node: " + id.ToString());

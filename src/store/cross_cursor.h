@@ -25,7 +25,12 @@ struct LogicalNode {
 
 class CrossClusterCursor {
  public:
-  explicit CrossClusterCursor(Database* db) : db_(db) {}
+  /// `translator` (optional) maps the logical page ids stored in NodeIDs
+  /// onto the physical pages of an MVCC snapshot; all NodeIDs surfaced by
+  /// the cursor stay logical. nullptr is the identity map.
+  explicit CrossClusterCursor(Database* db,
+                              const PageTranslator* translator = nullptr)
+      : db_(db), translator_(translator) {}
 
   CrossClusterCursor(const CrossClusterCursor&) = delete;
   CrossClusterCursor& operator=(const CrossClusterCursor&) = delete;
@@ -53,6 +58,7 @@ class CrossClusterCursor {
   Status PushLevel(Axis axis, NodeID at);
 
   Database* db_;
+  const PageTranslator* translator_ = nullptr;
   Axis axis_ = Axis::kSelf;
   std::vector<std::unique_ptr<Level>> stack_;
 };

@@ -95,6 +95,15 @@ class Database {
                        &clock_, &options_.cpu_costs, &metrics_);
   }
 
+  /// View over a pinned page that identifies itself by `logical_id`
+  /// rather than the guard's physical id. Under MVCC a snapshot may fix a
+  /// shadow copy of logical page L at physical page P; NodeIDs minted by
+  /// the view must keep saying L or stored-id identity breaks.
+  ClusterView MakeView(const PageGuard& guard, PageId logical_id) {
+    return ClusterView(guard.data(), options_.page_size, logical_id, &clock_,
+                       &options_.cpu_costs, &metrics_);
+  }
+
   /// Cold-starts a measurement: drops the buffer, resets clock + metrics.
   Status ResetMeasurement();
 

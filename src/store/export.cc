@@ -96,9 +96,11 @@ class Exporter {
   }
 
   Status OpenElement(NodeID id, int depth) {
-    NAVPATH_ASSIGN_OR_RETURN(PageGuard guard,
-                             db_->buffer()->FixSwizzle(id.page));
-    const ClusterView view = db_->MakeView(guard);
+    NAVPATH_ASSIGN_OR_RETURN(
+        PageGuard guard,
+        db_->buffer()->FixSwizzle(
+            TranslateToPhysical(options_.translator, id.page)));
+    const ClusterView view = db_->MakeView(guard, id.page);
     Level level;
     level.element = id;
     level.tag_name = db_->tags()->Name(view.TagOf(id.slot));
@@ -142,9 +144,11 @@ class Exporter {
       stack_.pop_back();
       return Status::OK();
     }
-    NAVPATH_ASSIGN_OR_RETURN(PageGuard guard,
-                             db_->buffer()->Fix(top.chain_page));
-    const ClusterView view = db_->MakeView(guard);
+    NAVPATH_ASSIGN_OR_RETURN(
+        PageGuard guard,
+        db_->buffer()->Fix(
+            TranslateToPhysical(options_.translator, top.chain_page)));
+    const ClusterView view = db_->MakeView(guard, top.chain_page);
     const SlotId slot = top.chain_slot;
     view.ChargeHop();
     switch (view.KindOf(slot)) {
@@ -163,9 +167,11 @@ class Exporter {
         // Remember where to resume after the partner fragment: the
         // partner's children are enumerated first, then we return here.
         Level detour = top;  // copy of the element level state
-        NAVPATH_ASSIGN_OR_RETURN(PageGuard pguard,
-                                 db_->buffer()->FixSwizzle(partner.page));
-        const ClusterView pview = db_->MakeView(pguard);
+        NAVPATH_ASSIGN_OR_RETURN(
+            PageGuard pguard,
+            db_->buffer()->FixSwizzle(
+                TranslateToPhysical(options_.translator, partner.page)));
+        const ClusterView pview = db_->MakeView(pguard, partner.page);
         detour.chain_page = partner.page;
         detour.chain_slot = pview.FirstChildOf(partner.slot);
         detour.chain_origin = partner.slot;

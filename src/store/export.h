@@ -20,6 +20,10 @@ namespace navpath {
 struct ExportOptions {
   bool indent = false;
   bool escape_text = true;
+  /// MVCC page translation (a Snapshot or WriterTxn); nullptr exports the
+  /// current page images. Lets tests serialize exactly what one snapshot
+  /// sees, independent of later commits.
+  const PageTranslator* translator = nullptr;
 };
 
 /// Serializes the subtree rooted at `node` from the paged store.

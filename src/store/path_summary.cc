@@ -154,6 +154,73 @@ std::unique_ptr<PathSummary> PathSummary::Build(
   return summary;
 }
 
+namespace {
+
+/// Adds `p` to a sorted, non-overlapping extent list, merging with
+/// adjacent/containing ranges so the Decode invariants keep holding.
+void AddPageToExtents(std::vector<SummaryExtent>* extents, PageId p) {
+  std::size_t i = 0;
+  while (i < extents->size() && (*extents)[i].last + 1 < p) ++i;
+  if (i == extents->size()) {
+    extents->push_back(SummaryExtent{p, p});
+    return;
+  }
+  SummaryExtent& e = (*extents)[i];
+  if (p + 1 < e.first) {
+    extents->insert(extents->begin() + i, SummaryExtent{p, p});
+    return;
+  }
+  e.first = std::min(e.first, p);
+  e.last = std::max(e.last, p);
+  if (i + 1 < extents->size() && (*extents)[i + 1].first <= e.last + 1) {
+    e.last = std::max(e.last, (*extents)[i + 1].last);
+    extents->erase(extents->begin() + i + 1);
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<PathSummary> PathSummary::CloneWithInserts(
+    const std::vector<SummaryInsert>& inserts) const {
+  std::unique_ptr<PathSummary> out(new PathSummary());
+  out->nodes_ = nodes_;
+  out->total_instances_ = total_instances_;
+  for (const SummaryInsert& ins : inserts) {
+    if (ins.tags.empty() || ins.tags.front() != out->nodes_[root()].tag) {
+      return nullptr;
+    }
+    std::uint32_t sid = root();
+    for (std::size_t d = 1; d < ins.tags.size(); ++d) {
+      const bool leaf = d + 1 == ins.tags.size();
+      const DomNodeKind kind = leaf ? ins.kind : DomNodeKind::kElement;
+      std::uint32_t child = kNoParent;
+      for (const std::uint32_t c : out->nodes_[sid].children) {
+        if (out->nodes_[c].tag == ins.tags[d] &&
+            out->nodes_[c].kind == kind) {
+          child = c;
+          break;
+        }
+      }
+      if (child == kNoParent) {
+        child = static_cast<std::uint32_t>(out->nodes_.size());
+        Node node;
+        node.tag = ins.tags[d];
+        node.kind = kind;
+        node.parent = sid;
+        out->nodes_.push_back(std::move(node));
+        out->nodes_[sid].children.push_back(child);
+      }
+      sid = child;
+    }
+    ++out->nodes_[sid].count;
+    ++out->total_instances_;
+    for (const PageId p : ins.pages) {
+      AddPageToExtents(&out->nodes_[sid].extents, p);
+    }
+  }
+  return out;
+}
+
 bool PathSummary::Supports(const LocationPath& path) {
   if (!path.absolute) return false;
   for (const LocationStep& step : path.steps) {

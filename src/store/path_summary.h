@@ -55,6 +55,19 @@ struct SummaryExtent {
   }
 };
 
+/// One committed insertion, described by its root-to-node tag path — the
+/// unit of incremental summary maintenance (DocumentUpdater reports these
+/// instead of invalidating the synopsis wholesale).
+struct SummaryInsert {
+  /// Tag path from the document root (inclusive) down to the inserted
+  /// node (inclusive), in root-first order.
+  std::vector<TagId> tags;
+  /// Kind of the inserted node (intermediate steps are always elements).
+  DomNodeKind kind = DomNodeKind::kElement;
+  /// Logical pages that now hold instances (or border glue) of the path.
+  std::vector<PageId> pages;
+};
+
 /// Result of matching one location path against the summary.
 struct SummaryMatch {
   /// False when the path is outside the summary's exactness domain
@@ -128,6 +141,18 @@ class PathSummary {
       const std::vector<std::uint32_t>& nodes) const;
 
   static std::uint64_t ExtentPages(const std::vector<SummaryExtent>& extents);
+
+  /// Incremental maintenance: a copy of this summary with `inserts`
+  /// applied — each insert bumps the exact count of its path node
+  /// (creating summary nodes for previously unseen paths) and widens the
+  /// node's extents by the landing pages. Extent growth is conservative
+  /// (a page is added, never removed), so restricted sweeps stay correct.
+  /// Returns nullptr when an insert's tag path does not start at this
+  /// summary's root — the caller falls back to dropping the synopsis.
+  /// Only insertions are maintainable; deletions and record relocation
+  /// invalidate counts/extents wholesale.
+  std::unique_ptr<PathSummary> CloneWithInserts(
+      const std::vector<SummaryInsert>& inserts) const;
 
   /// Deterministic byte encoding (summary nodes in creation order); two
   /// summaries of the same document encode byte-identically.

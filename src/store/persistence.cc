@@ -13,7 +13,8 @@ namespace {
 constexpr char kMagic[4] = {'N', 'V', 'P', 'H'};
 // Version 2: every page image is followed by its 8-byte integrity trailer.
 // Version 3: CRC-protected path-summary block between catalog and pages.
-constexpr std::uint32_t kVersion = 3;
+// Version 4: versioned-root (MVCC) block between summary and pages.
+constexpr std::uint32_t kVersion = 4;
 constexpr std::uint32_t kMinVersion = 2;
 
 void WriteU8(std::ostream& out, std::uint8_t v) {
@@ -42,7 +43,8 @@ bool ReadU64(std::istream& in, std::uint64_t* v) {
 }  // namespace
 
 Status SaveDatabase(Database* db, const ImportedDocument& doc,
-                    const std::string& path) {
+                    const std::string& path,
+                    const VersionedRootState* txn_state) {
   NAVPATH_CHECK(db != nullptr);
   // Everything buffered must reach the page images first.
   NAVPATH_RETURN_NOT_OK(db->buffer()->FlushAll());
@@ -86,6 +88,25 @@ Status SaveDatabase(Database* db, const ImportedDocument& doc,
     out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
     WriteU32(out, Crc32c(reinterpret_cast<const std::byte*>(encoded.data()),
                          encoded.size()));
+  } else {
+    WriteU8(out, 0);
+  }
+
+  // Versioned-root block (v4): the txn layer's logical->physical mapping
+  // and page bookkeeping. The shadow page images themselves are ordinary
+  // disk pages and travel in the page section below.
+  if (txn_state != nullptr) {
+    WriteU8(out, 1);
+    WriteU64(out, txn_state->seq);
+    WriteU32(out, static_cast<std::uint32_t>(txn_state->mappings.size()));
+    for (const auto& [logical, physical] : txn_state->mappings) {
+      WriteU32(out, logical);
+      WriteU32(out, physical);
+    }
+    WriteU32(out, static_cast<std::uint32_t>(txn_state->shadow_pages.size()));
+    for (const PageId p : txn_state->shadow_pages) WriteU32(out, p);
+    WriteU32(out, static_cast<std::uint32_t>(txn_state->free_pages.size()));
+    for (const PageId p : txn_state->free_pages) WriteU32(out, p);
   } else {
     WriteU8(out, 0);
   }
@@ -185,6 +206,50 @@ Result<LoadedDatabase> LoadDatabase(const std::string& path,
           loaded.summary_status = summary.status();
         }
       }
+    }
+  }
+
+  if (version >= 4) {
+    std::uint8_t has_txn = 0;
+    if (!ReadU8(in, &has_txn) || has_txn > 1) {
+      return Status::Corruption("truncated versioned-root block");
+    }
+    if (has_txn == 1) {
+      VersionedRootState& txn = loaded.txn_state;
+      std::uint32_t mapping_count = 0;
+      if (!ReadU64(in, &txn.seq) || !ReadU32(in, &mapping_count) ||
+          mapping_count > page_count) {
+        return Status::Corruption("bad versioned-root mapping table");
+      }
+      txn.mappings.reserve(mapping_count);
+      for (std::uint32_t i = 0; i < mapping_count; ++i) {
+        std::uint32_t logical = 0, physical = 0;
+        if (!ReadU32(in, &logical) || !ReadU32(in, &physical) ||
+            logical >= page_count || physical >= page_count) {
+          return Status::Corruption("versioned-root mapping out of range");
+        }
+        txn.mappings.emplace_back(logical, physical);
+      }
+      auto read_page_list = [&](std::vector<PageId>* list,
+                                const char* what) -> Status {
+        std::uint32_t n = 0;
+        if (!ReadU32(in, &n) || n > page_count) {
+          return Status::Corruption(std::string("bad ") + what + " list");
+        }
+        list->reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          std::uint32_t p = 0;
+          if (!ReadU32(in, &p) || p >= page_count) {
+            return Status::Corruption(std::string(what) +
+                                      " page out of range");
+          }
+          list->push_back(p);
+        }
+        return Status::OK();
+      };
+      NAVPATH_RETURN_NOT_OK(read_page_list(&txn.shadow_pages, "shadow"));
+      NAVPATH_RETURN_NOT_OK(read_page_list(&txn.free_pages, "free"));
+      loaded.has_txn_state = true;
     }
   }
 

@@ -29,6 +29,8 @@
 
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "store/database.h"
@@ -36,9 +38,27 @@
 
 namespace navpath {
 
+/// The MVCC transaction layer's durable state (format v4): the published
+/// version sequence plus the logical->physical page mapping of the
+/// current root, the shadow-page set (physical pages that must never be
+/// interpreted as logical clusters), and the recyclable free list. The
+/// page images themselves need no special handling — SaveDatabase writes
+/// every disk page, shadows included. A plain value type so the store
+/// layer stays independent of src/txn/.
+struct VersionedRootState {
+  std::uint64_t seq = 0;
+  std::vector<std::pair<PageId, PageId>> mappings;  // logical -> physical
+  std::vector<PageId> shadow_pages;
+  std::vector<PageId> free_pages;
+};
+
 /// Writes the database's pages, tags and `doc`'s catalog entry to `path`.
+/// `txn_state`, when non-null, persists the MVCC versioned root so the
+/// current document version survives the round trip (without it, a reload
+/// would see pre-copy-on-write page images for shadowed pages).
 Status SaveDatabase(Database* db, const ImportedDocument& doc,
-                    const std::string& path);
+                    const std::string& path,
+                    const VersionedRootState* txn_state = nullptr);
 
 struct LoadedDatabase {
   std::unique_ptr<Database> db;
@@ -47,6 +67,10 @@ struct LoadedDatabase {
   /// Status::Corruption when the block was damaged and the database was
   /// opened without a synopsis (degrade-to-rebuild, never abort).
   Status summary_status = Status::OK();
+  /// Set when the file carried a versioned root (format v4): feed it to
+  /// TxnManager::RestoreState before serving snapshots.
+  bool has_txn_state = false;
+  VersionedRootState txn_state;
 };
 
 /// Restores a database saved with SaveDatabase. `options` configures the

@@ -143,6 +143,11 @@ class TreePage {
     NAVPATH_DCHECK(!IsBorder(slot));
     return LoadU64(RecordOffset(slot) + 14);
   }
+  /// Rewrites a record's order key in place (gap redistribution).
+  void SetOrder(SlotId slot, std::uint64_t order) {
+    NAVPATH_DCHECK(!IsBorder(slot));
+    StoreU64(RecordOffset(slot) + 14, order);
+  }
   /// First attribute of a core element (kInvalidSlot when none).
   SlotId FirstAttrOf(SlotId slot) const {
     NAVPATH_DCHECK(!IsBorder(slot));

@@ -12,6 +12,11 @@
 namespace navpath {
 namespace {
 
+/// Longest document-order run respaced by one gap redistribution. Bounds
+/// the work of a single insert; the run's key range is re-spread evenly,
+/// so headroom grows geometrically with repeated redistributions.
+constexpr std::size_t kRedistributeRun = 32;
+
 /// Collects `root` and all records of its subtree that live in the same
 /// page (down-borders are leaves), in depth-first order.
 std::vector<SlotId> CollectLocalSubtree(const TreePage& page, SlotId root) {
@@ -51,17 +56,39 @@ std::vector<SlotId> CollectLocalSubtree(const TreePage& page, SlotId root) {
 
 }  // namespace
 
+Result<PageGuard> DocumentUpdater::FixPage(PageId id) {
+  if (io_ != nullptr) return io_->FixMutable(id);
+  return db_->buffer()->Fix(id);
+}
+
+void DocumentUpdater::NoteStructuralChange() {
+  if (io_ == nullptr) {
+    db_->InvalidateSummary();
+  } else {
+    structural_change_ = true;
+  }
+}
+
 Result<PageId> DocumentUpdater::AppendPage() {
-  NAVPATH_ASSIGN_OR_RETURN(PageGuard guard, db_->buffer()->NewPage());
-  TreePage::Initialize(guard.data(), db_->options().page_size);
-  guard.MarkDirty();
-  const PageId id = guard.page_id();
+  PageId id;
+  if (io_ == nullptr) {
+    NAVPATH_ASSIGN_OR_RETURN(PageGuard guard, db_->buffer()->NewPage());
+    TreePage::Initialize(guard.data(), db_->options().page_size);
+    guard.MarkDirty();
+    id = guard.page_id();
+  } else {
+    NAVPATH_ASSIGN_OR_RETURN(id, io_->AppendLogicalPage());
+    NAVPATH_ASSIGN_OR_RETURN(PageGuard guard, io_->FixMutable(id));
+    TreePage::Initialize(guard.data(), db_->options().page_size);
+    guard.MarkDirty();
+  }
   doc_->last_page = std::max(doc_->last_page, id);
   ++doc_->pages;
   return id;
 }
 
 Result<NodeID> DocumentUpdater::UnlinkChainElement(PageGuard* guard,
+                                                   PageId logical,
                                                    SlotId slot) {
   TreePage page(guard->data(), db_->options().page_size);
   const SlotId ps = page.ParentOf(slot);
@@ -86,7 +113,7 @@ Result<NodeID> DocumentUpdater::UnlinkChainElement(PageGuard* guard,
   }
   guard->MarkDirty();
   if (up && page.FirstChildOf(ps) == kInvalidSlot) {
-    return NodeID{guard->page_id(), ps};  // fragment emptied
+    return NodeID{logical, ps};  // fragment emptied
   }
   return kInvalidNodeID;
 }
@@ -95,12 +122,12 @@ Status DocumentUpdater::DeleteSubtree(NodeID node) {
   if (node == doc_->root) {
     return Status::InvalidArgument("cannot delete the document root");
   }
-  // A stale synopsis would keep reporting the deleted subtree's counts.
-  db_->InvalidateSummary();
+  // A stale synopsis would keep reporting the deleted subtree's counts;
+  // deletions are outside incremental maintenance.
+  NoteStructuralChange();
   std::unordered_set<PageId> touched;
   {
-    NAVPATH_ASSIGN_OR_RETURN(PageGuard guard,
-                             db_->buffer()->Fix(node.page));
+    NAVPATH_ASSIGN_OR_RETURN(PageGuard guard, FixPage(node.page));
     TreePage page(guard.data(), db_->options().page_size);
     if (node.slot >= page.slot_count() || !page.IsLive(node.slot) ||
         page.KindOf(node.slot) != RecordKind::kCore) {
@@ -110,12 +137,11 @@ Status DocumentUpdater::DeleteSubtree(NodeID node) {
     // Unlink from the sibling chain; collapse border pairs whose
     // fragments become empty (possibly cascading across clusters).
     NAVPATH_ASSIGN_OR_RETURN(NodeID emptied,
-                             UnlinkChainElement(&guard, node.slot));
+                             UnlinkChainElement(&guard, node.page, node.slot));
     touched.insert(node.page);
     guard.Release();
     while (emptied.valid()) {
-      NAVPATH_ASSIGN_OR_RETURN(PageGuard up_guard,
-                               db_->buffer()->Fix(emptied.page));
+      NAVPATH_ASSIGN_OR_RETURN(PageGuard up_guard, FixPage(emptied.page));
       TreePage up_page(up_guard.data(), db_->options().page_size);
       const NodeID partner = up_page.PartnerOf(emptied.slot);
       up_page.RemoveRecord(emptied.slot);
@@ -123,10 +149,10 @@ Status DocumentUpdater::DeleteSubtree(NodeID node) {
       touched.insert(emptied.page);
       up_guard.Release();
 
-      NAVPATH_ASSIGN_OR_RETURN(PageGuard down_guard,
-                               db_->buffer()->Fix(partner.page));
-      NAVPATH_ASSIGN_OR_RETURN(emptied,
-                               UnlinkChainElement(&down_guard, partner.slot));
+      NAVPATH_ASSIGN_OR_RETURN(PageGuard down_guard, FixPage(partner.page));
+      NAVPATH_ASSIGN_OR_RETURN(
+          emptied,
+          UnlinkChainElement(&down_guard, partner.page, partner.slot));
       TreePage down_page(down_guard.data(), db_->options().page_size);
       down_page.RemoveRecord(partner.slot);
       down_guard.MarkDirty();
@@ -140,8 +166,7 @@ Status DocumentUpdater::DeleteSubtree(NodeID node) {
   while (!work.empty()) {
     const NodeID root = work.back();
     work.pop_back();
-    NAVPATH_ASSIGN_OR_RETURN(PageGuard guard,
-                             db_->buffer()->Fix(root.page));
+    NAVPATH_ASSIGN_OR_RETURN(PageGuard guard, FixPage(root.page));
     TreePage page(guard.data(), db_->options().page_size);
     for (const SlotId s : CollectLocalSubtree(page, root.slot)) {
       switch (page.KindOf(s)) {
@@ -165,7 +190,7 @@ Status DocumentUpdater::DeleteSubtree(NodeID node) {
   }
 
   for (const PageId pid : touched) {
-    NAVPATH_ASSIGN_OR_RETURN(PageGuard guard, db_->buffer()->Fix(pid));
+    NAVPATH_ASSIGN_OR_RETURN(PageGuard guard, FixPage(pid));
     TreePage page(guard.data(), db_->options().page_size);
     page.Compact();
     guard.MarkDirty();
@@ -174,7 +199,7 @@ Status DocumentUpdater::DeleteSubtree(NodeID node) {
 }
 
 Result<std::uint64_t> DocumentUpdater::MaxOrderInSubtree(NodeID node) {
-  CrossClusterCursor cursor(db_);
+  CrossClusterCursor cursor(db_, translator());
   NAVPATH_RETURN_NOT_OK(cursor.Start(Axis::kDescendantOrSelf, node));
   std::uint64_t max_order = 0;
   LogicalNode n;
@@ -187,69 +212,247 @@ Result<std::uint64_t> DocumentUpdater::MaxOrderInSubtree(NodeID node) {
 }
 
 Result<std::uint64_t> DocumentUpdater::DocOrderSuccessor(
-    NodeID node, std::uint64_t fallback) {
-  CrossClusterCursor cursor(db_);
+    NodeID node, std::uint64_t fallback, NodeID* succ_id) {
+  CrossClusterCursor cursor(db_, translator());
   NodeID cur = node;
   for (;;) {
     NAVPATH_RETURN_NOT_OK(cursor.Start(Axis::kFollowingSibling, cur));
     LogicalNode n;
     NAVPATH_ASSIGN_OR_RETURN(const bool has_sibling, cursor.Next(&n));
-    if (has_sibling) return n.order;
+    if (has_sibling) {
+      if (succ_id != nullptr) *succ_id = n.id;
+      return n.order;
+    }
     NAVPATH_RETURN_NOT_OK(cursor.Start(Axis::kParent, cur));
     NAVPATH_ASSIGN_OR_RETURN(const bool has_parent, cursor.Next(&n));
-    if (!has_parent) return fallback;  // end of document
+    if (!has_parent) {
+      if (succ_id != nullptr) *succ_id = kInvalidNodeID;
+      return fallback;  // end of document
+    }
     cur = n.id;
   }
 }
 
+Result<std::vector<TagId>> DocumentUpdater::TagPathOf(NodeID node) {
+  CrossClusterCursor cursor(db_, translator());
+  NAVPATH_ASSIGN_OR_RETURN(LogicalNode cur, cursor.Describe(node));
+  std::vector<TagId> tags{cur.tag};
+  for (;;) {
+    NAVPATH_RETURN_NOT_OK(cursor.Start(Axis::kParent, cur.id));
+    LogicalNode up;
+    NAVPATH_ASSIGN_OR_RETURN(const bool has_parent, cursor.Next(&up));
+    if (!has_parent) break;
+    tags.push_back(up.tag);
+    cur = up;
+  }
+  std::reverse(tags.begin(), tags.end());
+  return tags;
+}
+
+Result<std::uint64_t> DocumentUpdater::RedistributeOrderKeys(
+    std::uint64_t pred_order, NodeID succ, std::uint64_t reserve) {
+  const std::size_t page_size = db_->options().page_size;
+  CrossClusterCursor cursor(db_, translator());
+
+  // Advances to the next node in document order (first child, else
+  // following sibling, else the nearest ancestor's following sibling).
+  auto next_in_doc_order = [&](NodeID cur, NodeID* out) -> Result<bool> {
+    LogicalNode n;
+    NAVPATH_RETURN_NOT_OK(cursor.Start(Axis::kChild, cur));
+    NAVPATH_ASSIGN_OR_RETURN(bool has, cursor.Next(&n));
+    if (has) {
+      *out = n.id;
+      return true;
+    }
+    NodeID a = cur;
+    for (;;) {
+      NAVPATH_RETURN_NOT_OK(cursor.Start(Axis::kFollowingSibling, a));
+      NAVPATH_ASSIGN_OR_RETURN(has, cursor.Next(&n));
+      if (has) {
+        *out = n.id;
+        return true;
+      }
+      NAVPATH_RETURN_NOT_OK(cursor.Start(Axis::kParent, a));
+      NAVPATH_ASSIGN_OR_RETURN(has, cursor.Next(&n));
+      if (!has) return false;
+      a = n.id;
+    }
+  };
+
+  // Collect the bounded forward run and the key bound beyond it. The run
+  // is a contiguous document-order (preorder) segment, so respacing it
+  // monotonically inside (pred_order, bound) preserves global order.
+  struct RunNode {
+    NodeID id;
+    std::uint64_t attrs = 0;
+  };
+  std::vector<RunNode> run;
+  std::uint64_t total_units = reserve;  // key slots the new insert needs
+  std::uint64_t last_old_order = pred_order;
+  std::uint64_t bound = 0;
+  bool bounded = false;
+  NodeID cur = succ;
+  for (;;) {
+    NAVPATH_ASSIGN_OR_RETURN(const LogicalNode info, cursor.Describe(cur));
+    if (run.size() == kRedistributeRun) {
+      bound = info.order;  // first node left untouched
+      bounded = true;
+      break;
+    }
+    NAVPATH_ASSIGN_OR_RETURN(PageGuard guard, FixPage(cur.page));
+    TreePage page(guard.data(), page_size);
+    std::uint64_t attrs = 0;
+    for (SlotId a = page.FirstAttrOf(cur.slot); a != kInvalidSlot;
+         a = page.NextSiblingOf(a)) {
+      ++attrs;
+    }
+    guard.Release();
+    run.push_back(RunNode{cur, attrs});
+    total_units += 1 + attrs;
+    last_old_order = info.order + attrs;
+    NodeID next;
+    NAVPATH_ASSIGN_OR_RETURN(const bool more, next_in_doc_order(cur, &next));
+    if (!more) break;
+    cur = next;
+  }
+  if (!bounded) {
+    // The run reaches the document tail: nothing above constrains the
+    // keys, so extend the range by a fresh import-sized gap.
+    bound = last_old_order + 2 * kOrderKeyGap;
+  }
+  if (bound <= pred_order ||
+      bound - pred_order <= total_units + run.size()) {
+    return Status::ResourceExhausted(
+        "order keys exhausted between neighbors; re-import to renumber");
+  }
+
+  // Even respacing: every node (and the pending insert) gets its key
+  // slots plus `slack` headroom; slack >= 1 by the check above.
+  const std::uint64_t slack =
+      (bound - pred_order - total_units) / (run.size() + 1);
+  std::uint64_t key = pred_order + reserve + slack;
+  const std::uint64_t new_succ_order = key;
+  for (const RunNode& rn : run) {
+    NAVPATH_ASSIGN_OR_RETURN(PageGuard guard, FixPage(rn.id.page));
+    TreePage page(guard.data(), page_size);
+    page.SetOrder(rn.id.slot, key);
+    std::uint64_t attr_key = key;
+    for (SlotId a = page.FirstAttrOf(rn.id.slot); a != kInvalidSlot;
+         a = page.NextSiblingOf(a)) {
+      page.SetOrder(a, ++attr_key);
+    }
+    guard.MarkDirty();
+    key += 1 + rn.attrs + slack;
+  }
+  return new_succ_order;
+}
+
 Status DocumentUpdater::EvacuateSubtree(PageId pid,
-                                        const std::vector<SlotId>& protect) {
-  NAVPATH_ASSIGN_OR_RETURN(PageGuard guard, db_->buffer()->Fix(pid));
+                                        const std::vector<SlotId>& protect,
+                                        std::size_t needed_bytes) {
+  NAVPATH_ASSIGN_OR_RETURN(PageGuard guard, FixPage(pid));
   const std::size_t page_size = db_->options().page_size;
   TreePage page(guard.data(), page_size);
   const std::unordered_set<SlotId> protected_slots(protect.begin(),
                                                    protect.end());
 
-  // Victim: the live core with the largest local subtree that contains
-  // no protected slot and is not the document root.
+  // Record relocation breaks NodeID identity for the moved subtree; the
+  // synopsis extents can no longer be maintained incrementally.
+  NoteStructuralChange();
+
+  // Eligibility per chain element: a live core (with its local subtree)
+  // or down-border, not the document root, whose local records contain no
+  // protected slot. Down-borders can never seed an evacuation (swapping
+  // one border for another frees nothing) but ride along inside a run,
+  // where the run's single replacement border is already paid for.
+  struct Candidate {
+    std::vector<SlotId> subtree;
+    std::size_t bytes = 0;
+  };
+  std::unordered_map<SlotId, Candidate> eligible;
   SlotId victim = kInvalidSlot;
-  std::vector<SlotId> victim_subtree;
   std::size_t victim_bytes = 0;
   for (SlotId s = 0; s < page.slot_count(); ++s) {
-    if (!page.IsLive(s) || page.KindOf(s) != RecordKind::kCore) continue;
+    if (!page.IsLive(s)) continue;
+    const RecordKind kind = page.KindOf(s);
+    if (kind != RecordKind::kCore && kind != RecordKind::kBorderDown) {
+      continue;
+    }
     if (page.ParentOf(s) == kInvalidSlot) continue;  // document root
     if (protected_slots.count(s) > 0) continue;
-    const std::vector<SlotId> subtree = CollectLocalSubtree(page, s);
-    bool eligible = true;
-    std::size_t bytes = 0;
-    for (const SlotId member : subtree) {
+    Candidate c;
+    c.subtree = kind == RecordKind::kCore ? CollectLocalSubtree(page, s)
+                                          : std::vector<SlotId>{s};
+    bool ok = true;
+    for (const SlotId member : c.subtree) {
       if (protected_slots.count(member) > 0) {
-        eligible = false;
+        ok = false;
         break;
       }
-      bytes += page.RecordBytes(member) + TreePage::kSlotEntryBytes;
+      c.bytes += page.RecordBytes(member) + TreePage::kSlotEntryBytes;
     }
-    if (eligible && bytes > victim_bytes) {
+    if (!ok) continue;
+    if (kind == RecordKind::kCore && c.bytes > victim_bytes) {
       victim = s;
-      victim_bytes = bytes;
-      victim_subtree = subtree;
+      victim_bytes = c.bytes;
     }
+    eligible.emplace(s, std::move(c));
   }
   if (victim == kInvalidSlot) {
     return Status::ResourceExhausted("page full and nothing evacuable: " +
                                      std::to_string(pid));
   }
 
-  // Chain context of the victim before removal.
+  // Grow a contiguous sibling run around the victim until evacuating it
+  // frees `needed_bytes` beyond the down-border left in its place. A page
+  // packed with tiny leaves is the motivating case: no single subtree
+  // frees net space there, but a run shares one border pair across all
+  // its members.
   const SlotId ps = page.ParentOf(victim);
-  const SlotId prev = page.PrevSiblingOf(victim);
-  const SlotId next = page.NextSiblingOf(victim);
   const bool up = page.KindOf(ps) == RecordKind::kBorderUp;
+  // In a fragment the chain loops back to the up-border; treat that (and
+  // a chain end) as "no sibling".
+  const auto chain_sibling = [&](SlotId s) {
+    return (s == kInvalidSlot || (up && s == ps)) ? kInvalidSlot : s;
+  };
+  const std::size_t evac_cost =
+      TreePage::BorderRecordSpace() + TreePage::kSlotEntryBytes;
+  const std::size_t target = needed_bytes + evac_cost;
+  SlotId first = victim;
+  SlotId last = victim;
+  std::size_t freed = victim_bytes;
+  while (freed < target) {
+    const SlotId n = chain_sibling(page.NextSiblingOf(last));
+    if (n == kInvalidSlot || eligible.count(n) == 0) break;
+    last = n;
+    freed += eligible.at(n).bytes;
+  }
+  while (freed < target) {
+    const SlotId p = chain_sibling(page.PrevSiblingOf(first));
+    if (p == kInvalidSlot || eligible.count(p) == 0) break;
+    first = p;
+    freed += eligible.at(p).bytes;
+  }
+  if (freed <= evac_cost) {
+    return Status::ResourceExhausted("page full and nothing evacuable: " +
+                                     std::to_string(pid));
+  }
+  std::vector<SlotId> run_roots;
+  std::vector<SlotId> victim_subtree;
+  for (SlotId s = first;; s = page.NextSiblingOf(s)) {
+    run_roots.push_back(s);
+    const auto& sub = eligible.at(s).subtree;
+    victim_subtree.insert(victim_subtree.end(), sub.begin(), sub.end());
+    if (s == last) break;
+  }
+
+  // Chain context of the run before removal.
+  const SlotId prev = page.PrevSiblingOf(first);
+  const SlotId next = page.NextSiblingOf(last);
 
   // Build the new cluster.
   NAVPATH_ASSIGN_OR_RETURN(const PageId new_pid, AppendPage());
-  NAVPATH_ASSIGN_OR_RETURN(PageGuard new_guard,
-                           db_->buffer()->Fix(new_pid));
+  NAVPATH_ASSIGN_OR_RETURN(PageGuard new_guard, FixPage(new_pid));
   TreePage new_page(new_guard.data(), page_size);
   NAVPATH_ASSIGN_OR_RETURN(const SlotId up_slot,
                            new_page.AddBorderRecord(RecordKind::kBorderUp));
@@ -295,26 +498,28 @@ Status DocumentUpdater::EvacuateSubtree(PageId pid,
       new_page.SetFirstAttr(ns, map_link(page.FirstAttrOf(s)));
     }
   }
-  const SlotId new_victim = remap.at(victim);
-  new_page.SetFirstChild(up_slot, new_victim);
-  new_page.SetLastChild(up_slot, new_victim);
-  new_page.SetParent(new_victim, up_slot);
-  new_page.SetPrevSibling(new_victim, up_slot);
-  new_page.SetNextSibling(new_victim, up_slot);
+  // Sibling links between run roots were remapped above; only the run's
+  // outer boundary needs to be folded back onto the up-border.
+  const SlotId new_first = remap.at(first);
+  const SlotId new_last = remap.at(last);
+  new_page.SetFirstChild(up_slot, new_first);
+  new_page.SetLastChild(up_slot, new_last);
+  for (const SlotId r : run_roots) new_page.SetParent(remap.at(r), up_slot);
+  new_page.SetPrevSibling(new_first, up_slot);
+  new_page.SetNextSibling(new_last, up_slot);
   new_guard.MarkDirty();
 
   // Moved down-borders changed address: retarget their partners.
   for (const SlotId s : victim_subtree) {
     if (page.KindOf(s) != RecordKind::kBorderDown) continue;
     const NodeID target = page.PartnerOf(s);
-    NAVPATH_ASSIGN_OR_RETURN(PageGuard target_guard,
-                             db_->buffer()->Fix(target.page));
+    NAVPATH_ASSIGN_OR_RETURN(PageGuard target_guard, FixPage(target.page));
     TreePage target_page(target_guard.data(), page_size);
     target_page.SetPartner(target.slot, NodeID{new_pid, remap.at(s)});
     target_guard.MarkDirty();
   }
 
-  // Reclaim the space and leave a border pair at the victim's position.
+  // Reclaim the space and leave a border pair at the run's position.
   for (const SlotId s : victim_subtree) page.RemoveRecord(s);
   page.Compact();
   NAVPATH_ASSIGN_OR_RETURN(const SlotId down_slot,
@@ -345,15 +550,18 @@ Result<InsertedNode> DocumentUpdater::InsertElement(
     NodeID parent, NodeID after, TagId tag, std::string_view text,
     const std::vector<AttributeSpec>& attrs) {
   const std::size_t page_size = db_->options().page_size;
-  // The summary's exact counts and extents no longer describe the store.
-  db_->InvalidateSummary();
-  CrossClusterCursor cursor(db_);
+  // Without a transaction layer the summary's exact counts and extents no
+  // longer describe the store; with one, per-path deltas are reported
+  // instead and applied at commit.
+  if (io_ == nullptr) db_->InvalidateSummary();
+  CrossClusterCursor cursor(db_, translator());
 
   // Validate the anchors and find the document-order neighbors.
   NAVPATH_ASSIGN_OR_RETURN(const LogicalNode parent_node,
                            cursor.Describe(parent));
   std::uint64_t pred_order;
   std::uint64_t succ_order;
+  NodeID succ_id = kInvalidNodeID;
   if (after.valid()) {
     LogicalNode check;
     NAVPATH_RETURN_NOT_OK(cursor.Start(Axis::kParent, after));
@@ -369,10 +577,11 @@ Result<InsertedNode> DocumentUpdater::InsertElement(
     NAVPATH_ASSIGN_OR_RETURN(const bool has_sibling, cursor.Next(&sibling));
     if (has_sibling) {
       succ_order = sibling.order;
+      succ_id = sibling.id;
     } else {
       NAVPATH_ASSIGN_OR_RETURN(
           succ_order,
-          DocOrderSuccessor(parent, pred_order + 2 * kOrderKeyGap));
+          DocOrderSuccessor(parent, pred_order + 2 * kOrderKeyGap, &succ_id));
     }
   } else {
     pred_order = parent_node.order;
@@ -381,17 +590,37 @@ Result<InsertedNode> DocumentUpdater::InsertElement(
     NAVPATH_ASSIGN_OR_RETURN(const bool has_child, cursor.Next(&first_child));
     if (has_child) {
       succ_order = first_child.order;
+      succ_id = first_child.id;
     } else {
       NAVPATH_ASSIGN_OR_RETURN(
           succ_order,
-          DocOrderSuccessor(parent, pred_order + 2 * kOrderKeyGap));
+          DocOrderSuccessor(parent, pred_order + 2 * kOrderKeyGap, &succ_id));
     }
   }
-  if (succ_order - pred_order < 2) {
-    return Status::ResourceExhausted(
-        "order keys exhausted between neighbors; re-import to renumber");
+  // The element needs one key plus one per attribute, all strictly
+  // between the neighbors. When the gap is dry, redistribute the forward
+  // run's keys; only a genuinely saturated key range still fails.
+  const std::uint64_t reserve = 2 + attrs.size();
+  if (succ_order - pred_order < reserve) {
+    if (!succ_id.valid()) {
+      return Status::ResourceExhausted(
+          "order keys exhausted between neighbors; re-import to renumber");
+    }
+    NAVPATH_ASSIGN_OR_RETURN(
+        succ_order, RedistributeOrderKeys(pred_order, succ_id, reserve));
   }
-  const std::uint64_t order = pred_order + (succ_order - pred_order) / 2;
+  std::uint64_t order = pred_order + (succ_order - pred_order) / 2;
+  if (order + attrs.size() >= succ_order) {
+    order = succ_order - attrs.size() - 1;  // > pred_order by the check
+  }
+
+  // The root-to-parent tag path, for the summary delta (ancestors are
+  // cheaper to read before the chains change).
+  std::vector<TagId> path_tags;
+  if (io_ != nullptr) {
+    NAVPATH_ASSIGN_OR_RETURN(path_tags, TagPathOf(parent));
+    path_tags.push_back(tag);
+  }
 
   // The chain position lives in `after`'s page (append) or the parent's
   // page (prepend).
@@ -430,7 +659,7 @@ Result<InsertedNode> DocumentUpdater::InsertElement(
   };
 
   for (int attempt = 0; attempt < 2; ++attempt) {
-    NAVPATH_ASSIGN_OR_RETURN(PageGuard guard, db_->buffer()->Fix(pid));
+    NAVPATH_ASSIGN_OR_RETURN(PageGuard guard, FixPage(pid));
     TreePage page(guard.data(), page_size);
 
     // Chain context.
@@ -463,8 +692,7 @@ Result<InsertedNode> DocumentUpdater::InsertElement(
     } else if (page.FreeBytes() >= TreePage::BorderRecordSpace()) {
       // New single-element fragment behind a border pair.
       NAVPATH_ASSIGN_OR_RETURN(const PageId new_pid, AppendPage());
-      NAVPATH_ASSIGN_OR_RETURN(PageGuard new_guard,
-                               db_->buffer()->Fix(new_pid));
+      NAVPATH_ASSIGN_OR_RETURN(PageGuard new_guard, FixPage(new_pid));
       TreePage new_page(new_guard.data(), page_size);
       NAVPATH_ASSIGN_OR_RETURN(
           const SlotId up_slot,
@@ -495,7 +723,9 @@ Result<InsertedNode> DocumentUpdater::InsertElement(
       if (after.valid()) protect.push_back(after.slot);
       if (right != kInvalidSlot) protect.push_back(right);
       guard.Release();
-      NAVPATH_RETURN_NOT_OK(EvacuateSubtree(pid, protect));
+      NAVPATH_RETURN_NOT_OK(EvacuateSubtree(
+          pid, protect,
+          TreePage::CoreRecordSpace(stored_text.size()) + attr_space));
       continue;
     }
 
@@ -516,6 +746,25 @@ Result<InsertedNode> DocumentUpdater::InsertElement(
       if (up) page.SetLastChild(ps, element_slot);
     }
     guard.MarkDirty();
+
+    if (io_ != nullptr) {
+      // Record the delta: the element's path gains one instance on the
+      // landing page (plus the chain page holding its down-border — an
+      // over-approximation of extents is safe, a gap is not).
+      SummaryInsert element_delta;
+      element_delta.tags = path_tags;
+      element_delta.kind = DomNodeKind::kElement;
+      element_delta.pages = {pid, result.id.page};
+      summary_inserts_.push_back(std::move(element_delta));
+      for (const AttributeSpec& attr : attrs) {
+        SummaryInsert attr_delta;
+        attr_delta.tags = path_tags;
+        attr_delta.tags.push_back(attr.name);
+        attr_delta.kind = DomNodeKind::kAttribute;
+        attr_delta.pages = {result.id.page};
+        summary_inserts_.push_back(std::move(attr_delta));
+      }
+    }
     return result;
   }
   return Status::ResourceExhausted("insert failed after page split");

@@ -9,7 +9,11 @@
 //
 //   * Document order keys are gap-based (kOrderKeyGap); an insert takes
 //     the midpoint of its neighbors' keys — the insert-friendliness
-//     ORDPATHs provide in the paper's setting.
+//     ORDPATHs provide in the paper's setting. When a gap runs dry the
+//     updater redistributes: the forward document-order run after the
+//     insertion point (bounded length) is respaced evenly across the key
+//     range up to the first node beyond the run, restoring headroom
+//     without renumbering the document.
 //   * An insert goes into the page holding its chain position when space
 //     allows; otherwise it becomes a fresh single-node fragment behind a
 //     new border pair. If even the 18-byte down-border does not fit, the
@@ -18,6 +22,13 @@
 //   * Deleting a subtree removes its records from every cluster it spans,
 //     unlinks it from the sibling chain, and collapses border pairs whose
 //     fragments became empty.
+//
+// Page I/O goes through the WritePageIO seam: by default pages are fixed
+// directly in the buffer (legacy in-place mutation, identical to the
+// pre-MVCC behaviour including whole-synopsis invalidation); a
+// transaction layer (src/txn/) plugs in copy-on-write fixes instead, and
+// then the updater reports per-path SummaryInsert deltas rather than
+// invalidating the synopsis.
 #ifndef NAVPATH_STORE_UPDATE_H_
 #define NAVPATH_STORE_UPDATE_H_
 
@@ -28,11 +39,33 @@
 #include "common/status.h"
 #include "store/database.h"
 #include "store/import.h"
+#include "store/path_summary.h"
 
 namespace navpath {
 
+/// Page-write seam between DocumentUpdater and the transaction layer.
+/// The default (nullptr) behaviour fixes pages directly in the buffer;
+/// a writer transaction substitutes copy-on-write fixes. All ids crossing
+/// this interface are *logical* page ids.
+class WritePageIO {
+ public:
+  virtual ~WritePageIO() = default;
+
+  /// Fixes the writable image of logical page `id`. A COW implementation
+  /// returns the transaction's private shadow copy.
+  virtual Result<PageGuard> FixMutable(PageId id) = 0;
+
+  /// Allocates a fresh logical page (zeroed, resident, not initialized as
+  /// a TreePage) and returns its id.
+  virtual Result<PageId> AppendLogicalPage() = 0;
+
+  /// Translator for read navigation during the update (a writer must see
+  /// its own earlier writes). nullptr = identity.
+  virtual const PageTranslator* translator() const { return nullptr; }
+};
+
 /// Result of an insertion: the new node's address and its document-order
-/// key. NodeIDs are *physical*: a later page split may relocate other
+/// key. NodeIDs are *logical*: a later page split may relocate other
 /// records, so long-lived references should be re-resolved via order keys
 /// (or the system extended with logical NodeIDs, cf. Sec. 3.2).
 struct InsertedNode {
@@ -46,8 +79,16 @@ class DocumentUpdater {
   /// (record counts, page range) is maintained across updates. The
   /// database must contain only this document (new pages are appended to
   /// the segment and become part of the document's scan range).
-  DocumentUpdater(Database* db, ImportedDocument* doc)
-      : db_(db), doc_(doc) {}
+  ///
+  /// With `io == nullptr` the updater mutates pages in place and
+  /// invalidates the database's path summary on every mutation (the
+  /// legacy single-version behaviour). With a transaction-layer `io`, all
+  /// page writes go through it and the updater instead accumulates
+  /// summary deltas (`summary_inserts`/`structural_change`) for the
+  /// transaction to apply at commit.
+  DocumentUpdater(Database* db, ImportedDocument* doc,
+                  WritePageIO* io = nullptr)
+      : db_(db), doc_(doc), io_(io) {}
 
   struct AttributeSpec {
     TagId name;
@@ -65,32 +106,78 @@ class DocumentUpdater {
   /// Deletes `node` and its entire subtree (which may span clusters).
   Status DeleteSubtree(NodeID node);
 
+  // --- Summary-maintenance delta (transaction mode only) ----------------
+
+  /// Per-path insertions accumulated since the last ClearSummaryDelta.
+  const std::vector<SummaryInsert>& summary_inserts() const {
+    return summary_inserts_;
+  }
+  /// True when a structural mutation (delete, subtree evacuation, order
+  /// redistribution across pages) outran incremental maintenance; the
+  /// synopsis must be dropped at commit.
+  bool structural_change() const { return structural_change_; }
+  void ClearSummaryDelta() {
+    summary_inserts_.clear();
+    structural_change_ = false;
+  }
+
  private:
+  /// Fixes the writable image of logical page `id` through the seam.
+  Result<PageGuard> FixPage(PageId id);
+  const PageTranslator* translator() const {
+    return io_ == nullptr ? nullptr : io_->translator();
+  }
+  /// Marks the synopsis unmaintainable: invalidated now (legacy) or at
+  /// commit (transaction mode).
+  void NoteStructuralChange();
+
   /// Unlinks chain element `slot` (core or down-border) from its sibling
-  /// chain in `page`, fixing first/last-child pointers. If this empties
-  /// an up-border fragment, returns that up-border's id for cascading
-  /// removal (otherwise kInvalidNodeID).
-  Result<NodeID> UnlinkChainElement(PageGuard* guard, SlotId slot);
+  /// chain in `page` (logical id `logical`), fixing first/last-child
+  /// pointers. If this empties an up-border fragment, returns that
+  /// up-border's id for cascading removal (otherwise kInvalidNodeID).
+  Result<NodeID> UnlinkChainElement(PageGuard* guard, PageId logical,
+                                    SlotId slot);
 
   /// Largest document-order key within the subtree of `node`.
   Result<std::uint64_t> MaxOrderInSubtree(NodeID node);
 
   /// Order key of the first node following `node`'s subtree in document
-  /// order, or `fallback` if the subtree is the document's tail.
-  Result<std::uint64_t> DocOrderSuccessor(NodeID node,
-                                          std::uint64_t fallback);
+  /// order, or `fallback` if the subtree is the document's tail. When a
+  /// real successor exists and `succ_id` is non-null, its address is
+  /// stored there (kInvalidNodeID for the tail case).
+  Result<std::uint64_t> DocOrderSuccessor(NodeID node, std::uint64_t fallback,
+                                          NodeID* succ_id = nullptr);
 
-  /// Moves the largest eligible local subtree out of `page` into a fresh
-  /// cluster to free space, leaving a border pair behind. Slots listed in
-  /// `protect` (and records whose local subtree contains them) are not
-  /// moved.
-  Status EvacuateSubtree(PageId page, const std::vector<SlotId>& protect);
+  /// Gap redistribution: respaces the document-order run starting at
+  /// `succ` (bounded length) evenly across the key range (pred_order,
+  /// first key beyond the run), leaving `reserve` key slots free directly
+  /// after pred_order for the pending insert. Returns the run head's new
+  /// order key (the caller's new successor key).
+  Result<std::uint64_t> RedistributeOrderKeys(std::uint64_t pred_order,
+                                              NodeID succ,
+                                              std::uint64_t reserve);
+
+  /// Moves a contiguous run of sibling subtrees out of `page` into a
+  /// fresh cluster to free space, leaving a single border pair behind.
+  /// The run is seeded at the largest eligible local subtree and extended
+  /// along the sibling chain until at least `needed_bytes` are freed net
+  /// of the down-border left in place (or the chain runs out). Slots
+  /// listed in `protect` (and records whose local subtree contains them)
+  /// are not moved.
+  Status EvacuateSubtree(PageId page, const std::vector<SlotId>& protect,
+                         std::size_t needed_bytes);
 
   /// Appends a fresh page to the document and returns its id.
   Result<PageId> AppendPage();
 
+  /// Root-to-node tag path of `node` (inclusive), for summary deltas.
+  Result<std::vector<TagId>> TagPathOf(NodeID node);
+
   Database* db_;
   ImportedDocument* doc_;
+  WritePageIO* io_ = nullptr;
+  std::vector<SummaryInsert> summary_inserts_;
+  bool structural_change_ = false;
 };
 
 }  // namespace navpath
