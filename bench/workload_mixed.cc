@@ -23,6 +23,20 @@
 //   - any writer fails to commit, or retired versions remain
 //     unreclaimed after the workload drains.
 //
+// A fourth section sweeps writer concurrency: W ∈ {1, 2, 4}
+// group-committing writers, each touching its own widely-separated run
+// of parents (page-disjoint write sets — low conflict), head the
+// reader stream, admitted optimistically (max_writers = W)
+// and, for W = 4, once more fully serialized (max_writers = 1). Commit
+// throughput is commits over the arm's makespan; the bench exits
+// nonzero when serialized admission matches or beats optimistic at
+// W = 4 — at low conflict, optimistic concurrency must win, because
+// writer admission is head-of-line: a serialized writer queue holds
+// every job behind it out of the system, so the whole mixed workload
+// runs writer phase then reader phase back to back, while optimistic
+// admission overlaps the readers' pooled I/O with the writers'
+// synchronous copy-on-write fixes.
+//
 // Appends a "mixed" section to the BENCH_workload.json trajectory
 // (written by workload_throughput; schema note in DESIGN.md).
 #include <algorithm>
@@ -34,6 +48,7 @@
 #include "benchlib/harness.h"
 #include "common/random.h"
 #include "compiler/workload_executor.h"
+#include "store/cross_cursor.h"
 #include "txn/txn.h"
 
 namespace {
@@ -45,6 +60,14 @@ constexpr std::size_t kReaders = 24;
 constexpr std::size_t kWriters = 6;
 constexpr std::size_t kOpsPerWriter = 2;
 constexpr std::uint64_t kSeed = 20260808;
+
+// Writer-concurrency sweep: writer count, ops per transaction (applied
+// in group-commit batches, each op under a different cold parent page so
+// writer service time is real I/O), the batch size, and the reader
+// stream the writers head.
+constexpr std::size_t kSweepOps = 24;
+constexpr std::size_t kSweepBatch = 6;
+constexpr std::size_t kSweepReaders = 10;
 
 // Scan queries running while the writers commit; the //xbid probes are
 // the consistency oracle (they count exactly what the writers insert).
@@ -330,6 +353,145 @@ int main() {
     ok = false;
   }
 
+  // --- Writer-concurrency sweep: optimistic vs serialized admission. ------
+  struct SweepArm {
+    std::size_t writers = 0;
+    bool serialized = false;
+    std::uint64_t commits = 0;
+    std::uint64_t conflict_aborts = 0;
+    double abort_rate = 0.0;
+    double last_commit_seconds = 0.0;
+    double makespan_seconds = 0.0;
+    double commit_throughput = 0.0;  // commits per simulated second
+  };
+  const auto sweep_arm = [&](std::size_t writers, bool serialized) {
+    SweepArm arm;
+    arm.writers = writers;
+    arm.serialized = serialized;
+    auto fixture = fresh_fixture();
+    const TagId xbid = fixture->db()->tags()->Intern("xbid");
+
+    // Parent pool: the root's non-leaf grandchildren (persons, items,
+    // auctions, ...) in document order. Writer w draws its kSweepOps
+    // parents from the w-th quarter of the pool with a stride, so each
+    // transaction touches many distinct cold pages (real service time)
+    // while the writers' page sets stay pairwise disjoint (low
+    // conflict). Leaf grandchildren are excluded: prepending under a
+    // leaf walks forward to the next document-order key, a read
+    // dependency that can cross into a neighboring writer's quarter and
+    // manufacture conflicts the workload does not intend.
+    std::vector<NodeID> pool;
+    {
+      CrossClusterCursor outer(fixture->db());
+      outer.Start(Axis::kChild, fixture->doc().root).AbortIfNotOk();
+      LogicalNode child;
+      for (;;) {
+        auto more = outer.Next(&child);
+        more.status().AbortIfNotOk();
+        if (!*more) break;
+        CrossClusterCursor inner(fixture->db());
+        inner.Start(Axis::kChild, child.id).AbortIfNotOk();
+        LogicalNode grandchild;
+        for (;;) {
+          auto deeper = inner.Next(&grandchild);
+          deeper.status().AbortIfNotOk();
+          if (!*deeper) break;
+          CrossClusterCursor probe(fixture->db());
+          probe.Start(Axis::kChild, grandchild.id).AbortIfNotOk();
+          LogicalNode great;
+          auto has_child = probe.Next(&great);
+          has_child.status().AbortIfNotOk();
+          if (*has_child) pool.push_back(grandchild.id);
+        }
+      }
+    }
+    if (pool.empty()) pool.push_back(fixture->doc().root);
+
+    TxnManager mgr(fixture->db(), fixture->mutable_doc());
+    WorkloadOptions options = MixedConfig(&fixture->stats());
+    options.txn = &mgr;
+    options.max_concurrent = 0;  // admission limited by writer policy only
+    options.max_writers = serialized ? 1 : writers;
+    options.writer_batch = kSweepBatch;  // group commit: kSweepOps/kSweepBatch
+                                         // apply pulls plus one commit pull
+    WorkloadExecutor executor(fixture->db(), fixture->doc(), options);
+
+    // The writers head the closed workload, the reader stream queues
+    // behind them. Admission is in-order and head-of-line: under
+    // serialized admission writer w+1 — and every reader behind it —
+    // stays out of the system until writer w commits, so the arm
+    // degenerates into a solo writer phase followed by the reader phase.
+    // Optimistic admission admits writers and readers together, and the
+    // readers' pooled asynchronous reads complete during the clock time
+    // the writers' synchronous fixes were paying for anyway.
+    const std::size_t quarter = std::max<std::size_t>(1, pool.size() / 4);
+    const std::size_t stride = std::max<std::size_t>(1, quarter / kSweepOps);
+    for (std::size_t w = 0; w < writers; ++w) {
+      std::vector<WriteOp> ops(kSweepOps);
+      for (std::size_t j = 0; j < kSweepOps; ++j) {
+        ops[j].parent =
+            pool[((w % 4) * quarter + j * stride) % pool.size()];
+        ops[j].tag = xbid;
+        ops[j].text = "sweep";
+      }
+      executor.AddWrite(std::move(ops), 0).AbortIfNotOk();
+    }
+    for (std::size_t i = 0; i < kSweepReaders; ++i) {
+      executor.Add(kMix[i % kMixSize], PaperPlan(PlanKind::kXSchedule), 0)
+          .AbortIfNotOk();
+    }
+    auto run = executor.Run();
+    run.status().AbortIfNotOk();
+
+    SimTime last_commit = 0;
+    for (const WorkloadQueryResult& q : run->queries) {
+      if (!q.is_write) continue;
+      if (!q.status.ok() || q.commit_seq == 0) {
+        std::fprintf(stderr, "sweep W=%zu %s: writer failed: %s\n", writers,
+                     serialized ? "serialized" : "optimistic",
+                     q.status.ToString().c_str());
+        ok = false;
+        continue;
+      }
+      arm.conflict_aborts += q.aborts;
+      last_commit = std::max(last_commit, q.finished_at);
+    }
+    arm.commits = mgr.commits();
+    if (arm.commits != writers) ok = false;
+    const std::uint64_t attempts = arm.commits + arm.conflict_aborts;
+    arm.abort_rate = attempts > 0 ? static_cast<double>(arm.conflict_aborts) /
+                                        static_cast<double>(attempts)
+                                  : 0.0;
+    arm.last_commit_seconds = SimClock::ToSeconds(last_commit);
+    arm.makespan_seconds = SimClock::ToSeconds(run->total_time);
+    // System commit throughput: commits delivered per second of total
+    // serving time for the whole mixed workload. Serialized admission
+    // runs the writer queue and the blocked reader stream back to back,
+    // stretching the makespan by the writers' solo service time;
+    // optimistic admission overlaps the two, same commits over a
+    // shorter span.
+    arm.commit_throughput =
+        arm.makespan_seconds > 0.0
+            ? static_cast<double>(arm.commits) / arm.makespan_seconds
+            : 0.0;
+    return arm;
+  };
+  std::vector<SweepArm> sweep;
+  sweep.push_back(sweep_arm(1, false));
+  sweep.push_back(sweep_arm(2, false));
+  sweep.push_back(sweep_arm(4, false));
+  sweep.push_back(sweep_arm(4, true));
+  const SweepArm& opt4 = sweep[2];
+  const SweepArm& ser4 = sweep[3];
+  if (opt4.commit_throughput <= ser4.commit_throughput) {
+    std::fprintf(stderr,
+                 "optimistic W=4 commit throughput %.3f/s does not beat "
+                 "serialized %.3f/s (abort rates %.2f vs %.2f)\n",
+                 opt4.commit_throughput, ser4.commit_throughput,
+                 opt4.abort_rate, ser4.abort_rate);
+    ok = false;
+  }
+
   const double base_p50 = Percentile(baseline.reader_turnarounds, 0.50);
   const double base_p95 = Percentile(baseline.reader_turnarounds, 0.95);
   const double base_p99 = Percentile(baseline.reader_turnarounds, 0.99);
@@ -363,6 +525,20 @@ int main() {
   PrintTableRow({"mixed", std::to_string(mixed.reader_turnarounds.size()),
                  FormatSeconds(mixed_p50), FormatSeconds(mixed_p95),
                  FormatSeconds(mixed_p99)});
+  PrintTableHeader("Writer-concurrency sweep (group commit, low conflict)",
+                   {"arm", "commits", "tp[1/s]", "abort%", "last[s]",
+                    "makespan[s]"});
+  for (const SweepArm& arm : sweep) {
+    char tp[32], rate[32];
+    std::snprintf(tp, sizeof tp, "%.3f", arm.commit_throughput);
+    std::snprintf(rate, sizeof rate, "%.1f", 100.0 * arm.abort_rate);
+    PrintTableRow({"W=" + std::to_string(arm.writers) +
+                       (arm.serialized ? " serial" : " optim"),
+                   std::to_string(arm.commits), tp, rate,
+                   FormatSeconds(static_cast<double>(
+                       arm.last_commit_seconds)),
+                   FormatSeconds(arm.makespan_seconds)});
+  }
   std::printf(
       "zero-writer arm byte-identical: %s; reader p95 ratio %.2fx; "
       "%llu commits (%.2f/s); versions retired %llu, reclaimed %llu\n",
@@ -396,6 +572,21 @@ int main() {
   json.Key("commit_throughput_per_second").Value(commit_throughput);
   json.Key("versions_retired").Value(versions_retired);
   json.Key("versions_reclaimed").Value(versions_reclaimed);
+  json.Key("writer_sweep").BeginArray();
+  for (const SweepArm& arm : sweep) {
+    json.BeginObject();
+    json.Key("writers").Value(static_cast<std::uint64_t>(arm.writers));
+    json.Key("admission").Value(arm.serialized ? "serialized" : "optimistic");
+    json.Key("ops_per_writer").Value(static_cast<std::uint64_t>(kSweepOps));
+    json.Key("commits").Value(arm.commits);
+    json.Key("conflict_aborts").Value(arm.conflict_aborts);
+    json.Key("abort_rate").Value(arm.abort_rate);
+    json.Key("commit_throughput_per_second").Value(arm.commit_throughput);
+    json.Key("last_commit_seconds").Value(arm.last_commit_seconds);
+    json.Key("makespan_seconds").Value(arm.makespan_seconds);
+    json.EndObject();
+  }
+  json.EndArray();
   json.EndObject();
   json.EndObject();
 

@@ -486,4 +486,34 @@ DegradedTier ChooseDegradedTier(const DocumentStats& stats,
   return tier;
 }
 
+WriterAdmission EstimateWriterAdmission(std::size_t writers,
+                                        double conflict_probability,
+                                        double txn_cost,
+                                        double retry_backoff,
+                                        std::size_t max_retries) {
+  WriterAdmission est;
+  // Clamp away the pole at p = 1: even a fully conflicting workload is
+  // bounded by the retry budget, and an estimate of exactly 1.0 is noise
+  // from a tiny sample, not a physical rate.
+  const double p =
+      std::min(0.95, std::max(0.0, conflict_probability));
+  // Geometric attempt count: each attempt independently survives with
+  // probability (1 - p), so the expectation is 1/(1-p) — truncated at the
+  // retry budget, past which the transaction fails rather than retries.
+  est.attempts =
+      std::min(1.0 / (1.0 - p), 1.0 + static_cast<double>(max_retries));
+  // Every attempt redoes the transaction's work; every retry additionally
+  // waits out its backoff (the exponential growth is ignored here — by
+  // the time it matters, serialization has long since won).
+  est.optimistic_cost =
+      est.attempts * txn_cost + (est.attempts - 1.0) * retry_backoff;
+  // A serialized writer conflicts with nobody but queues behind, on
+  // average, half of its peers.
+  const double peers =
+      writers > 0 ? static_cast<double>(writers - 1) : 0.0;
+  est.serialized_cost = txn_cost * (1.0 + 0.5 * peers);
+  est.prefer_optimistic = est.optimistic_cost <= est.serialized_cost;
+  return est;
+}
+
 }  // namespace navpath

@@ -186,6 +186,32 @@ DegradedTier ChooseDegradedTier(const DocumentStats& stats,
                                 const CpuCostModel& cpu,
                                 const PathSummary* summary = nullptr);
 
+/// Expected per-transaction cost of admitting `writers` write
+/// transactions optimistically (first-committer-wins, bounded retry with
+/// backoff) versus serializing them (one active writer, the rest queue).
+/// The workload executor's admission gate compares the two to pick a
+/// writer concurrency under the observed conflict rate: optimistic wins
+/// at low conflict (retries are rare, queueing is pure loss), serialized
+/// wins once expected aborted work plus backoff exceeds the average
+/// queue wait of (writers-1)/2 transactions.
+struct WriterAdmission {
+  double attempts = 1.0;        // expected commit attempts per transaction
+  double optimistic_cost = 0;   // attempts * txn + retry backoff waits
+  double serialized_cost = 0;   // one txn + expected queue wait
+  bool prefer_optimistic = true;
+};
+
+/// `conflict_probability` is the chance one optimistic attempt loses the
+/// first-committer race (clamped into [0, 0.95]); `txn_cost` and
+/// `retry_backoff` are in the same (simulated-time) unit; `max_retries`
+/// bounds the attempt count at 1 + max_retries, after which the
+/// transaction fails instead of retrying.
+WriterAdmission EstimateWriterAdmission(std::size_t writers,
+                                        double conflict_probability,
+                                        double txn_cost,
+                                        double retry_backoff,
+                                        std::size_t max_retries);
+
 }  // namespace navpath
 
 #endif  // NAVPATH_COMPILER_COST_MODEL_H_

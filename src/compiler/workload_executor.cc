@@ -90,6 +90,14 @@ Status ValidateWorkloadOptions(const WorkloadOptions& options) {
         "cross-query sharing streams one producer's instances to all "
         "members and cannot serve snapshots pinned to different versions");
   }
+  if (options.max_writers == 0) {
+    return Status::InvalidArgument(
+        "max_writers must be at least 1 (0 would never admit a writer)");
+  }
+  if (options.writer_batch == 0) {
+    return Status::InvalidArgument(
+        "writer_batch must be at least 1 (a pull must make progress)");
+  }
   return Status::OK();
 }
 
@@ -408,11 +416,12 @@ Status WorkloadExecutor::FallBackToPrivate(Job* job) {
 Status WorkloadExecutor::StartNextPath(Job* job) {
   if (job->is_write) {
     // Activation of a write transaction: open the writer against the
-    // current version. The ops themselves are applied one per pull (see
-    // PullOnce), so writes interleave with reads at pull granularity.
+    // current version. The ops themselves are applied writer_batch per
+    // pull (see PullOnce), so writes interleave with reads at pull
+    // granularity.
     job->writer = options_.txn->BeginWrite();
     job->result.snapshot_seq = job->writer->base_seq();
-    writer_active_ = true;
+    ++writers_active_;
     return Status::OK();
   }
   if (options_.txn != nullptr && job->snapshot == nullptr) {
@@ -467,6 +476,58 @@ Status WorkloadExecutor::StartNextPath(Job* job) {
     job->path_count_before = job->result.count;
   }
   return job->plan.root()->Open();
+}
+
+Status WorkloadExecutor::ApplyWriteOp(Job* job, const WriteOp& op) {
+  if (op.kind == WriteOp::Kind::kInsert) {
+    NAVPATH_ASSIGN_OR_RETURN(
+        const InsertedNode inserted,
+        job->writer->updater()->InsertElement(op.parent, op.after, op.tag,
+                                              op.text, op.attrs));
+    (void)inserted;
+    ++job->result.writes_applied;
+    return Status::OK();
+  }
+  // kDelete: resolve the last child of `parent` tagged `tag` through the
+  // writer's own translator (ops earlier in this transaction are
+  // visible) and delete its whole subtree. The pages scanned to pick the
+  // victim are decision inputs like any other read, so they join the
+  // writer's conflict-validation set.
+  WriterTxn* writer = job->writer.get();
+  CrossClusterCursor cursor(
+      db_, writer->translator(),
+      [writer](PageId page) { writer->NoteReadDependency(page); });
+  NAVPATH_RETURN_NOT_OK(cursor.Start(Axis::kChild, op.parent));
+  NodeID victim = kInvalidNodeID;
+  LogicalNode node;
+  for (;;) {
+    NAVPATH_ASSIGN_OR_RETURN(const bool more, cursor.Next(&node));
+    if (!more) break;
+    if (node.tag == op.tag) victim = node.id;
+  }
+  if (victim == kInvalidNodeID) {
+    return Status::InvalidArgument(
+        "delete op: parent has no child with the requested tag");
+  }
+  NAVPATH_RETURN_NOT_OK(job->writer->updater()->DeleteSubtree(victim));
+  ++job->result.deletes_applied;
+  return Status::OK();
+}
+
+std::size_t WorkloadExecutor::WriterLimit() const {
+  if (options_.max_writers <= 1) return 1;
+  // Conflict rate observed this run; 0 before the first commit attempt,
+  // so a fresh run starts optimistic and narrows only on evidence.
+  const double p =
+      writer_commit_attempts_ == 0
+          ? 0.0
+          : static_cast<double>(writer_conflict_aborts_) /
+                static_cast<double>(writer_commit_attempts_);
+  const WriterAdmission est = EstimateWriterAdmission(
+      options_.max_writers, p, writer_cost_ewma_,
+      static_cast<double>(options_.writer_retry_backoff),
+      options_.writer_max_retries);
+  return est.prefer_optimistic ? options_.max_writers : 1;
 }
 
 void WorkloadExecutor::FinishPath(Job* job) {
@@ -708,7 +769,10 @@ Status WorkloadExecutor::BeginRun() {
   run_decisions_ = 0;
   consecutive_yields_ = 0;
   footprint_used_ = 0;
-  writer_active_ = false;
+  writers_active_ = 0;
+  writer_commit_attempts_ = 0;
+  writer_conflict_aborts_ = 0;
+  writer_cost_ewma_ = 0.0;
 
   // Everything below reports deltas over this window, so repeated runs on
   // a shared Database measure only themselves. After a cold start the
@@ -756,7 +820,7 @@ void WorkloadExecutor::FinishJob(std::size_t active_pos) {
   // already aborted. The writer slot frees for the next queued writer.
   job.snapshot.reset();
   job.writer.reset();
-  if (job.is_write) writer_active_ = false;
+  if (job.is_write) --writers_active_;
   if (job.share_group != kNoGroup) LeaveShareGroup(&job);
   job.done = true;
   ++completed_;
@@ -778,31 +842,70 @@ Result<std::size_t> WorkloadExecutor::PullOnce() {
   ++job.result.pulls;
 
   if (job.is_write) {
-    // A write transaction has no operator tree: each pull applies one
-    // WriteOp (copy-on-write fixes charge the clock through the buffer),
-    // and the pull after the last op commits. Failures — including a
-    // commit that loses the first-committer race (Status::Aborted) —
-    // fail this job alone, exactly like a reader's bad pull. A writer
-    // pull advances the clock (synchronous fixes), so yielded readers
-    // get a fresh round before anyone is allowed to block.
+    // A write transaction has no operator tree: each pull applies a
+    // batch of WriteOps (copy-on-write fixes charge the clock through
+    // the buffer; writer_batch == 1 is the historical one-op pull), and
+    // the pull after the last op commits — group commit amortizes the
+    // publish over the batch. Failures fail this job alone, exactly like
+    // a reader's bad pull; a lost first-committer race retries below. A
+    // writer pull advances the clock (synchronous fixes), so yielded
+    // readers get a fresh round before anyone is allowed to block.
     consecutive_yields_ = 0;
     if (job.ops_done < job.write_ops.size()) {
-      const WriteOp& op = job.write_ops[job.ops_done];
-      const Result<InsertedNode> inserted =
-          job.writer->updater()->InsertElement(op.parent, op.after, op.tag,
-                                               op.text, op.attrs);
-      if (!inserted.ok()) {
-        job.result.status = inserted.status();
-        (void)job.writer->Abort();
-        FinishJob(pick);
-        return job_index;
+      for (std::size_t applied = 0;
+           applied < options_.writer_batch &&
+           job.ops_done < job.write_ops.size();
+           ++applied) {
+        const Status op_status =
+            ApplyWriteOp(&job, job.write_ops[job.ops_done]);
+        if (!op_status.ok()) {
+          job.result.status = op_status;
+          (void)job.writer->Abort();
+          FinishJob(pick);
+          return job_index;
+        }
+        ++job.ops_done;
       }
-      ++job.ops_done;
-      ++job.result.writes_applied;
       return kNoJob;
     }
+    const SimTime active_for =
+        db_->clock()->now() - job.result.admitted_at;
     const Status committed = job.writer->Commit();
+    ++writer_commit_attempts_;
+    {
+      // Per-attempt cost sample for the admission estimate: the writer's
+      // wall time since activation, spread over its attempts (retries
+      // redo the whole transaction). EWMA with 1/4 gain follows phase
+      // changes without whipsawing on one odd transaction.
+      const double sample = static_cast<double>(active_for) /
+                            static_cast<double>(job.result.aborts + 1);
+      writer_cost_ewma_ = writer_cost_ewma_ == 0.0
+                              ? sample
+                              : 0.75 * writer_cost_ewma_ + 0.25 * sample;
+    }
     if (!committed.ok()) {
+      if (committed.IsAborted() &&
+          job.result.aborts < options_.writer_max_retries) {
+        // Optimistic retry: back off in simulated time (exponential,
+        // capped at 64x, so conflictors get the window), re-begin
+        // against the new head, and re-apply the ops from scratch — the
+        // aborted attempt's work was rolled back with its shadow pages.
+        // A retried writer keeps its job: it never re-enters admission,
+        // so overload control cannot re-tier it mid-flight.
+        ++writer_conflict_aborts_;
+        ++job.result.aborts;
+        NAVPATH_DCHECK(!job.result.degraded);
+        const unsigned shift = static_cast<unsigned>(
+            std::min<std::uint64_t>(job.result.aborts - 1, 6));
+        db_->clock()->WaitUntil(db_->clock()->now() +
+                                (options_.writer_retry_backoff << shift));
+        job.writer = options_.txn->BeginWrite();
+        job.result.snapshot_seq = job.writer->base_seq();
+        job.ops_done = 0;
+        job.result.writes_applied = 0;
+        job.result.deletes_applied = 0;
+        return kNoJob;
+      }
       job.result.status = committed;
       FinishJob(pick);
       return job_index;
@@ -980,9 +1083,11 @@ Result<WorkloadResult> WorkloadExecutor::Run() {
       }
       const bool fits =
           run_active_.empty() || footprint_used_ + charge <= budget_;
-      // Writer serialization (head-of-line): a queued writer waits for
-      // the active one to commit or abort before it activates.
-      const bool writer_ok = !job.is_write || !writer_active_;
+      // Writer admission (head-of-line): a queued writer waits until the
+      // active-writer count drops under the limit the cost model picks —
+      // max_writers while optimistic retries price below serialized
+      // queueing at the observed conflict rate, 1 otherwise.
+      const bool writer_ok = !job.is_write || writers_active_ < WriterLimit();
       if (!have_slot || !fits || !writer_ok) break;
       job.activated = true;
       const Status started = StartNextPath(&job);
@@ -1067,9 +1172,10 @@ Status WorkloadExecutor::ActivateJob(std::size_t index) {
   if (job.arrival > db_->clock()->now()) {
     return Status::InvalidArgument("job has not arrived yet");
   }
-  if (job.is_write && writer_active_) {
+  if (job.is_write && writers_active_ >= WriterLimit()) {
     return Status::InvalidArgument(
-        "another write transaction is active (writers are serialized)");
+        "writer concurrency limit reached (admission runs writers "
+        "serialized or optimistically up to max_writers)");
   }
   job.activated = true;
   const Status started = StartNextPath(&job);
@@ -1103,13 +1209,18 @@ Status WorkloadExecutor::RetierJob(std::size_t index,
     return Status::InvalidArgument("no such job");
   }
   Job& job = jobs_[index];
-  if (job.activated || job.done) {
-    return Status::InvalidArgument(
-        "cannot re-tier a job that already started");
-  }
+  // Writers are rejected before the lifecycle check: a write transaction
+  // has no plan tier to degrade to in ANY state — in particular, one
+  // that aborted optimistically and is retrying is still activated, and
+  // overload control must get the write-specific error for it rather
+  // than a message implying an inactive writer could be re-tiered.
   if (job.is_write) {
     return Status::InvalidArgument(
         "write transactions have no plan tier to degrade to");
+  }
+  if (job.activated || job.done) {
+    return Status::InvalidArgument(
+        "cannot re-tier a job that already started");
   }
   job.plan_options = plan;
   if (options_.explain) job.plan_options.profile = true;
@@ -1148,7 +1259,7 @@ bool WorkloadExecutor::CanAdmit(std::size_t index) const {
                          run_active_.size() < options_.max_concurrent;
   const bool fits =
       run_active_.empty() || footprint_used_ + job.footprint <= budget_;
-  const bool writer_ok = !job.is_write || !writer_active_;
+  const bool writer_ok = !job.is_write || writers_active_ < WriterLimit();
   return have_slot && fits && writer_ok;
 }
 

@@ -150,19 +150,59 @@ struct WorkloadOptions {
   /// with enable_sharing (a shared producer stream cannot serve members
   /// pinned to different versions).
   TxnManager* txn = nullptr;
+
+  /// Upper bound on concurrently active write transactions (requires
+  /// `txn`; 0 is InvalidArgument). 1 — the default — serializes writers
+  /// exactly as before. Above 1 the admission gate runs writers
+  /// optimistically up to this bound while the cost model's
+  /// EstimateWriterAdmission, fed the live conflict rate observed this
+  /// run, says retries are cheaper than queueing; under high conflict it
+  /// falls back to width 1 (guaranteed aborts become short waits).
+  std::size_t max_writers = 1;
+
+  /// Bounded retry of a write transaction whose commit loses the
+  /// first-committer race (Status::Aborted): the job re-begins against
+  /// the new head and re-applies its ops, up to this many times, after an
+  /// exponential backoff in simulated time. A transaction that exhausts
+  /// the budget fails with the final Aborted status. Retries only ever
+  /// trigger with max_writers > 1 (a serialized writer has nothing to
+  /// conflict with inside one executor).
+  std::size_t writer_max_retries = 8;
+
+  /// Base backoff before an aborted writer's first retry; doubles per
+  /// retry (capped at 64x). Simulated time, charged via the clock, so
+  /// backed-off writers yield the window to their conflictors.
+  SimTime writer_retry_backoff = 100 * kSimMicrosecond;
+
+  /// Group commit: WriteOps applied per scheduling pull of a writer. 1 —
+  /// the default — keeps the historical one-op-per-pull interleaving;
+  /// larger batches amortize the per-pull scheduling charge over the
+  /// batch and commit after the pull that applies the last op, raising
+  /// commit throughput at the price of coarser write/read interleaving.
+  std::size_t writer_batch = 1;
 };
 
-/// One primitive of a write transaction submitted via AddWrite: inserts
-/// a new element under `parent` after sibling `after` (kInvalidNodeID =
-/// as first child), carrying optional text and attributes. The
-/// auction-bid shape of the mixed benchmark — small subtree appends —
-/// is a sequence of these.
+/// One primitive of a write transaction submitted via AddWrite.
+///
+/// kInsert adds a new element under `parent` after sibling `after`
+/// (kInvalidNodeID = as first child), carrying optional text and
+/// attributes — the auction-bid shape of the mixed benchmark. kDelete
+/// removes the *last* child of `parent` whose tag is `tag` (and its
+/// whole subtree), resolved through the writer's own translator at apply
+/// time so ops earlier in the same transaction are visible; a parent
+/// with no such child fails the job with InvalidArgument. Deletes are
+/// last-child-by-tag rather than NodeID-addressed because NodeIDs are
+/// physical: a concurrent commit's page split may relocate the victim
+/// between submission and the (possibly retried) application.
 struct WriteOp {
+  enum class Kind { kInsert, kDelete };
+
   NodeID parent;
   NodeID after = kInvalidNodeID;
   TagId tag = 0;
   std::string text;
   std::vector<DocumentUpdater::AttributeSpec> attrs;
+  Kind kind = Kind::kInsert;
 };
 
 /// Entry validation for WorkloadOptions: a serving front-end feeds these
@@ -200,11 +240,17 @@ struct WorkloadQueryResult {
 
   /// Mixed-workload (WorkloadOptions.txn) bookkeeping. Readers record
   /// the version they ran against; writers record the version they
-  /// published (0 when the transaction aborted or failed).
+  /// published (0 when the transaction aborted or failed). For a retried
+  /// writer, snapshot_seq is the base of the attempt that committed and
+  /// `aborts` counts the optimistic attempts that lost the
+  /// first-committer race before it (writes/deletes_applied report the
+  /// committed attempt only — aborted work is rolled back).
   bool is_write = false;
   std::uint64_t snapshot_seq = 0;
   std::uint64_t commit_seq = 0;
   std::uint64_t writes_applied = 0;
+  std::uint64_t deletes_applied = 0;
+  std::uint64_t aborts = 0;
 
   /// EXPLAIN ANALYZE report (WorkloadOptions.explain only).
   std::shared_ptr<QueryExplain> explain;
@@ -280,13 +326,17 @@ class WorkloadExecutor {
              SimTime arrival = 0, SimTime deadline = 0);
 
   /// Admits a write transaction (requires WorkloadOptions.txn): at
-  /// activation it opens a WriterTxn, applies one WriteOp per scheduling
-  /// pull (so writes interleave with reads at the same granularity), and
-  /// commits after the last op. A commit that loses the first-committer
-  /// race fails the job individually with Status::Aborted — its
-  /// neighbors keep running. Arrivals share the nondecreasing rule
-  /// with Add(). At most one writer is active at a time (admission
-  /// serializes them; queued writers wait, readers are unaffected).
+  /// activation it opens a WriterTxn, applies writer_batch WriteOps per
+  /// scheduling pull (so writes interleave with reads at pull
+  /// granularity; batches amortize the commit), and commits on the pull
+  /// after the last op. A commit that loses the first-committer race
+  /// (Status::Aborted) is retried up to writer_max_retries times against
+  /// the new head after an exponential backoff; a transaction that
+  /// exhausts the budget fails individually — its neighbors keep
+  /// running. Arrivals share the nondecreasing rule with Add(). Up to
+  /// max_writers writers are active at once when the cost model prices
+  /// optimistic retries below serialization; queued writers wait,
+  /// readers are unaffected.
   Status AddWrite(std::vector<WriteOp> ops, SimTime arrival = 0);
 
   std::size_t size() const { return jobs_.size(); }
@@ -504,6 +554,16 @@ class WorkloadExecutor {
   /// Builds and opens the plan for the job's next path.
   Status StartNextPath(Job* job);
 
+  /// Applies one WriteOp through the job's open writer transaction
+  /// (insert or last-child-by-tag delete), bumping the result counters.
+  Status ApplyWriteOp(Job* job, const WriteOp& op);
+
+  /// How many writers the admission gate runs concurrently right now:
+  /// max_writers while the cost model prices optimistic retries (at the
+  /// conflict rate observed so far this run) below serialized queueing,
+  /// 1 otherwise. Always 1 when max_writers == 1.
+  std::size_t WriterLimit() const;
+
   /// Appends the finished path's EXPLAIN ANALYZE report (explain mode
   /// only). Must run after Close() and before the plan is discarded.
   void FinishPath(Job* job);
@@ -580,11 +640,19 @@ class WorkloadExecutor {
   std::size_t hybrid_io_cursor_ = static_cast<std::size_t>(-1);
   /// Jobs finished in the current Run() (widens kHybrid's window).
   std::size_t completed_ = 0;
-  /// A write transaction is currently active (WorkloadOptions.txn).
-  /// Admission serializes writers — optimistic first-committer-wins
-  /// would abort every overlapping writer anyway, so queueing them
-  /// converts guaranteed aborts into short waits.
-  bool writer_active_ = false;
+  /// Write transactions currently active (WorkloadOptions.txn). The
+  /// admission gate holds this at WriterLimit(): width max_writers while
+  /// optimistic retries price below serialized queueing under the live
+  /// conflict rate, width 1 once conflicts make aborts the likely
+  /// outcome (queueing converts guaranteed aborts into short waits).
+  std::size_t writers_active_ = 0;
+  /// Live conflict statistics feeding WriterLimit(): commit attempts and
+  /// first-committer-race losses this run, plus an EWMA of the simulated
+  /// time one commit attempt takes (activation-to-attempt, divided by
+  /// the attempt count).
+  std::uint64_t writer_commit_attempts_ = 0;
+  std::uint64_t writer_conflict_aborts_ = 0;
+  double writer_cost_ewma_ = 0.0;
   /// Scheduler observability for the current Run() (reset at its start);
   /// snapshotted into WorkloadResult::scheduler.
   MetricsRegistry sched_;

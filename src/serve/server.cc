@@ -68,6 +68,16 @@ Status ValidateServeOptions(const ServeOptions& options) {
   if (!(options.drr_quantum >= 0.0)) {
     return Status::InvalidArgument("drr_quantum must be nonnegative");
   }
+  // The txn+sharing combination gets its own message ahead of the
+  // generic sharing rejection: a tenant config that sets both must learn
+  // the combination itself is invalid (at every entry point, not just
+  // ValidateWorkloadOptions), not merely that serving lacks sharing.
+  if (options.workload.txn != nullptr && options.workload.enable_sharing) {
+    return Status::InvalidArgument(
+        "transactional serving (WorkloadOptions.txn) cannot be combined "
+        "with cross-query sharing: one producer stream cannot serve "
+        "tenants pinned to different snapshot versions");
+  }
   if (options.workload.enable_sharing) {
     return Status::InvalidArgument(
         "cross-query sharing is not available under the serving layer");
@@ -193,7 +203,11 @@ Status Server::Activate(std::size_t sub) {
   // elevator window or Simple-method chain). Priced, not guessed: the
   // tier helper reports the latency traded for the freed footprint.
   // Writes are exempt — they have no plan tier, and dropping committed
-  // work is not an overload response.
+  // work is not an overload response. This is the only RetierJob call
+  // site, so the guard (backed by RetierJob's own writer rejection) is
+  // the invariant that overload control never re-plans a write
+  // transaction — including one mid-retry after an optimistic abort,
+  // which stays activated and never re-enters this path.
   if (!s.is_write && state_ != OverloadState::kNormal &&
       options_.workload.stats != nullptr) {
     const DegradedTier tier = ChooseDegradedTier(
@@ -478,6 +492,9 @@ Result<ServeResult> Server::Run() {
       continue;
     }
     const WorkloadQueryResult& qr = workload.queries[job_of_[sub]];
+    // Writers must come back untiered no matter what the controller did
+    // while they were queued or retrying an optimistic abort.
+    NAVPATH_DCHECK(!(qr.is_write && qr.degraded));
     out.status = qr.status;
     out.degraded = qr.degraded;
     out.is_write = qr.is_write;

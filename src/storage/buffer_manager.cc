@@ -127,6 +127,9 @@ void BufferManager::Unpin(std::size_t frame_idx) {
   Frame& f = frames_[frame_idx];
   NAVPATH_DCHECK(f.pin_count > 0);
   --f.pin_count;
+  if (f.pin_count == 0 && unpin_listener_) {
+    unpin_listener_(f.page_id);
+  }
 }
 
 Result<std::size_t> BufferManager::GetFreeFrame() {

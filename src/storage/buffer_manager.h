@@ -11,9 +11,11 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.h"
@@ -161,6 +163,15 @@ class BufferManager {
   void SetTracer(Tracer* tracer) { tracer_ = tracer; }
 #endif
 
+  /// Registers `fn` to be called with the page id whenever a frame's pin
+  /// count drops to zero (pass {} to unregister). The MVCC layer uses
+  /// this to drain retired page versions that were skipped while pinned,
+  /// instead of leaking them until the next commit or snapshot release.
+  /// The listener must not pin or unpin pages itself (Discard is fine).
+  void SetUnpinListener(std::function<void(PageId)> fn) {
+    unpin_listener_ = std::move(fn);
+  }
+
   /// Writes back all dirty pages (used after import).
   Status FlushAll();
 
@@ -245,6 +256,7 @@ class BufferManager {
   // (small vectors: a handful of concurrent queries at most).
   std::unordered_map<PageId, std::vector<std::uint32_t>> in_flight_;
   std::size_t aux_reserved_ = 0;  // page-equivalents held outside frames
+  std::function<void(PageId)> unpin_listener_;
   std::uint64_t use_counter_ = 0;
   std::unique_ptr<std::byte[]> scratch_;  // staging buffer for disk I/O
 };

@@ -8,6 +8,7 @@ Status CrossClusterCursor::PushLevel(Axis axis, NodeID at) {
   NAVPATH_ASSIGN_OR_RETURN(
       PageGuard guard,
       db_->buffer()->FixSwizzle(TranslateToPhysical(translator_, at.page)));
+  if (on_visit_) on_visit_(at.page);
   // Only the top level keeps its page pinned; suspended levels are
   // re-fixed on resume. This bounds pin usage to one frame regardless of
   // crossing depth (and charges the realistic re-probe cost).
@@ -63,6 +64,7 @@ Result<LogicalNode> CrossClusterCursor::Describe(NodeID id) {
   NAVPATH_ASSIGN_OR_RETURN(
       PageGuard guard,
       db_->buffer()->Fix(TranslateToPhysical(translator_, id.page)));
+  if (on_visit_) on_visit_(id.page);
   const ClusterView view = db_->MakeView(guard, id.page);
   if (id.slot >= view.slot_count() || !view.IsLive(id.slot) ||
       view.KindOf(id.slot) != RecordKind::kCore) {

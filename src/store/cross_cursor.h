@@ -8,7 +8,9 @@
 #ifndef NAVPATH_STORE_CROSS_CURSOR_H_
 #define NAVPATH_STORE_CROSS_CURSOR_H_
 
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -28,9 +30,13 @@ class CrossClusterCursor {
   /// `translator` (optional) maps the logical page ids stored in NodeIDs
   /// onto the physical pages of an MVCC snapshot; all NodeIDs surfaced by
   /// the cursor stay logical. nullptr is the identity map.
+  /// `on_visit` (optional) is called with the logical id of every page the
+  /// cursor pins — a writer transaction uses it to record the pages its
+  /// decisions depended on (page-granular conflict validation).
   explicit CrossClusterCursor(Database* db,
-                              const PageTranslator* translator = nullptr)
-      : db_(db), translator_(translator) {}
+                              const PageTranslator* translator = nullptr,
+                              std::function<void(PageId)> on_visit = {})
+      : db_(db), translator_(translator), on_visit_(std::move(on_visit)) {}
 
   CrossClusterCursor(const CrossClusterCursor&) = delete;
   CrossClusterCursor& operator=(const CrossClusterCursor&) = delete;
@@ -59,6 +65,7 @@ class CrossClusterCursor {
 
   Database* db_;
   const PageTranslator* translator_ = nullptr;
+  std::function<void(PageId)> on_visit_;
   Axis axis_ = Axis::kSelf;
   std::vector<std::unique_ptr<Level>> stack_;
 };

@@ -221,6 +221,58 @@ std::unique_ptr<PathSummary> PathSummary::CloneWithInserts(
   return out;
 }
 
+std::unique_ptr<PathSummary> PathSummary::CloneWithDeltas(
+    const std::vector<SummaryInsert>& inserts,
+    const std::vector<SummaryDelete>& deletes,
+    const std::vector<SummaryPageRemap>& remaps) const {
+  std::unique_ptr<PathSummary> out = CloneWithInserts(inserts);
+  if (out == nullptr) return nullptr;
+  for (const SummaryDelete& del : deletes) {
+    if (del.tags.size() < 2 ||
+        del.tags.front() != out->nodes_[out->root()].tag) {
+      // Unknown root or an attempt to delete the document root itself.
+      return nullptr;
+    }
+    std::uint32_t sid = out->root();
+    for (std::size_t d = 1; d < del.tags.size(); ++d) {
+      const bool leaf = d + 1 == del.tags.size();
+      const DomNodeKind kind = leaf ? del.kind : DomNodeKind::kElement;
+      std::uint32_t child = kNoParent;
+      for (const std::uint32_t c : out->nodes_[sid].children) {
+        if (out->nodes_[c].tag == del.tags[d] &&
+            out->nodes_[c].kind == kind) {
+          child = c;
+          break;
+        }
+      }
+      if (child == kNoParent) return nullptr;  // path never seen: stale delta
+      sid = child;
+    }
+    if (out->nodes_[sid].count < del.count ||
+        out->total_instances_ < del.count) {
+      return nullptr;  // count underflow: the deltas cannot be trusted
+    }
+    out->nodes_[sid].count -= del.count;
+    out->total_instances_ -= del.count;
+  }
+  for (const SummaryPageRemap& remap : remaps) {
+    if (remap.from == kInvalidPageId || remap.to == kInvalidPageId) {
+      return nullptr;
+    }
+    for (Node& node : out->nodes_) {
+      bool covers = false;
+      for (const SummaryExtent& e : node.extents) {
+        if (e.first <= remap.from && remap.from <= e.last) {
+          covers = true;
+          break;
+        }
+      }
+      if (covers) AddPageToExtents(&node.extents, remap.to);
+    }
+  }
+  return out;
+}
+
 bool PathSummary::Supports(const LocationPath& path) {
   if (!path.absolute) return false;
   for (const LocationStep& step : path.steps) {

@@ -68,6 +68,28 @@ struct SummaryInsert {
   std::vector<PageId> pages;
 };
 
+/// One committed deletion, described by its root-to-node tag path — the
+/// delete-side counterpart of SummaryInsert. Extents are left untouched
+/// (a page is never removed from an extent), which stays conservative for
+/// restricted sweeps; only the exact counts shrink.
+struct SummaryDelete {
+  /// Tag path from the document root (inclusive) down to the deleted
+  /// node (inclusive), in root-first order.
+  std::vector<TagId> tags;
+  DomNodeKind kind = DomNodeKind::kElement;
+  /// Number of instances of this exact path removed (subtree deletes
+  /// fold repeated paths into one delta).
+  std::uint64_t count = 1;
+};
+
+/// One page relocation from EvacuateSubtree: every record that lived on
+/// `from` now lives on `to` (the border pair left behind keeps `from`
+/// reachable, so `from` stays in the extents too — conservative).
+struct SummaryPageRemap {
+  PageId from = kInvalidPageId;
+  PageId to = kInvalidPageId;
+};
+
 /// Result of matching one location path against the summary.
 struct SummaryMatch {
   /// False when the path is outside the summary's exactness domain
@@ -149,10 +171,20 @@ class PathSummary {
   /// (a page is added, never removed), so restricted sweeps stay correct.
   /// Returns nullptr when an insert's tag path does not start at this
   /// summary's root — the caller falls back to dropping the synopsis.
-  /// Only insertions are maintainable; deletions and record relocation
-  /// invalidate counts/extents wholesale.
   std::unique_ptr<PathSummary> CloneWithInserts(
       const std::vector<SummaryInsert>& inserts) const;
+
+  /// Full delta maintenance: inserts, then deletes, then page remaps.
+  /// Deletes decrement the exact count of their path node (extents stay —
+  /// conservative); remaps add the destination page to every node whose
+  /// extents cover the source page (EvacuateSubtree moves a whole run, so
+  /// any path that could live on `from` may now live on `to`). Returns
+  /// nullptr when a delta falls outside this summary (unknown path, count
+  /// underflow, root mismatch) — the caller degrades to summary-free.
+  std::unique_ptr<PathSummary> CloneWithDeltas(
+      const std::vector<SummaryInsert>& inserts,
+      const std::vector<SummaryDelete>& deletes,
+      const std::vector<SummaryPageRemap>& remaps) const;
 
   /// Deterministic byte encoding (summary nodes in creation order); two
   /// summaries of the same document encode byte-identically.

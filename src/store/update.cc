@@ -1,8 +1,10 @@
 #include "store/update.h"
 
 #include <algorithm>
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "store/cross_cursor.h"
@@ -59,6 +61,12 @@ std::vector<SlotId> CollectLocalSubtree(const TreePage& page, SlotId root) {
 Result<PageGuard> DocumentUpdater::FixPage(PageId id) {
   if (io_ != nullptr) return io_->FixMutable(id);
   return db_->buffer()->Fix(id);
+}
+
+CrossClusterCursor DocumentUpdater::MakeCursor() {
+  if (io_ == nullptr) return CrossClusterCursor(db_);
+  return CrossClusterCursor(db_, io_->translator(),
+                            [io = io_](PageId p) { io->NoteReadDependency(p); });
 }
 
 void DocumentUpdater::NoteStructuralChange() {
@@ -118,15 +126,58 @@ Result<NodeID> DocumentUpdater::UnlinkChainElement(PageGuard* guard,
   return kInvalidNodeID;
 }
 
+Status DocumentUpdater::CollectDeleteDeltas(NodeID node) {
+  // Root-to-node path of the subtree root; descendants extend it.
+  NAVPATH_ASSIGN_OR_RETURN(std::vector<TagId> base, TagPathOf(node));
+  // Fold repeated paths (an ordered map keeps the emitted delta order
+  // deterministic).
+  std::map<std::pair<std::vector<TagId>, DomNodeKind>, std::uint64_t> folded;
+  CrossClusterCursor cursor = MakeCursor();
+  struct Item {
+    NodeID id;
+    std::vector<TagId> path;
+  };
+  std::vector<Item> stack;
+  stack.push_back(Item{node, std::move(base)});
+  while (!stack.empty()) {
+    Item item = std::move(stack.back());
+    stack.pop_back();
+    LogicalNode n;
+    NAVPATH_RETURN_NOT_OK(cursor.Start(Axis::kAttribute, item.id));
+    for (;;) {
+      NAVPATH_ASSIGN_OR_RETURN(const bool more, cursor.Next(&n));
+      if (!more) break;
+      std::vector<TagId> attr_path = item.path;
+      attr_path.push_back(n.tag);
+      ++folded[{std::move(attr_path), DomNodeKind::kAttribute}];
+    }
+    NAVPATH_RETURN_NOT_OK(cursor.Start(Axis::kChild, item.id));
+    for (;;) {
+      NAVPATH_ASSIGN_OR_RETURN(const bool more, cursor.Next(&n));
+      if (!more) break;
+      std::vector<TagId> child_path = item.path;
+      child_path.push_back(n.tag);
+      stack.push_back(Item{n.id, std::move(child_path)});
+    }
+    ++folded[{std::move(item.path), DomNodeKind::kElement}];
+  }
+  for (auto& [key, count] : folded) {
+    SummaryDelete del;
+    del.tags = key.first;
+    del.kind = key.second;
+    del.count = count;
+    summary_deletes_.push_back(std::move(del));
+  }
+  return Status::OK();
+}
+
 Status DocumentUpdater::DeleteSubtree(NodeID node) {
   if (node == doc_->root) {
     return Status::InvalidArgument("cannot delete the document root");
   }
-  // A stale synopsis would keep reporting the deleted subtree's counts;
-  // deletions are outside incremental maintenance.
-  NoteStructuralChange();
-  std::unordered_set<PageId> touched;
   {
+    // Validate before touching any chain (and before delta collection
+    // walks the subtree).
     NAVPATH_ASSIGN_OR_RETURN(PageGuard guard, FixPage(node.page));
     TreePage page(guard.data(), db_->options().page_size);
     if (node.slot >= page.slot_count() || !page.IsLive(node.slot) ||
@@ -134,6 +185,20 @@ Status DocumentUpdater::DeleteSubtree(NodeID node) {
       return Status::InvalidArgument("not a live element: " +
                                      node.ToString());
     }
+  }
+  if (io_ == nullptr) {
+    // A stale synopsis would keep reporting the deleted subtree's counts;
+    // legacy in-place mode invalidates wholesale.
+    NoteStructuralChange();
+  } else {
+    // Transaction mode maintains the synopsis: fold the subtree into
+    // per-path count decrements before the chains are unlinked. Extents
+    // keep the (now over-approximate) pages — conservative for sweeps.
+    NAVPATH_RETURN_NOT_OK(CollectDeleteDeltas(node));
+  }
+  std::unordered_set<PageId> touched;
+  {
+    NAVPATH_ASSIGN_OR_RETURN(PageGuard guard, FixPage(node.page));
     // Unlink from the sibling chain; collapse border pairs whose
     // fragments become empty (possibly cascading across clusters).
     NAVPATH_ASSIGN_OR_RETURN(NodeID emptied,
@@ -199,7 +264,7 @@ Status DocumentUpdater::DeleteSubtree(NodeID node) {
 }
 
 Result<std::uint64_t> DocumentUpdater::MaxOrderInSubtree(NodeID node) {
-  CrossClusterCursor cursor(db_, translator());
+  CrossClusterCursor cursor = MakeCursor();
   NAVPATH_RETURN_NOT_OK(cursor.Start(Axis::kDescendantOrSelf, node));
   std::uint64_t max_order = 0;
   LogicalNode n;
@@ -213,7 +278,7 @@ Result<std::uint64_t> DocumentUpdater::MaxOrderInSubtree(NodeID node) {
 
 Result<std::uint64_t> DocumentUpdater::DocOrderSuccessor(
     NodeID node, std::uint64_t fallback, NodeID* succ_id) {
-  CrossClusterCursor cursor(db_, translator());
+  CrossClusterCursor cursor = MakeCursor();
   NodeID cur = node;
   for (;;) {
     NAVPATH_RETURN_NOT_OK(cursor.Start(Axis::kFollowingSibling, cur));
@@ -234,7 +299,7 @@ Result<std::uint64_t> DocumentUpdater::DocOrderSuccessor(
 }
 
 Result<std::vector<TagId>> DocumentUpdater::TagPathOf(NodeID node) {
-  CrossClusterCursor cursor(db_, translator());
+  CrossClusterCursor cursor = MakeCursor();
   NAVPATH_ASSIGN_OR_RETURN(LogicalNode cur, cursor.Describe(node));
   std::vector<TagId> tags{cur.tag};
   for (;;) {
@@ -252,7 +317,7 @@ Result<std::vector<TagId>> DocumentUpdater::TagPathOf(NodeID node) {
 Result<std::uint64_t> DocumentUpdater::RedistributeOrderKeys(
     std::uint64_t pred_order, NodeID succ, std::uint64_t reserve) {
   const std::size_t page_size = db_->options().page_size;
-  CrossClusterCursor cursor(db_, translator());
+  CrossClusterCursor cursor = MakeCursor();
 
   // Advances to the next node in document order (first child, else
   // following sibling, else the nearest ancestor's following sibling).
@@ -356,9 +421,12 @@ Status DocumentUpdater::EvacuateSubtree(PageId pid,
   const std::unordered_set<SlotId> protected_slots(protect.begin(),
                                                    protect.end());
 
-  // Record relocation breaks NodeID identity for the moved subtree; the
-  // synopsis extents can no longer be maintained incrementally.
-  NoteStructuralChange();
+  // Record relocation breaks NodeID identity for the moved subtree. In
+  // legacy mode the synopsis extents can no longer be maintained and the
+  // whole summary is invalidated; in transaction mode the relocation is a
+  // page remap (every record of `pid` that moved now lives on the new
+  // page), applied to the committed version's extents.
+  if (io_ == nullptr) NoteStructuralChange();
 
   // Eligibility per chain element: a live core (with its local subtree)
   // or down-border, not the document root, whose local records contain no
@@ -452,6 +520,9 @@ Status DocumentUpdater::EvacuateSubtree(PageId pid,
 
   // Build the new cluster.
   NAVPATH_ASSIGN_OR_RETURN(const PageId new_pid, AppendPage());
+  if (io_ != nullptr) {
+    summary_remaps_.push_back(SummaryPageRemap{pid, new_pid});
+  }
   NAVPATH_ASSIGN_OR_RETURN(PageGuard new_guard, FixPage(new_pid));
   TreePage new_page(new_guard.data(), page_size);
   NAVPATH_ASSIGN_OR_RETURN(const SlotId up_slot,
@@ -554,7 +625,7 @@ Result<InsertedNode> DocumentUpdater::InsertElement(
   // longer describe the store; with one, per-path deltas are reported
   // instead and applied at commit.
   if (io_ == nullptr) db_->InvalidateSummary();
-  CrossClusterCursor cursor(db_, translator());
+  CrossClusterCursor cursor = MakeCursor();
 
   // Validate the anchors and find the document-order neighbors.
   NAVPATH_ASSIGN_OR_RETURN(const LogicalNode parent_node,

@@ -27,8 +27,9 @@
 // directly in the buffer (legacy in-place mutation, identical to the
 // pre-MVCC behaviour including whole-synopsis invalidation); a
 // transaction layer (src/txn/) plugs in copy-on-write fixes instead, and
-// then the updater reports per-path SummaryInsert deltas rather than
-// invalidating the synopsis.
+// then the updater reports per-path summary deltas (inserts, deletes,
+// evacuation page remaps) rather than invalidating the synopsis, plus the
+// pages each update decision read (for conflict validation).
 #ifndef NAVPATH_STORE_UPDATE_H_
 #define NAVPATH_STORE_UPDATE_H_
 
@@ -37,6 +38,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "store/cross_cursor.h"
 #include "store/database.h"
 #include "store/import.h"
 #include "store/path_summary.h"
@@ -62,6 +64,12 @@ class WritePageIO {
   /// Translator for read navigation during the update (a writer must see
   /// its own earlier writes). nullptr = identity.
   virtual const PageTranslator* translator() const { return nullptr; }
+
+  /// Reports a page whose *content* an update decision depended on without
+  /// writing it (order-key neighbors, ancestor chains). A transaction
+  /// layer folds these into its conflict-validation set; the default
+  /// in-place mode has no concurrency and ignores them.
+  virtual void NoteReadDependency(PageId id) { (void)id; }
 };
 
 /// Result of an insertion: the new node's address and its document-order
@@ -112,12 +120,22 @@ class DocumentUpdater {
   const std::vector<SummaryInsert>& summary_inserts() const {
     return summary_inserts_;
   }
-  /// True when a structural mutation (delete, subtree evacuation, order
-  /// redistribution across pages) outran incremental maintenance; the
-  /// synopsis must be dropped at commit.
+  /// Per-path deletions (subtree deletes fold into per-path counts).
+  const std::vector<SummaryDelete>& summary_deletes() const {
+    return summary_deletes_;
+  }
+  /// Page relocations from subtree evacuation, in occurrence order.
+  const std::vector<SummaryPageRemap>& summary_remaps() const {
+    return summary_remaps_;
+  }
+  /// True when a structural mutation outran incremental maintenance; the
+  /// synopsis must be dropped at commit. With delete deltas and evacuation
+  /// remaps maintained, this is now only set on delta-collection failure.
   bool structural_change() const { return structural_change_; }
   void ClearSummaryDelta() {
     summary_inserts_.clear();
+    summary_deletes_.clear();
+    summary_remaps_.clear();
     structural_change_ = false;
   }
 
@@ -127,6 +145,12 @@ class DocumentUpdater {
   const PageTranslator* translator() const {
     return io_ == nullptr ? nullptr : io_->translator();
   }
+  /// Navigation cursor for this update; in transaction mode every page it
+  /// pins is reported to the seam as a read dependency.
+  CrossClusterCursor MakeCursor();
+  /// Folds the subtree of `node` into per-path SummaryDelete deltas
+  /// (walked before any chain is unlinked).
+  Status CollectDeleteDeltas(NodeID node);
   /// Marks the synopsis unmaintainable: invalidated now (legacy) or at
   /// commit (transaction mode).
   void NoteStructuralChange();
@@ -177,6 +201,8 @@ class DocumentUpdater {
   ImportedDocument* doc_;
   WritePageIO* io_ = nullptr;
   std::vector<SummaryInsert> summary_inserts_;
+  std::vector<SummaryDelete> summary_deletes_;
+  std::vector<SummaryPageRemap> summary_remaps_;
   bool structural_change_ = false;
 };
 

@@ -109,6 +109,13 @@ Result<PageGuard> WriterTxn::FixMutable(PageId logical) {
   return adopted;
 }
 
+void WriterTxn::NoteReadDependency(PageId id) {
+  if (!open_) return;
+  // Pages this transaction wrote are validated as part of the write set.
+  if (write_set_.count(id) > 0) return;
+  dependency_pages_.insert(id);
+}
+
 Result<PageId> WriterTxn::AppendLogicalPage() {
   if (!open_) {
     return Status::InvalidArgument("writer transaction is finished");
@@ -167,19 +174,43 @@ Status WriterTxn::Commit() {
     ++mgr_->commits_;
     return Status::OK();
   }
-  if (mgr_->current_seq() != base_->seq) {
-    RollBack();
-    ++mgr_->aborts_;
-    return Status::Aborted(
-        "conflicting commit published since this transaction began");
+  const std::shared_ptr<const DocumentVersion> head = mgr_->current_;
+  if (head->seq != base_->seq) {
+    // Commits landed since BeginWrite. Page-granular first-committer-wins:
+    // this transaction survives iff none of them wrote a page it wrote or
+    // read. A base older than the bounded commit log cannot be validated
+    // and aborts conservatively.
+    bool conflict = !mgr_->CommitLogCoversSince(base_->seq);
+    for (auto it = mgr_->commit_log_.rbegin();
+         !conflict && it != mgr_->commit_log_.rend() && it->seq > base_->seq;
+         ++it) {
+      for (const PageId p : it->pages) {
+        if (write_set_.count(p) > 0 || dependency_pages_.count(p) > 0) {
+          conflict = true;
+          break;
+        }
+      }
+    }
+    if (conflict) {
+      RollBack();
+      ++mgr_->aborts_;
+      return Status::Aborted(
+          "conflicting commit published since this transaction began");
+    }
   }
 
+  // Rebase onto the head version: the write sets are disjoint (validated
+  // above), so overlaying this transaction's page map, catalog deltas and
+  // summary deltas onto the head's commutes with the interleaved commits.
   auto version = std::make_shared<DocumentVersion>();
-  version->seq = base_->seq + 1;
-  version->to_physical = base_->to_physical;
-  version->to_logical = base_->to_logical;
+  version->seq = head->seq + 1;
+  version->to_physical = head->to_physical;
+  version->to_logical = head->to_logical;
   std::vector<TxnManager::RetiredVersion> newly_retired;
+  std::vector<PageId> committed_pages;
+  committed_pages.reserve(write_set_.size());
   for (const auto& [logical, shadow] : write_set_) {
+    committed_pages.push_back(logical);
     if (logical == shadow) continue;  // appended page: already in place
     const auto old = version->to_physical.find(logical);
     if (old != version->to_physical.end()) {
@@ -194,21 +225,54 @@ Status WriterTxn::Commit() {
     version->to_physical[logical] = shadow;
     version->to_logical[shadow] = logical;
   }
-  version->doc = doc_;
 
-  if (updater_.structural_change() || base_->summary == nullptr) {
+  // Catalog counters: apply this transaction's deltas (relative to its
+  // base) on top of the head catalog. Root identity never changes (the
+  // root is neither deletable nor evacuable).
+  version->doc = head->doc;
+  auto rebase = [](std::uint64_t head_v, std::uint64_t mine,
+                   std::uint64_t base_v) {
+    return head_v + mine - base_v;  // wraps transiently, never net-negative
+  };
+  const ImportedDocument& based = base_->doc;
+  version->doc.core_records =
+      rebase(head->doc.core_records, doc_.core_records, based.core_records);
+  version->doc.attribute_records = rebase(
+      head->doc.attribute_records, doc_.attribute_records,
+      based.attribute_records);
+  version->doc.border_pairs =
+      rebase(head->doc.border_pairs, doc_.border_pairs, based.border_pairs);
+  version->doc.pages = rebase(head->doc.pages, doc_.pages, based.pages);
+  version->doc.last_page = std::max(head->doc.last_page, doc_.last_page);
+
+  const bool deltas_clean = !updater_.structural_change();
+  const auto& inserts = updater_.summary_inserts();
+  const auto& deletes = updater_.summary_deletes();
+  const auto& remaps = updater_.summary_remaps();
+  if (!deltas_clean || head->summary == nullptr) {
     version->summary = nullptr;  // degrade: queries fall back to navigation
-  } else if (!updater_.summary_inserts().empty()) {
-    auto cloned = base_->summary->CloneWithInserts(updater_.summary_inserts());
-    version->summary = std::shared_ptr<const PathSummary>(std::move(cloned));
+    if (head->summary != nullptr) ++mgr_->summary_degrades_;
+  } else if (inserts.empty() && deletes.empty() && remaps.empty()) {
+    version->summary = head->summary;
   } else {
-    version->summary = base_->summary;
+    auto cloned = head->summary->CloneWithDeltas(inserts, deletes, remaps);
+    if (cloned == nullptr) {
+      version->summary = nullptr;
+      ++mgr_->summary_degrades_;
+    } else {
+      version->summary = std::shared_ptr<const PathSummary>(std::move(cloned));
+    }
   }
 
   commit_seq_ = version->seq;
   open_ = false;
   ++mgr_->commits_;
   updater_.ClearSummaryDelta();
+  mgr_->commit_log_.push_back(
+      TxnManager::CommitRecord{version->seq, std::move(committed_pages)});
+  if (mgr_->commit_log_.size() > TxnManager::kCommitLogLimit) {
+    mgr_->commit_log_.pop_front();
+  }
   mgr_->Publish(std::move(version), std::move(newly_retired));
   return Status::OK();
 }
@@ -224,7 +288,17 @@ TxnManager::TxnManager(Database* db, ImportedDocument* canonical_doc)
   if (canonical_doc_ != nullptr) genesis->doc = *canonical_doc_;
   genesis->summary = db_->shared_summary();
   current_ = std::move(genesis);
+  // Retired-but-pinned page versions are skipped by TryReclaim; without
+  // this hook they would wait for the *next* commit or snapshot release,
+  // which may never come (the reclamation-stall bug). Draining on the
+  // unpin that made them eligible closes the leak. No-op while nothing is
+  // retired, so zero-writer runs are untouched.
+  db_->buffer()->SetUnpinListener([this](PageId) {
+    if (!retired_.empty()) TryReclaim();
+  });
 }
+
+TxnManager::~TxnManager() { db_->buffer()->SetUnpinListener({}); }
 
 std::shared_ptr<Snapshot> TxnManager::OpenSnapshot() {
   ++active_[current_->seq];

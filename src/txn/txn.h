@@ -18,10 +18,15 @@
 //     commits land while the query runs.
 //   * A writer copies each logical page to a fresh shadow page on first
 //     touch (copy-on-write), builds privately, and publishes a new
-//     version atomically at Commit. Conflict rule: first committer wins;
-//     a Commit whose base version is no longer current returns
-//     Status::Aborted (optimistic single-writer semantics — the workload
-//     executor additionally serializes writers at admission).
+//     version atomically at Commit. Conflict rule: first committer wins
+//     at page granularity — a Commit whose base version is no longer
+//     current validates its write set *and* the pages its decisions read
+//     (order-key neighbors, ancestor chains) against the pages written by
+//     every commit that landed in between; on overlap it returns
+//     Status::Aborted, otherwise it rebases onto the head version (page
+//     maps are disjoint, catalog counters and summary deltas commute).
+//     The validation history is a bounded commit log; a writer whose base
+//     predates the log tail aborts conservatively.
 //   * Reclamation: a commit that remaps logical page L from shadow P_old
 //     to P_new retires P_old at the new sequence number. P_old is freed
 //     (buffer frame dropped, id recycled into the shadow free list) once
@@ -36,6 +41,7 @@
 #define NAVPATH_TXN_TXN_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -122,8 +128,10 @@ class WriterTxn final : public PageTranslator, public WritePageIO {
   DocumentUpdater* updater() { return &updater_; }
 
   /// Publishes the write set as the next version. Returns Aborted (and
-  /// rolls the transaction back) when another commit landed since
-  /// BeginWrite; InvalidArgument when already finished.
+  /// rolls the transaction back) when a commit that landed since
+  /// BeginWrite wrote a page this transaction wrote or depended on;
+  /// otherwise disjoint concurrent commits rebase and both succeed.
+  /// InvalidArgument when already finished.
   Status Commit();
   /// Discards the write set; shadow pages return to the free list.
   Status Abort();
@@ -132,6 +140,7 @@ class WriterTxn final : public PageTranslator, public WritePageIO {
   Result<PageGuard> FixMutable(PageId logical) override;
   Result<PageId> AppendLogicalPage() override;
   const PageTranslator* translator() const override { return this; }
+  void NoteReadDependency(PageId id) override;
 
   // PageTranslator: the write set shadows the base version, so the
   // writer's own navigation sees its uncommitted changes.
@@ -151,6 +160,9 @@ class WriterTxn final : public PageTranslator, public WritePageIO {
   std::shared_ptr<const DocumentVersion> base_;
   std::unordered_map<PageId, PageId> write_set_;  // logical -> private page
   std::unordered_map<PageId, PageId> write_set_reverse_;
+  /// Logical pages read (not written) while deciding this transaction's
+  /// mutations; validated against concurrent commits' write sets.
+  std::unordered_set<PageId> dependency_pages_;
   std::vector<PageId> shadow_pages_;       // allocated for COW this txn
   std::vector<PageId> new_logical_pages_;  // appended this txn
   bool open_ = true;
@@ -166,7 +178,13 @@ class TxnManager {
   /// `db` must outlive the manager. `canonical_doc` (optional) is the
   /// caller's document catalog, kept in sync with the latest commit so
   /// non-snapshot consumers observe the current version.
+  ///
+  /// The manager registers itself as the buffer's unpin listener so
+  /// retired-but-pinned page versions are reclaimed as soon as their last
+  /// pin drops (not merely on the next commit or snapshot release); the
+  /// registration is released on destruction.
   TxnManager(Database* db, ImportedDocument* canonical_doc);
+  ~TxnManager();
 
   TxnManager(const TxnManager&) = delete;
   TxnManager& operator=(const TxnManager&) = delete;
@@ -195,6 +213,10 @@ class TxnManager {
   std::uint64_t versions_reclaimed() const { return versions_reclaimed_; }
   /// Retired page versions still waiting for their last reader to drain.
   std::size_t retired_pending() const { return retired_.size(); }
+  /// Commits that published a summary-free version although their base
+  /// (head) version still had an exact synopsis — i.e. delta maintenance
+  /// failed. Insert/delete-only workloads must keep this at zero.
+  std::uint64_t summary_degrades() const { return summary_degrades_; }
 
   /// Durable form of the published root for SaveDatabase (deterministic:
   /// all lists sorted).
@@ -213,6 +235,22 @@ class TxnManager {
     std::uint64_t retired_at = 0;  // seq of the commit that replaced it
   };
 
+  /// One published commit, for page-granular backward validation. The log
+  /// is bounded (kCommitLogLimit); writers whose base predates the tail
+  /// abort conservatively. Not persisted: a restored root has no open
+  /// writers to validate against.
+  struct CommitRecord {
+    std::uint64_t seq = 0;
+    std::vector<PageId> pages;  // logical pages the commit wrote
+  };
+  static constexpr std::size_t kCommitLogLimit = 256;
+
+  /// True when every published commit with seq > `base_seq` is still in
+  /// the log (published seqs are contiguous).
+  bool CommitLogCoversSince(std::uint64_t base_seq) const {
+    return !commit_log_.empty() && commit_log_.front().seq <= base_seq + 1;
+  }
+
   Result<PageId> AllocateShadowPage();
   void ReleaseSnapshot(std::uint64_t seq);
   void Publish(std::shared_ptr<const DocumentVersion> version,
@@ -230,10 +268,12 @@ class TxnManager {
   std::vector<PageId> free_pages_;  // reclaimed shadow ids, reusable
   std::map<std::uint64_t, std::size_t> active_;  // snapshot seq -> count
   std::vector<RetiredVersion> retired_;
+  std::deque<CommitRecord> commit_log_;
   std::uint64_t commits_ = 0;
   std::uint64_t aborts_ = 0;
   std::uint64_t versions_retired_ = 0;
   std::uint64_t versions_reclaimed_ = 0;
+  std::uint64_t summary_degrades_ = 0;
 };
 
 }  // namespace navpath

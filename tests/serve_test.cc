@@ -20,6 +20,7 @@
 #include "storage/disk.h"
 #include "storage/fault_injector.h"
 #include "storage/page.h"
+#include "txn/txn.h"
 
 namespace navpath {
 namespace {
@@ -365,6 +366,104 @@ TEST(ServeTest, ValidationRejectsMalformedConfiguration) {
                   .Submit(0, kServeQueries[1], PaperPlan(PlanKind::kSimple),
                           2 * kSimSecond, kSimSecond)
                   .IsInvalidArgument());  // deadline in the past
+}
+
+TEST(ServeTest, ValidationRejectsTransactionsWithSharing) {
+  // WorkloadOptions.txn + enable_sharing must fail BOTH entry points —
+  // ValidateWorkloadOptions (covered in txn_test.cc) and the serving
+  // layer's ValidateServeOptions — with a descriptive InvalidArgument,
+  // and the serve-side rejection must fire before the generic
+  // sharing-under-external-admission message.
+  auto fixture = XMarkFixture::Create(0.002);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  XMarkFixture* fx = fixture->get();
+  TxnManager mgr(fx->db(), fx->mutable_doc());
+
+  ServeOptions options = TwoTenantOptions(&fx->stats());
+  options.workload.txn = &mgr;
+  options.workload.enable_sharing = true;
+  Server server(fx->db(), fx->doc(), options);
+  ASSERT_TRUE(server
+                  .Submit(0, kServeQueries[0], PaperPlan(PlanKind::kSimple),
+                          0)
+                  .ok());
+  auto run = server.Run();
+  ASSERT_FALSE(run.ok());
+  ASSERT_TRUE(run.status().IsInvalidArgument()) << run.status().ToString();
+  const std::string message = run.status().ToString();
+  EXPECT_NE(message.find("transactional serving"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("snapshot"), std::string::npos) << message;
+}
+
+TEST(ServeTest, OverloadNeverDegradesAWriteTransaction) {
+  // Drive the controller into its degrade state with a reader burst and
+  // thread write transactions through the same overloaded window: the
+  // readers get re-tiered, the writers must never be — there is no
+  // cheaper tier for a write, and a writer mid-retry is still a writer.
+  auto fixture = XMarkFixture::Create(0.005);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  XMarkFixture* fx = fixture->get();
+  TxnManager mgr(fx->db(), fx->mutable_doc());
+  const TagId xbid = fx->db()->tags()->Intern("xbid");
+  const NodeID root = fx->doc().root;
+
+  ServeOptions options = TwoTenantOptions(&fx->stats());
+  options.workload.txn = &mgr;
+  options.workload.max_concurrent = 2;
+  options.workload.max_writers = 2;
+  options.degrade_queue_depth = 3;
+  options.shed_queue_depth = 40;  // degrade, never shed
+  options.recover_below = 1;
+  options.recover_hold = 2;
+  options.tenants[0].queue_capacity = 32;
+  options.tenants[1].queue_capacity = 32;
+  Server server(fx->db(), fx->doc(), options);
+
+  // One arrival batch well past degrade_queue_depth, writers in the
+  // middle of the backlog so they are admitted under a degraded
+  // controller.
+  std::vector<std::size_t> writer_subs;
+  for (std::size_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(server
+                    .Submit(i % 2, kServeQueries[i % 3],
+                            PaperPlan(PlanKind::kXSchedule),
+                            static_cast<SimTime>(i) * kSimMicrosecond)
+                    .ok());
+    if (i % 3 == 1) {
+      writer_subs.push_back(server.size());
+      ASSERT_TRUE(
+          server
+              .SubmitWrite(i % 2,
+                           {WriteOp{root, kInvalidNodeID, xbid, "w"},
+                            WriteOp{root, kInvalidNodeID, xbid, "w"}},
+                           static_cast<SimTime>(i) * kSimMicrosecond)
+              .ok());
+    }
+  }
+  auto served = server.Run();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+
+  // The overload response fired on readers...
+  EXPECT_GT(served->metrics.CounterOr("serve.degraded"), 0u);
+  bool reader_degraded = false;
+  for (const ServeOutcome& out : served->outcomes) {
+    if (!out.is_write) reader_degraded |= out.degraded;
+  }
+  EXPECT_TRUE(reader_degraded);
+
+  // ...and never on a writer: every write transaction committed at full
+  // fidelity, whatever state the controller was in when it was admitted.
+  ASSERT_FALSE(writer_subs.empty());
+  for (const std::size_t sub : writer_subs) {
+    const ServeOutcome& out = served->outcomes[sub];
+    ASSERT_TRUE(out.is_write);
+    EXPECT_FALSE(out.shed);
+    EXPECT_FALSE(out.degraded);
+    ASSERT_TRUE(out.status.ok()) << out.status.ToString();
+    EXPECT_GT(out.commit_seq, 0u);
+  }
+  EXPECT_EQ(mgr.commits(), writer_subs.size());
 }
 
 TEST(ServeTest, ServingLoopSurvivesOneQuerysCorruption) {

@@ -1,0 +1,206 @@
+// Randomized mixed-workload stress for the open MVCC write path:
+// several concurrent optimistic writers (inserts AND transactional
+// deletes, group-committed in batches) race snapshot readers through the
+// workload executor, over multiple seeds and staggered open-system
+// arrivals. The gates are the invariants the subsystem promises, not
+// golden outputs:
+//   - //xbid consistency oracle: every reader counts exactly the net
+//     inserts of the commits at or before its pinned version;
+//   - commit sequence numbers are contiguous (no lost or duplicated
+//     publishes under retries);
+//   - the manager's abort counter equals the sum of per-writer
+//     first-committer losses (every abort is a retry we accounted for);
+//   - insert/delete-only commits keep summary-exact versions (zero
+//     degrades);
+//   - once the run drains, every retired version is reclaimed (the
+//     unpin listener leaves no stalled retirees).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "compiler/workload_executor.h"
+#include "store/export.h"
+#include "tests/test_util.h"
+#include "txn/txn.h"
+#include "xml/parser.h"
+
+namespace navpath {
+namespace {
+
+struct StressFixture {
+  Database db;
+  ImportedDocument doc;
+  std::unique_ptr<TxnManager> mgr;
+
+  StressFixture() : db(Options()) {
+    auto parsed = ParseXml(
+        "<site><auctions><lot>1</lot><lot>2</lot></auctions>"
+        "<people><person>p</person></people></site>",
+        db.tags());
+    parsed.status().AbortIfNotOk();
+    DomTree tree = std::move(*parsed);
+    RandomClusteringPolicy policy(Options().page_size - 64, 17);
+    doc = *db.Import(tree, &policy);
+    mgr = std::make_unique<TxnManager>(&db, &doc);
+  }
+
+  static DatabaseOptions Options() {
+    DatabaseOptions options;
+    options.page_size = 512;
+    options.buffer_pages = 64;
+    return options;
+  }
+};
+
+class TxnMixedStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TxnMixedStress, WritersAndReadersKeepEveryInvariant) {
+  StressFixture f;
+  Random rng(GetParam());
+  const TagId xbid = f.db.tags()->Intern("xbid");
+
+  constexpr std::size_t kWriters = 4;
+  constexpr std::size_t kReaders = 6;
+
+  WorkloadOptions options;
+  options.txn = f.mgr.get();
+  options.max_concurrent = 6;
+  options.max_writers = 4;
+  options.writer_batch = 1 + rng.NextBounded(3);  // exercise group commit
+  WorkloadExecutor executor(&f.db, f.doc, options);
+
+  // Build a seeded interleaving of reader and writer arrivals
+  // (nondecreasing, as Run()'s open-system admission requires). Every
+  // writer inserts <xbid> children under the document root and deletes
+  // xbids again — a delete is only emitted once this transaction has
+  // inserted at least one more xbid than it deleted, so the victim scan
+  // always finds a match (possibly a committed xbid from an earlier
+  // writer; either way the net count delta stays
+  // writes_applied - deletes_applied).
+  struct Slot {
+    bool is_writer;
+  };
+  std::vector<Slot> slots;
+  for (std::size_t i = 0; i < kWriters; ++i) slots.push_back({true});
+  for (std::size_t i = 0; i < kReaders; ++i) slots.push_back({false});
+  for (std::size_t i = slots.size(); i > 1; --i) {
+    std::swap(slots[i - 1], slots[rng.NextBounded(i)]);
+  }
+
+  PlanOptions plan;
+  plan.kind = PlanKind::kXSchedule;
+  SimTime arrival = 0;
+  std::size_t writer_jobs = 0;
+  for (const Slot& slot : slots) {
+    arrival += rng.NextBounded(3) * kSimMillisecond / 2;
+    if (slot.is_writer) {
+      std::vector<WriteOp> ops;
+      std::size_t pending = 0;  // own uncommitted xbids, delete headroom
+      const std::size_t n_ops = 3 + rng.NextBounded(4);
+      for (std::size_t i = 0; i < n_ops; ++i) {
+        if (pending > 0 && rng.NextBool(0.35)) {
+          ops.push_back(WriteOp{f.doc.root, kInvalidNodeID, xbid, "",
+                                {}, WriteOp::Kind::kDelete});
+          --pending;
+        } else {
+          ops.push_back(WriteOp{f.doc.root, kInvalidNodeID, xbid, "x"});
+          ++pending;
+        }
+      }
+      ASSERT_TRUE(executor.AddWrite(std::move(ops), arrival).ok());
+      ++writer_jobs;
+    } else {
+      ASSERT_TRUE(executor.Add("//xbid", plan, arrival).ok());
+    }
+  }
+  ASSERT_EQ(writer_jobs, kWriters);
+
+  auto result = executor.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Every writer must eventually commit: conflicts are plentiful (all
+  // writers shadow the root's page) but bounded — a writer can lose the
+  // first-committer race at most once per competing commit, far under
+  // the retry budget.
+  std::vector<std::pair<std::uint64_t, std::int64_t>> deltas;  // seq, net
+  std::vector<std::uint64_t> seqs;
+  std::uint64_t aborts_total = 0;
+  for (const WorkloadQueryResult& q : result->queries) {
+    if (!q.is_write) continue;
+    ASSERT_TRUE(q.status.ok())
+        << "seed " << GetParam() << ": " << q.status.ToString();
+    ASSERT_GT(q.commit_seq, 0u);
+    EXPECT_FALSE(q.degraded);
+    EXPECT_EQ(q.snapshot_seq + 1, q.commit_seq)
+        << "committed attempt must be based on the version just below";
+    seqs.push_back(q.commit_seq);
+    aborts_total += q.aborts;
+    deltas.emplace_back(q.commit_seq,
+                        static_cast<std::int64_t>(q.writes_applied) -
+                            static_cast<std::int64_t>(q.deletes_applied));
+  }
+  ASSERT_EQ(seqs.size(), kWriters);
+
+  // Contiguous publish order: seqs are exactly {1..kWriters}.
+  std::sort(seqs.begin(), seqs.end());
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    EXPECT_EQ(seqs[i], i + 1) << "seed " << GetParam();
+  }
+
+  // Abort accounting: with every writer committed, the manager's abort
+  // counter is exactly the optimistic attempts that lost the race.
+  EXPECT_EQ(f.mgr->commits(), kWriters);
+  EXPECT_EQ(f.mgr->aborts(), aborts_total) << "seed " << GetParam();
+
+  // //xbid oracle: each reader's count is the prefix sum of net deltas
+  // for commits at or before its snapshot. A torn read, a phantom from a
+  // later commit, or a delete leaking across versions all break this.
+  for (const WorkloadQueryResult& q : result->queries) {
+    if (q.is_write) continue;
+    ASSERT_TRUE(q.status.ok())
+        << "seed " << GetParam() << ": " << q.status.ToString();
+    std::int64_t expected = 0;
+    for (const auto& [seq, delta] : deltas) {
+      if (seq <= q.snapshot_seq) expected += delta;
+    }
+    EXPECT_EQ(static_cast<std::int64_t>(q.count), expected)
+        << "seed " << GetParam() << " snapshot seq " << q.snapshot_seq;
+  }
+
+  // Insert/delete-only transactions never cost a version its summary.
+  EXPECT_EQ(f.mgr->summary_degrades(), 0u) << "seed " << GetParam();
+
+  // The final document agrees with the sum of all committed deltas.
+  std::int64_t net_total = 0;
+  for (const auto& [seq, delta] : deltas) net_total += delta;
+  auto snap = f.mgr->OpenSnapshot();
+  ExportOptions through;
+  through.translator = snap.get();
+  auto exported = ExportSubtree(&f.db, snap->doc().root, through);
+  ASSERT_TRUE(exported.ok()) << exported.status().ToString();
+  std::int64_t in_doc = 0;
+  for (std::size_t pos = exported->find("<xbid>");
+       pos != std::string::npos; pos = exported->find("<xbid>", pos + 1)) {
+    ++in_doc;
+  }
+  EXPECT_EQ(in_doc, net_total) << "seed " << GetParam();
+  snap.reset();
+
+  // Drained: no reader or writer left, so reclamation owes nothing.
+  EXPECT_EQ(f.mgr->retired_pending(), 0u) << "seed " << GetParam();
+  EXPECT_EQ(f.mgr->versions_reclaimed(), f.mgr->versions_retired());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TxnMixedStress,
+                         ::testing::Values(7u, 99u, 2026u, 424242u,
+                                           8675309u));
+
+}  // namespace
+}  // namespace navpath

@@ -6,6 +6,8 @@
 // seeded randomized reader/writer interleaving stress.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -233,10 +235,35 @@ TEST(TxnTest, ReclamationNeverFreesAPinnedFrame) {
   pin.reset();
   EXPECT_GT(f.mgr->retired_pending(), 0u);
 
-  // Unpin and trigger the next drain: now it frees.
+  // Regression: the unpin itself must drain the stalled retiree. Before
+  // the buffer-manager unpin listener, the freed page sat in the retired
+  // list until some unrelated snapshot open/close happened to run
+  // TryReclaim — a quiescent store leaked the shadow indefinitely.
   guard->Release();
-  f.mgr->OpenSnapshot();  // open + release runs TryReclaim
   EXPECT_EQ(f.mgr->retired_pending(), 0u);
+  EXPECT_EQ(f.mgr->versions_reclaimed(), f.mgr->versions_retired());
+}
+
+TEST(TxnTest, UnpinAfterLastSnapshotReleaseDrainsRetirees) {
+  // The stall in its purest form: the pinned frame is released *after*
+  // the last snapshot is gone, so no future snapshot event exists to
+  // nudge reclamation — the unpin is the only remaining trigger.
+  TxnFixture f("<r><a/></r>");
+  ASSERT_TRUE(f.CommitInsert("x", "").ok());
+  const PageId shadow =
+      f.mgr->current_version()->to_physical.begin()->second;
+  auto guard = f.db.buffer()->Fix(shadow);
+  ASSERT_TRUE(guard.ok());
+
+  {
+    auto pin = f.mgr->OpenSnapshot();
+    ASSERT_TRUE(f.CommitInsert("y", "").ok());
+  }  // last snapshot released here, with the frame still pinned
+  EXPECT_GT(f.mgr->retired_pending(), 0u);
+
+  guard->Release();
+  EXPECT_EQ(f.mgr->retired_pending(), 0u);
+  EXPECT_EQ(f.mgr->versions_reclaimed(), f.mgr->versions_retired());
 }
 
 TEST(TxnTest, VersionedRootSurvivesSaveAndLoad) {
@@ -303,7 +330,19 @@ TEST(TxnTest, AddWriteValidation) {
 
   WorkloadOptions sharing = options;
   sharing.enable_sharing = true;
-  EXPECT_TRUE(ValidateWorkloadOptions(sharing).IsInvalidArgument());
+  const Status sharing_status = ValidateWorkloadOptions(sharing);
+  EXPECT_TRUE(sharing_status.IsInvalidArgument());
+  // The rejection must explain itself, not just fail.
+  EXPECT_NE(sharing_status.ToString().find("sharing"), std::string::npos)
+      << sharing_status.ToString();
+
+  WorkloadOptions no_writers = options;
+  no_writers.max_writers = 0;
+  EXPECT_TRUE(ValidateWorkloadOptions(no_writers).IsInvalidArgument());
+
+  WorkloadOptions empty_batch = options;
+  empty_batch.writer_batch = 0;
+  EXPECT_TRUE(ValidateWorkloadOptions(empty_batch).IsInvalidArgument());
 }
 
 TEST(TxnTest, MixedWorkloadZeroWritersIsByteIdentical) {
@@ -410,6 +449,279 @@ TEST(TxnTest, MixedWorkloadReadersSeeConsistentVersions) {
   EXPECT_EQ(f.mgr->current_seq(), 2u);
   const std::string final_doc = f.ExportCurrent();
   EXPECT_NE(final_doc.find("<bid>b2</bid>"), std::string::npos);
+}
+
+TEST(TxnTest, ConcurrentWritersRetryAfterConflictAndBothCommit) {
+  TxnFixture f("<r><a/></r>");
+  const TagId one = f.db.tags()->Intern("one");
+  const TagId two = f.db.tags()->Intern("two");
+
+  WorkloadOptions options;
+  options.txn = f.mgr.get();
+  options.max_concurrent = 4;
+  options.max_writers = 2;
+  WorkloadExecutor executor(&f.db, f.doc, options);
+  ASSERT_TRUE(executor.AddWrite({WriteOp{f.doc.root, kInvalidNodeID, one}}, 0)
+                  .ok());
+  ASSERT_TRUE(executor.AddWrite({WriteOp{f.doc.root, kInvalidNodeID, two}}, 0)
+                  .ok());
+
+  auto result = executor.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Both writers were admitted optimistically against the same base
+  // version and both touch the root's page, so exactly one loses the
+  // first-committer race, retries against the new head, and commits.
+  std::vector<std::uint64_t> seqs;
+  std::uint64_t aborts_total = 0;
+  for (const WorkloadQueryResult& q : result->queries) {
+    ASSERT_TRUE(q.is_write);
+    ASSERT_TRUE(q.status.ok()) << q.status.ToString();
+    EXPECT_FALSE(q.degraded);
+    seqs.push_back(q.commit_seq);
+    aborts_total += q.aborts;
+    // The committed attempt's base is the version just below its commit.
+    EXPECT_EQ(q.snapshot_seq + 1, q.commit_seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(aborts_total, 1u);
+  EXPECT_EQ(f.mgr->commits(), 2u);
+  EXPECT_EQ(f.mgr->aborts(), 1u);
+
+  const std::string current = f.ExportCurrent();
+  EXPECT_NE(current.find("<one/>"), std::string::npos);
+  EXPECT_NE(current.find("<two/>"), std::string::npos);
+}
+
+TEST(TxnTest, WriterRetryExhaustionFailsWithAborted) {
+  TxnFixture f("<r><a/></r>");
+  const TagId tag = f.db.tags()->Intern("t");
+
+  WorkloadOptions options;
+  options.txn = f.mgr.get();
+  options.max_concurrent = 4;
+  options.max_writers = 2;
+  options.writer_max_retries = 0;  // lose the race once -> fail for good
+  WorkloadExecutor executor(&f.db, f.doc, options);
+  ASSERT_TRUE(executor.AddWrite({WriteOp{f.doc.root, kInvalidNodeID, tag}}, 0)
+                  .ok());
+  ASSERT_TRUE(executor.AddWrite({WriteOp{f.doc.root, kInvalidNodeID, tag}}, 0)
+                  .ok());
+
+  auto result = executor.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  std::size_t committed = 0, failed = 0;
+  for (const WorkloadQueryResult& q : result->queries) {
+    if (q.status.ok()) {
+      EXPECT_GT(q.commit_seq, 0u);
+      ++committed;
+    } else {
+      EXPECT_TRUE(q.status.IsAborted()) << q.status.ToString();
+      EXPECT_EQ(q.commit_seq, 0u);
+      ++failed;
+    }
+  }
+  EXPECT_EQ(committed, 1u);
+  EXPECT_EQ(failed, 1u);
+  EXPECT_EQ(f.mgr->commits(), 1u);
+  EXPECT_EQ(f.mgr->aborts(), 1u);
+}
+
+TEST(TxnTest, GroupCommitAmortizesPullsOverTheBatch) {
+  const std::size_t kOps = 4;
+  auto run = [&](std::size_t batch) {
+    TxnFixture f("<r><a/></r>");
+    const TagId tag = f.db.tags()->Intern("t");
+    WorkloadOptions options;
+    options.txn = f.mgr.get();
+    options.writer_batch = batch;
+    WorkloadExecutor executor(&f.db, f.doc, options);
+    std::vector<WriteOp> ops;
+    for (std::size_t i = 0; i < kOps; ++i) {
+      ops.push_back(WriteOp{f.doc.root, kInvalidNodeID, tag, "x"});
+    }
+    ASSERT_TRUE(executor.AddWrite(std::move(ops), 0).ok())
+        << "batch " << batch;
+    auto result = executor.Run();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const WorkloadQueryResult& q = result->queries[0];
+    ASSERT_TRUE(q.status.ok()) << q.status.ToString();
+    EXPECT_EQ(q.writes_applied, kOps);
+    EXPECT_EQ(q.commit_seq, 1u);
+    // ceil(ops/batch) apply pulls plus one commit pull.
+    const std::uint64_t expected_pulls = (kOps + batch - 1) / batch + 1;
+    EXPECT_EQ(q.pulls, expected_pulls) << "batch " << batch;
+  };
+  run(1);  // historical one-op-per-pull shape
+  run(2);
+  run(4);  // whole transaction in one pull, commit on the next
+}
+
+TEST(TxnTest, ExecutorDeletesKeepSummariesExact) {
+  TxnFixture f(
+      "<site><auctions><lot>1</lot><lot>2</lot></auctions></site>");
+  const TagId bid = f.db.tags()->Intern("bid");
+  ASSERT_NE(f.db.shared_summary(), nullptr);
+
+  WorkloadOptions options;
+  options.txn = f.mgr.get();
+  options.max_concurrent = 4;
+  WorkloadExecutor executor(&f.db, f.doc, options);
+  PlanOptions plan;
+  plan.kind = PlanKind::kXSchedule;
+
+  // Inserts with after == kInvalidNodeID prepend, so root's bid children
+  // run newest-first and "last child tagged bid" is the OLDEST bid.
+  // Writer 1: +b0 +b1 -oldest(b0) => b1 survives, net one. Writer 2
+  // (base is the first commit): +b2 -oldest(b1) +b3 => net one more —
+  // its delete resolves through its own translator over the committed
+  // base, removing writer 1's b1.
+  ASSERT_TRUE(executor.Add("//bid", plan, 0).ok());
+  ASSERT_TRUE(
+      executor
+          .AddWrite({WriteOp{f.doc.root, kInvalidNodeID, bid, "b0"},
+                     WriteOp{f.doc.root, kInvalidNodeID, bid, "b1"},
+                     WriteOp{f.doc.root, kInvalidNodeID, bid, "",
+                             {}, WriteOp::Kind::kDelete}},
+                    0)
+          .ok());
+  ASSERT_TRUE(executor.Add("//bid", plan, 0).ok());
+  ASSERT_TRUE(
+      executor
+          .AddWrite({WriteOp{f.doc.root, kInvalidNodeID, bid, "b2"},
+                     WriteOp{f.doc.root, kInvalidNodeID, bid, "",
+                             {}, WriteOp::Kind::kDelete},
+                     WriteOp{f.doc.root, kInvalidNodeID, bid, "b3"}},
+                    0)
+          .ok());
+  ASSERT_TRUE(executor.Add("//bid", plan, 0).ok());
+
+  auto result = executor.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Per-commit net bid deltas, keyed by commit seq.
+  std::vector<std::pair<std::uint64_t, std::int64_t>> deltas;
+  for (const WorkloadQueryResult& q : result->queries) {
+    if (!q.is_write) continue;
+    ASSERT_TRUE(q.status.ok()) << q.status.ToString();
+    EXPECT_GT(q.deletes_applied, 0u);
+    deltas.emplace_back(q.commit_seq,
+                        static_cast<std::int64_t>(q.writes_applied) -
+                            static_cast<std::int64_t>(q.deletes_applied));
+  }
+  ASSERT_EQ(deltas.size(), 2u);
+
+  // Snapshot consistency with deletes: a reader counts exactly the net
+  // inserts of commits at or before its pinned version.
+  for (const WorkloadQueryResult& q : result->queries) {
+    if (q.is_write) continue;
+    ASSERT_TRUE(q.status.ok()) << q.status.ToString();
+    std::int64_t expected = 0;
+    for (const auto& [seq, delta] : deltas) {
+      if (seq <= q.snapshot_seq) expected += delta;
+    }
+    EXPECT_EQ(static_cast<std::int64_t>(q.count), expected)
+        << "snapshot seq " << q.snapshot_seq;
+  }
+
+  // Insert/delete-only transactions maintain their version's summary by
+  // deltas — no commit published a degraded (summary-less) version.
+  EXPECT_EQ(f.mgr->summary_degrades(), 0u);
+  const std::string current = f.ExportCurrent();
+  EXPECT_NE(current.find("<bid>b2</bid>"), std::string::npos);
+  EXPECT_NE(current.find("<bid>b3</bid>"), std::string::npos);
+  EXPECT_EQ(current.find("<bid>b0</bid>"), std::string::npos);
+  EXPECT_EQ(current.find("<bid>b1</bid>"), std::string::npos);
+}
+
+TEST(TxnTest, DeleteWithoutMatchingChildFailsThatJobAlone) {
+  TxnFixture f("<r><a/></r>");
+  const TagId missing = f.db.tags()->Intern("nope");
+
+  WorkloadOptions options;
+  options.txn = f.mgr.get();
+  WorkloadExecutor executor(&f.db, f.doc, options);
+  PlanOptions plan;
+  plan.kind = PlanKind::kSimple;
+  ASSERT_TRUE(executor.Add("//a", plan, 0).ok());
+  ASSERT_TRUE(executor
+                  .AddWrite({WriteOp{f.doc.root, kInvalidNodeID, missing, "",
+                                     {}, WriteOp::Kind::kDelete}},
+                            0)
+                  .ok());
+
+  auto result = executor.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const WorkloadQueryResult& writer = result->queries[1];
+  ASSERT_TRUE(writer.is_write);
+  EXPECT_TRUE(writer.status.IsInvalidArgument())
+      << writer.status.ToString();
+  EXPECT_EQ(writer.commit_seq, 0u);
+  // The reader is unharmed and the store saw a clean abort, not a commit.
+  EXPECT_TRUE(result->queries[0].status.ok());
+  EXPECT_EQ(f.mgr->commits(), 0u);
+  EXPECT_EQ(f.mgr->aborts(), 1u);
+}
+
+TEST(TxnTest, RetierNeverTouchesAWriterEvenMidRetry) {
+  TxnFixture f("<r><a/></r>");
+  const TagId tag = f.db.tags()->Intern("t");
+
+  WorkloadOptions options;
+  options.txn = f.mgr.get();
+  options.max_writers = 2;
+  WorkloadExecutor executor(&f.db, f.doc, options);
+  ASSERT_TRUE(executor.AddWrite({WriteOp{f.doc.root, kInvalidNodeID, tag}}, 0)
+                  .ok());
+  ASSERT_TRUE(executor.AddWrite({WriteOp{f.doc.root, kInvalidNodeID, tag}}, 0)
+                  .ok());
+
+  ASSERT_TRUE(executor.BeginStepping(2).ok());
+  ASSERT_TRUE(executor.ActivateJob(0).ok());
+  ASSERT_TRUE(executor.ActivateJob(1).ok());
+
+  // An activated (in-flight) writer can never be re-tiered.
+  PlanOptions degraded;
+  degraded.kind = PlanKind::kSimple;
+  Status retier = executor.RetierJob(0, degraded);
+  ASSERT_TRUE(retier.IsInvalidArgument());
+  EXPECT_NE(retier.ToString().find("no plan tier"), std::string::npos)
+      << retier.ToString();
+
+  // Step until one writer loses the first-committer race; while it is
+  // backing off for a retry it is STILL a write job to overload control,
+  // and the rejection must be the write-specific one (not "job already
+  // started", which would imply an idle job that could be re-planned).
+  bool saw_mid_retry_rejection = false;
+  for (int step = 0; step < 64; ++step) {
+    auto done = executor.StepOnce();
+    ASSERT_TRUE(done.ok()) << done.status().ToString();
+    for (std::size_t j = 0; j < 2; ++j) {
+      const WorkloadQueryResult& r = executor.JobResult(j);
+      if (r.aborts > 0 && r.commit_seq == 0 && r.status.ok()) {
+        Status mid = executor.RetierJob(j, degraded);
+        ASSERT_TRUE(mid.IsInvalidArgument());
+        EXPECT_NE(mid.ToString().find("no plan tier"), std::string::npos)
+            << mid.ToString();
+        saw_mid_retry_rejection = true;
+      }
+    }
+    if (executor.JobResult(0).commit_seq > 0 &&
+        executor.JobResult(1).commit_seq > 0) {
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_mid_retry_rejection);
+
+  auto result = executor.EndStepping();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (const WorkloadQueryResult& q : result->queries) {
+    EXPECT_TRUE(q.status.ok()) << q.status.ToString();
+    EXPECT_FALSE(q.degraded);
+  }
+  EXPECT_EQ(f.mgr->commits(), 2u);
 }
 
 // --- Seeded randomized reader/writer interleaving stress -----------------
