@@ -7,32 +7,79 @@
 
 namespace navpath {
 
+namespace {
+
+/// The fixture's clustering policies, as a per-import factory (the
+/// sharded fixture builds one policy per shard import). Returns a null
+/// factory for unknown names.
+std::function<std::unique_ptr<ClusteringPolicy>()> ClusteringFactory(
+    const std::string& name, std::size_t page_size) {
+  const std::size_t budget = page_size - page_size / 8;  // keep slack
+  if (name == "subtree") {
+    return [budget] {
+      return std::unique_ptr<ClusteringPolicy>(
+          std::make_unique<SubtreeClusteringPolicy>(budget));
+    };
+  }
+  if (name == "doc-order") {
+    return [budget] {
+      return std::unique_ptr<ClusteringPolicy>(
+          std::make_unique<DocOrderClusteringPolicy>(budget));
+    };
+  }
+  if (name == "round-robin") {
+    return [budget] {
+      return std::unique_ptr<ClusteringPolicy>(
+          std::make_unique<RoundRobinClusteringPolicy>(budget));
+    };
+  }
+  if (name == "random") {
+    return [budget] {
+      return std::unique_ptr<ClusteringPolicy>(
+          std::make_unique<RandomClusteringPolicy>(budget, 7));
+    };
+  }
+  return nullptr;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<XMarkFixture>> XMarkFixture::Create(
     double scale, FixtureOptions options) {
   options.xmark.scale = scale;
   auto fixture = std::unique_ptr<XMarkFixture>(new XMarkFixture(options));
   const DomTree tree = GenerateXMark(options.xmark, fixture->db_.tags());
 
-  const std::size_t budget =
-      options.db.page_size - options.db.page_size / 8;  // keep slack
-  std::unique_ptr<ClusteringPolicy> policy;
-  if (options.clustering == "subtree") {
-    policy = std::make_unique<SubtreeClusteringPolicy>(budget);
-  } else if (options.clustering == "doc-order") {
-    policy = std::make_unique<DocOrderClusteringPolicy>(budget);
-  } else if (options.clustering == "round-robin") {
-    policy = std::make_unique<RoundRobinClusteringPolicy>(budget);
-  } else if (options.clustering == "random") {
-    policy = std::make_unique<RandomClusteringPolicy>(budget, 7);
-  } else {
+  const auto factory =
+      ClusteringFactory(options.clustering, options.db.page_size);
+  if (!factory) {
     return Status::InvalidArgument("unknown clustering policy: " +
                                    options.clustering);
   }
+  const std::unique_ptr<ClusteringPolicy> policy = factory();
   NAVPATH_ASSIGN_OR_RETURN(fixture->doc_,
                            fixture->db_.Import(tree, policy.get()));
   fixture->stats_ =
       DocumentStats::Build(tree, fixture->doc_, options.db.page_size);
   return fixture;
+}
+
+Result<std::unique_ptr<ShardedStore>> CreateShardedXMark(
+    double scale, std::size_t shards, FixtureOptions options) {
+  options.xmark.scale = scale;
+  ShardOptions shard_options;
+  shard_options.shards = shards;
+  shard_options.db = options.db;
+  shard_options.source = [xmark = options.xmark](TagRegistry* tags) {
+    return GenerateXMark(xmark, tags);
+  };
+  shard_options.clustering =
+      ClusteringFactory(options.clustering, options.db.page_size);
+  if (!shard_options.clustering) {
+    return Status::InvalidArgument("unknown clustering policy: " +
+                                   options.clustering);
+  }
+  return ShardedStore::Build(shard_options);
 }
 
 Result<QueryRunResult> XMarkFixture::RunOptimized(const std::string& query,

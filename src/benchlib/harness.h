@@ -10,6 +10,7 @@
 #include "compiler/cost_model.h"
 #include "compiler/executor.h"
 #include "observe/metrics_registry.h"
+#include "shard/sharded_store.h"
 #include "store/database.h"
 #include "xmark/generator.h"
 
@@ -76,6 +77,16 @@ class XMarkFixture {
 /// Makes a PlanOptions for one of the three paper plans. XSchedule runs
 /// with speculative=false, matching Sec. 6.2.
 PlanOptions PaperPlan(PlanKind kind);
+
+/// Sharded variant of XMarkFixture: the same deterministic XMark document
+/// (same scale, same generator seed) path-partitioned across `shards`
+/// drives. Per-shard DatabaseOptions come from `options.db` verbatim —
+/// every shard gets its own `buffer_pages`-page pool, so callers wanting
+/// constant aggregate memory divide the total by K. At shards == 1 the
+/// single shard is byte-identical to XMarkFixture::Create with the same
+/// options (same import, same fault seed, same summary).
+Result<std::unique_ptr<ShardedStore>> CreateShardedXMark(
+    double scale, std::size_t shards, FixtureOptions options = {});
 
 // --- Output helpers (aligned fixed-width tables) -------------------------
 

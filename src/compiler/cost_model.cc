@@ -516,4 +516,22 @@ WriterAdmission EstimateWriterAdmission(std::size_t writers,
   return est;
 }
 
+ShardFanoutEstimate EstimateShardFanout(
+    const std::vector<double>& per_shard_costs, double result_cardinality,
+    double merge_op_cost) {
+  ShardFanoutEstimate est;
+  est.participants = per_shard_costs.size();
+  for (const double cost : per_shard_costs) {
+    est.serial_cost += cost;
+    est.parallel_cost = std::max(est.parallel_cost, cost);
+  }
+  // Width-1 routes skip the merge entirely: the owner's result is final.
+  if (est.participants > 1 && result_cardinality > 0) {
+    est.merge_cost = result_cardinality * merge_op_cost;
+  }
+  const double fanned = est.parallel_cost + est.merge_cost;
+  if (fanned > 0) est.speedup = est.serial_cost / fanned;
+  return est;
+}
+
 }  // namespace navpath

@@ -201,6 +201,28 @@ struct WriterAdmission {
   bool prefer_optimistic = true;
 };
 
+/// Sharded fan-out pricing (src/shard): a query fanned across K shards
+/// finishes when its slowest participant does — the shards' drives run in
+/// parallel — and then pays a coordinator-side document-order merge over
+/// the gapped order keys of the combined result.
+struct ShardFanoutEstimate {
+  double parallel_cost = 0;  // max over participants' sub-plan costs
+  double serial_cost = 0;    // sum: what one drive would have paid
+  double merge_cost = 0;     // coordinator merge of the combined result
+  /// serial / (parallel + merge); 1.0 for width-1 routes, degrades
+  /// toward 1/K-imbalance for skewed partitions.
+  double speedup = 1.0;
+  std::size_t participants = 0;
+};
+
+/// Prices fanning one query over participants whose estimated private
+/// sub-plan costs are `per_shard_costs`. `result_cardinality` nodes cross
+/// the coordinator merge at `merge_op_cost` each (a compare-and-emit on
+/// the order key; callers pass the CPU model's set/sort op cost).
+ShardFanoutEstimate EstimateShardFanout(
+    const std::vector<double>& per_shard_costs, double result_cardinality,
+    double merge_op_cost);
+
 /// `conflict_probability` is the chance one optimistic attempt loses the
 /// first-committer race (clamped into [0, 0.95]); `txn_cost` and
 /// `retry_backoff` are in the same (simulated-time) unit; `max_retries`

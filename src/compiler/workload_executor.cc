@@ -94,6 +94,18 @@ Status ValidateWorkloadOptions(const WorkloadOptions& options) {
     return Status::InvalidArgument(
         "max_writers must be at least 1 (0 would never admit a writer)");
   }
+  if (options.shards != nullptr && options.txn != nullptr) {
+    return Status::InvalidArgument(
+        "sharded execution (WorkloadOptions.shards) cannot be combined "
+        "with transactions (WorkloadOptions.txn): commit ordering and "
+        "snapshot visibility across shard-local version chains are not "
+        "implemented — run transactional workloads unsharded");
+  }
+  if (options.shards != nullptr && options.enable_sharing) {
+    return Status::InvalidArgument(
+        "cross-query sharing plans prefix groups whole-workload against "
+        "one store and cannot span shard-partitioned sub-workloads");
+  }
   if (options.writer_batch == 0) {
     return Status::InvalidArgument(
         "writer_batch must be at least 1 (a pull must make progress)");
@@ -757,6 +769,12 @@ std::size_t WorkloadExecutor::PickNext(
 
 Status WorkloadExecutor::BeginRun() {
   NAVPATH_RETURN_NOT_OK(ValidateWorkloadOptions(options_));
+  if (options_.shards != nullptr) {
+    return Status::InvalidArgument(
+        "a plain WorkloadExecutor runs one shard; drive sharded stores "
+        "through ShardedWorkloadExecutor, which routes each query and "
+        "fans sub-queries out to per-shard executors");
+  }
   if (!stepping_) n_total_ = jobs_.size();
   if (options_.cold_start) {
     NAVPATH_RETURN_NOT_OK(db_->ResetMeasurement());

@@ -52,6 +52,8 @@
 
 namespace navpath {
 
+class ShardedStore;  // src/shard — never dereferenced at this layer
+
 enum class WorkloadPolicy {
   kRoundRobin,
   kFewestPendingIos,
@@ -180,6 +182,16 @@ struct WorkloadOptions {
   /// batch and commit after the pull that applies the last op, raising
   /// commit throughput at the price of coarser write/read interleaving.
   std::size_t writer_batch = 1;
+
+  /// Sharded store (src/shard) this workload fans out over. The plain
+  /// WorkloadExecutor never dereferences it: the knob lives here so every
+  /// entry point (Run, BeginStepping, the serving layer) validates shard
+  /// combinations with one rule — ValidateWorkloadOptions rejects
+  /// shards+txn and shards+enable_sharing — and BeginRun rejects any
+  /// non-null value, directing callers to ShardedWorkloadExecutor, which
+  /// splits the workload into per-shard executors whose options carry
+  /// shards == nullptr again.
+  const ShardedStore* shards = nullptr;
 };
 
 /// One primitive of a write transaction submitted via AddWrite.

@@ -82,6 +82,22 @@ Status ValidateServeOptions(const ServeOptions& options) {
     return Status::InvalidArgument(
         "cross-query sharing is not available under the serving layer");
   }
+  // Same pattern for shard knobs: the shards+txn combination is invalid
+  // in itself (sharded MVCC is unimplemented), and must say so at this
+  // entry point too rather than hiding behind the generic shard
+  // rejection below.
+  if (options.workload.shards != nullptr && options.workload.txn != nullptr) {
+    return Status::InvalidArgument(
+        "sharded serving (WorkloadOptions.shards) cannot be combined with "
+        "transactions (WorkloadOptions.txn): commit ordering across "
+        "shard-local version chains is not implemented");
+  }
+  if (options.workload.shards != nullptr) {
+    return Status::InvalidArgument(
+        "serving a sharded store is not supported yet: the admission "
+        "front-end steps one WorkloadExecutor over one database; run "
+        "sharded workloads through ShardedWorkloadExecutor directly");
+  }
   return ValidateWorkloadOptions(options.workload);
 }
 

@@ -1,0 +1,264 @@
+#include "shard/shard_executor.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace navpath {
+
+void AccumulateMetrics(Metrics* into, const Metrics& add) {
+  into->disk_reads += add.disk_reads;
+  into->disk_seq_reads += add.disk_seq_reads;
+  into->disk_writes += add.disk_writes;
+  into->disk_seek_pages += add.disk_seek_pages;
+  into->async_requests += add.async_requests;
+  into->async_reorderings += add.async_reorderings;
+  into->requests_merged += add.requests_merged;
+  into->elevator_batches += add.elevator_batches;
+  into->elevator_depth_sum += add.elevator_depth_sum;
+  into->elevator_depth_max =
+      std::max(into->elevator_depth_max, add.elevator_depth_max);
+  into->priority_jumps += add.priority_jumps;
+  into->buffer_hits += add.buffer_hits;
+  into->buffer_misses += add.buffer_misses;
+  into->buffer_evictions += add.buffer_evictions;
+  into->swizzle_ops += add.swizzle_ops;
+  into->unswizzle_ops += add.unswizzle_ops;
+  into->faults_injected += add.faults_injected;
+  into->fault_retries += add.fault_retries;
+  into->corruptions_detected += add.corruptions_detected;
+  into->fault_fallbacks += add.fault_fallbacks;
+  into->clusters_visited += add.clusters_visited;
+  into->intra_cluster_hops += add.intra_cluster_hops;
+  into->inter_cluster_hops += add.inter_cluster_hops;
+  into->node_tests += add.node_tests;
+  into->instances_created += add.instances_created;
+  into->instances_full += add.instances_full;
+  into->speculative_instances += add.speculative_instances;
+  into->r_set_probes += add.r_set_probes;
+  into->s_set_probes += add.s_set_probes;
+  into->fallback_activations += add.fallback_activations;
+}
+
+namespace {
+
+/// Sorts by the original document's order keys and drops duplicates (the
+/// replicated root is the only node two shards can both report). Returns
+/// the number of duplicates removed.
+std::uint64_t MergeDocumentOrder(std::vector<LogicalNode>* nodes) {
+  std::sort(nodes->begin(), nodes->end(),
+            [](const LogicalNode& a, const LogicalNode& b) {
+              return a.order < b.order;
+            });
+  const auto last = std::unique(nodes->begin(), nodes->end(),
+                                [](const LogicalNode& a,
+                                   const LogicalNode& b) {
+                                  return a.order == b.order;
+                                });
+  const std::uint64_t duplicates =
+      static_cast<std::uint64_t>(nodes->end() - last);
+  nodes->erase(last, nodes->end());
+  return duplicates;
+}
+
+}  // namespace
+
+ShardedWorkloadExecutor::ShardedWorkloadExecutor(
+    ShardedStore* store, const WorkloadOptions& options)
+    : store_(store), router_(store), options_(options) {
+  NAVPATH_CHECK(store != nullptr);
+  // Mark the options as shard-driving so ValidateWorkloadOptions applies
+  // the shard combination rules (no txn, no cross-query sharing).
+  options_.shards = store;
+}
+
+Status ShardedWorkloadExecutor::Add(const std::string& query,
+                                    const PlanOptions& plan, SimTime arrival,
+                                    SimTime deadline) {
+  NAVPATH_ASSIGN_OR_RETURN(QueryRoute route, router_.Route(query));
+  if (route.unrouted && store_->shard_count() > 1) {
+    return Status::InvalidArgument(
+        "query is outside the shard router's domain (" + route.reason +
+        "); the home-shard fallback only holds the full document at K=1");
+  }
+  PendingQuery pending;
+  pending.route = std::move(route);
+  pending.plan = plan;
+  pending.arrival = arrival;
+  pending.deadline = deadline;
+  pending_.push_back(std::move(pending));
+  return Status::OK();
+}
+
+Result<ShardWorkloadResult> ShardedWorkloadExecutor::Run() {
+  NAVPATH_RETURN_NOT_OK(ValidateWorkloadOptions(options_));
+  const std::size_t shard_count = store_->shard_count();
+
+  // One plain WorkloadExecutor per participating shard; sub-queries are
+  // admitted in global Add() order, so at K=1 the single shard sees the
+  // exact job sequence an unsharded executor would.
+  std::vector<std::unique_ptr<WorkloadExecutor>> execs(shard_count);
+  // Per query: (shard, job index within that shard's executor).
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> slots(
+      pending_.size());
+  std::vector<std::size_t> jobs_in(shard_count, 0);
+  for (std::size_t qi = 0; qi < pending_.size(); ++qi) {
+    const PendingQuery& q = pending_[qi];
+    for (const std::size_t k : q.route.participants) {
+      if (execs[k] == nullptr) {
+        WorkloadOptions per_shard = options_;
+        per_shard.shards = nullptr;
+        per_shard.stats = &store_->stats(k);
+        per_shard.on_pull = [this, k](std::size_t job, std::size_t active) {
+          if (on_shard_pull) on_shard_pull(k, job, active);
+          if (options_.on_pull) options_.on_pull(job, active);
+        };
+        execs[k] = std::make_unique<WorkloadExecutor>(
+            store_->db(k), store_->doc(k), per_shard);
+      }
+      NAVPATH_RETURN_NOT_OK(execs[k]->Add(q.route.per_shard[k], q.plan, {},
+                                          q.arrival, q.deadline));
+      slots[qi].emplace_back(k, jobs_in[k]++);
+    }
+  }
+
+  ShardWorkloadResult out;
+  out.shards.resize(shard_count);
+  out.utilization.assign(shard_count, 0.0);
+  std::vector<SimTime> busy(shard_count, 0);
+
+  // The shards' clocks are independent and all start cold at zero: the
+  // drives run in parallel in simulated time, and this host-side loop is
+  // just how the simulation grinds through them.
+  for (std::size_t k = 0; k < shard_count; ++k) {
+    if (execs[k] == nullptr) continue;
+    const SimTime busy_before = store_->db(k)->disk()->busy_time();
+    NAVPATH_ASSIGN_OR_RETURN(out.shards[k], execs[k]->Run());
+    const SimTime busy_after = store_->db(k)->disk()->busy_time();
+    // A cold start resets the drive's busy accumulator with its timeline.
+    busy[k] = busy_after >= busy_before ? busy_after - busy_before
+                                        : busy_after;
+    out.total_time = std::max(out.total_time, out.shards[k].total_time);
+    out.cpu_time += out.shards[k].cpu_time;
+    AccumulateMetrics(&out.metrics, out.shards[k].metrics);
+  }
+
+  // Per-query merge.
+  MetricsRegistry registry;
+  std::uint64_t& fanout = registry.Counter("shard.fanout");
+  std::uint64_t& routed_single = registry.Counter("shard.routed.single");
+  std::uint64_t& routed_home = registry.Counter("shard.routed.home");
+  std::uint64_t& merge_duplicates =
+      registry.Counter("shard.merge.duplicates");
+  Histogram& width_histogram = registry.GetHistogram("shard.fanout.width");
+
+  out.queries.resize(pending_.size());
+  for (std::size_t qi = 0; qi < pending_.size(); ++qi) {
+    const PendingQuery& q = pending_[qi];
+    WorkloadQueryResult merged;
+    merged.arrival = q.arrival;
+    std::uint64_t sum = 0;
+    bool first = true;
+    for (const auto& [k, slot] : slots[qi]) {
+      WorkloadQueryResult& part = out.shards[k].queries[slot];
+      if (!part.status.ok() && merged.status.ok()) {
+        merged.status = part.status;
+      }
+      sum += part.count;
+      merged.pulls += part.pulls;
+      merged.degraded |= part.degraded;
+      if (first) {
+        merged.admitted_at = part.admitted_at;
+        merged.finished_at = part.finished_at;
+        first = false;
+      } else {
+        merged.admitted_at = std::min(merged.admitted_at, part.admitted_at);
+        merged.finished_at = std::max(merged.finished_at, part.finished_at);
+      }
+      if (!part.nodes.empty()) {
+        merged.nodes.insert(merged.nodes.end(),
+                            std::make_move_iterator(part.nodes.begin()),
+                            std::make_move_iterator(part.nodes.end()));
+        part.nodes.clear();
+      }
+    }
+    // The workload layer reports raw distinct-node counts for every mode
+    // (a WorkloadExecutor does not clamp exists() to 0/1), and the only
+    // node two shards can both count is the replicated root, so the merge
+    // is the same arithmetic everywhere: sum minus the known overcount.
+    merged.count = sum - q.route.root_dup;
+    if (slots[qi].size() > 1 && !merged.nodes.empty()) {
+      merge_duplicates += MergeDocumentOrder(&merged.nodes);
+    } else {
+      merge_duplicates += q.route.root_dup;
+    }
+
+    width_histogram.Record(q.route.width());
+    if (q.route.unrouted) {
+      ++routed_home;
+    } else if (q.route.width() > 1) {
+      ++fanout;
+    } else {
+      ++routed_single;
+    }
+    out.queries[qi] = std::move(merged);
+  }
+
+  for (std::size_t k = 0; k < shard_count; ++k) {
+    const std::string prefix = "disk.shard." + std::to_string(k) + ".";
+    registry.Gauge(prefix + "utilization") =
+        out.total_time > 0 ? static_cast<double>(busy[k]) /
+                                 static_cast<double>(out.total_time)
+                           : 0.0;
+    registry.Gauge(prefix + "busy_seconds") = SimClock::ToSeconds(busy[k]);
+    registry.Gauge(prefix + "reads") =
+        static_cast<double>(out.shards[k].metrics.disk_reads);
+    out.utilization[k] =
+        out.total_time > 0 ? static_cast<double>(busy[k]) /
+                                 static_cast<double>(out.total_time)
+                           : 0.0;
+  }
+  out.scheduler = registry.Snapshot();
+  return out;
+}
+
+Result<QueryRunResult> ShardedExecuteQuery(ShardedStore* store,
+                                           const std::string& query,
+                                           const ExecuteOptions& options) {
+  NAVPATH_CHECK(store != nullptr);
+  const ShardRouter router(store);
+  NAVPATH_ASSIGN_OR_RETURN(QueryRoute route, router.Route(query));
+  if (route.unrouted && store->shard_count() > 1) {
+    return Status::InvalidArgument(
+        "query is outside the shard router's domain (" + route.reason +
+        "); the home-shard fallback only holds the full document at K=1");
+  }
+
+  QueryRunResult merged;
+  std::uint64_t sum = 0;
+  for (const std::size_t k : route.participants) {
+    NAVPATH_ASSIGN_OR_RETURN(
+        QueryRunResult part,
+        ExecuteQuery(store->db(k), store->doc(k), route.per_shard[k],
+                     options));
+    sum += part.count;
+    merged.total_time = std::max(merged.total_time, part.total_time);
+    merged.cpu_time += part.cpu_time;
+    AccumulateMetrics(&merged.metrics, part.metrics);
+    merged.nodes.insert(merged.nodes.end(),
+                        std::make_move_iterator(part.nodes.begin()),
+                        std::make_move_iterator(part.nodes.end()));
+  }
+  const PathQuery::Mode mode = route.per_shard[0].mode;
+  if (mode == PathQuery::Mode::kExists) {
+    merged.count = sum > 0 ? 1 : 0;
+  } else {
+    merged.count = sum - route.root_dup;
+  }
+  if (route.width() > 1 && !merged.nodes.empty()) {
+    MergeDocumentOrder(&merged.nodes);
+  }
+  return merged;
+}
+
+}  // namespace navpath

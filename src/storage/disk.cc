@@ -40,6 +40,7 @@ SimTime SimulatedDisk::ChargeAccess(PageId target) {
         head_ < target ? target - head_ : head_ - target;
   }
   drive_free_at_ = start + cost.seek + cost.transfer;
+  busy_time_ += cost.seek + cost.transfer;
   if (cost.seek > 0) {
     NAVPATH_TRACE(tracer_, Span(TraceCategory::kDisk, kTrackDisk, "seek",
                                 start, start + cost.seek,
@@ -66,6 +67,7 @@ Status SimulatedDisk::ReadSync(PageId id, std::byte* out) {
     if (fault.extra_latency > 0) {
       done += fault.extra_latency;
       drive_free_at_ = done;
+      busy_time_ += fault.extra_latency;
     }
   }
   clock_->WaitUntil(done);
@@ -93,6 +95,7 @@ Status SimulatedDisk::WriteSync(PageId id, const std::byte* data,
     if (fault.extra_latency > 0) {
       done += fault.extra_latency;
       drive_free_at_ = done;
+      busy_time_ += fault.extra_latency;
     }
   }
   clock_->WaitUntil(done);
@@ -238,6 +241,7 @@ void SimulatedDisk::ServeOnePending() {
                                                      : head_ - chosen.page;
   }
   drive_free_at_ = start + cost.seek + cost.transfer;
+  busy_time_ += cost.seek + cost.transfer;
   NAVPATH_TRACE(tracer_,
                 Span(TraceCategory::kDisk, kTrackElevator, "queued",
                      chosen.submit_time, start,
@@ -259,6 +263,7 @@ void SimulatedDisk::ServeOnePending() {
     if (fault.Any()) ++metrics_->faults_injected;
     if (fault.extra_latency > 0) {
       drive_free_at_ += fault.extra_latency;
+      busy_time_ += fault.extra_latency;
       done.complete_time = drive_free_at_;
     }
     done.failed = fault.transient_error;

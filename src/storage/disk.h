@@ -135,6 +135,12 @@ class SimulatedDisk {
   /// Position of the head after the last access (for tests/inspection).
   PageId head_position() const { return head_; }
 
+  /// Accumulated time this drive spent servicing requests — seek plus
+  /// transfer plus injected fault latency — since construction or the
+  /// last ResetTimeline(). With K drives on independent clocks,
+  /// busy_time() over the measurement window is that drive's utilization.
+  SimTime busy_time() const { return busy_time_; }
+
   // --- Persistence backdoor (no simulation cost) ------------------------
 
   /// Direct read-only access to a page image (for saving to a file).
@@ -172,6 +178,7 @@ class SimulatedDisk {
   void ResetTimeline() {
     NAVPATH_CHECK(pending_.empty() && completed_.empty());
     drive_free_at_ = 0;
+    busy_time_ = 0;
   }
 
  private:
@@ -211,6 +218,7 @@ class SimulatedDisk {
 
   PageId head_ = kInvalidPageId;
   SimTime drive_free_at_ = 0;
+  SimTime busy_time_ = 0;
   std::uint64_t served_order_ = 0;  // requests served so far (for metrics)
 
   std::vector<PageId>* trace_ = nullptr;

@@ -1,0 +1,613 @@
+// Tests for the path-partitioned sharded store: deterministic
+// partitioning, summary-driven routing, cross-shard document-order
+// merges byte-identical to the unsharded oracle, K=1 full-workload
+// identity with the plain WorkloadExecutor, per-shard fault seeding, and
+// the shard-combination validation rules at every entry point.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "benchlib/harness.h"
+#include "compiler/workload_executor.h"
+#include "serve/server.h"
+#include "shard/shard_executor.h"
+#include "shard/shard_router.h"
+#include "shard/sharded_store.h"
+#include "storage/disk.h"
+#include "txn/txn.h"
+
+namespace navpath {
+namespace {
+
+// A workload mixing single-owner paths, multi-shard fan-outs, count
+// aggregates over several operands, an exists probe, and a root query.
+const char* const kShardQueries[] = {
+    "/site/regions//item",
+    "/site/people/person/email",
+    "/site//keyword",
+    "count(/site/regions//item)",
+    "count(/site//description)+count(/site//annotation)+count(/site//email)",
+    "exists(/site/catgraph/edge)",
+    "/site",
+};
+
+std::vector<std::uint64_t> OrdersOf(const std::vector<LogicalNode>& nodes) {
+  std::vector<std::uint64_t> orders;
+  orders.reserve(nodes.size());
+  for (const LogicalNode& node : nodes) orders.push_back(node.order);
+  return orders;
+}
+
+Result<std::unique_ptr<ShardedStore>> BuildSharded(
+    double scale, std::size_t shards, FixtureOptions options = {}) {
+  return CreateShardedXMark(scale, shards, options);
+}
+
+// --- Fault-seed derivation ------------------------------------------------
+
+TEST(ShardFaultSeedTest, ShardZeroKeepsBaseSeed) {
+  EXPECT_EQ(ShardFaultSeed(0, 0), 0u);
+  EXPECT_EQ(ShardFaultSeed(42, 0), 42u);
+  EXPECT_EQ(ShardFaultSeed(0xdeadbeef, 0), 0xdeadbeefu);
+}
+
+TEST(ShardFaultSeedTest, DistinctAndStableAcrossShards) {
+  std::set<std::uint64_t> seeds;
+  for (std::size_t k = 0; k < 16; ++k) {
+    const std::uint64_t seed = ShardFaultSeed(42, k);
+    EXPECT_EQ(seed, ShardFaultSeed(42, k)) << "shard " << k;
+    EXPECT_TRUE(seeds.insert(seed).second)
+        << "shard " << k << " collides with an earlier shard";
+  }
+  // Different base seeds must not share derived streams.
+  EXPECT_NE(ShardFaultSeed(42, 1), ShardFaultSeed(43, 1));
+}
+
+// --- Cost-model fan-out estimate ------------------------------------------
+
+TEST(ShardCostModelTest, EstimateShardFanout) {
+  const ShardFanoutEstimate single = EstimateShardFanout({100.0}, 50.0, 1.0);
+  EXPECT_EQ(single.participants, 1u);
+  EXPECT_DOUBLE_EQ(single.parallel_cost, 100.0);
+  EXPECT_DOUBLE_EQ(single.serial_cost, 100.0);
+  EXPECT_DOUBLE_EQ(single.merge_cost, 0.0);  // width 1: no merge
+  EXPECT_DOUBLE_EQ(single.speedup, 1.0);
+
+  const ShardFanoutEstimate fan =
+      EstimateShardFanout({100.0, 60.0, 40.0}, 50.0, 0.5);
+  EXPECT_EQ(fan.participants, 3u);
+  EXPECT_DOUBLE_EQ(fan.parallel_cost, 100.0);  // slowest drive
+  EXPECT_DOUBLE_EQ(fan.serial_cost, 200.0);    // one drive pays the sum
+  EXPECT_DOUBLE_EQ(fan.merge_cost, 25.0);
+  EXPECT_DOUBLE_EQ(fan.speedup, 200.0 / 125.0);
+}
+
+// --- Partitioning ---------------------------------------------------------
+
+TEST(ShardedStoreTest, PartitionCoversDocumentAndIsDeterministic) {
+  auto store = BuildSharded(0.02, 4);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_EQ((*store)->shard_count(), 4u);
+  EXPECT_EQ((*store)->root_tag(), "site");
+
+  const std::vector<ShardUnit>& units = (*store)->units();
+  ASSERT_FALSE(units.empty());
+  std::set<std::string> tags;
+  for (const ShardUnit& unit : units) {
+    EXPECT_LT(unit.owner, 4u) << unit.tag;
+    EXPECT_GT(unit.weight, 0u) << unit.tag;
+    EXPECT_GT(unit.subtrees, 0u) << unit.tag;
+    EXPECT_TRUE(tags.insert(unit.tag).second)
+        << "duplicate partition unit " << unit.tag;
+    const auto owner = (*store)->OwnerOf(unit.tag);
+    ASSERT_TRUE(owner.has_value()) << unit.tag;
+    EXPECT_EQ(*owner, unit.owner) << unit.tag;
+  }
+  // XMark's root has exactly these six child groups.
+  const std::set<std::string> expected = {"regions",       "categories",
+                                          "catgraph",      "people",
+                                          "open_auctions", "closed_auctions"};
+  EXPECT_EQ(tags, expected);
+  EXPECT_FALSE((*store)->OwnerOf("keyword").has_value());
+
+  // Same options => same placement, weight for weight.
+  auto again = BuildSharded(0.02, 4);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  ASSERT_EQ((*again)->units().size(), units.size());
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    EXPECT_EQ((*again)->units()[i].tag, units[i].tag);
+    EXPECT_EQ((*again)->units()[i].owner, units[i].owner);
+    EXPECT_EQ((*again)->units()[i].weight, units[i].weight);
+    EXPECT_EQ((*again)->units()[i].subtrees, units[i].subtrees);
+  }
+}
+
+TEST(ShardedStoreTest, SingleShardOwnsEverything) {
+  auto store = BuildSharded(0.02, 1);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ((*store)->shard_count(), 1u);
+  for (const ShardUnit& unit : (*store)->units()) {
+    EXPECT_EQ(unit.owner, 0u) << unit.tag;
+  }
+  ASSERT_NE((*store)->summary(0), nullptr);
+}
+
+TEST(ShardedStoreTest, RequiresPathSummary) {
+  FixtureOptions options;
+  options.db.import.build_summary = false;
+  auto store = BuildSharded(0.02, 2, options);
+  ASSERT_FALSE(store.ok());
+  EXPECT_TRUE(store.status().IsInvalidArgument())
+      << store.status().ToString();
+}
+
+// --- Routing --------------------------------------------------------------
+
+TEST(ShardRouterTest, SingleOwnerPathRoutesToOwningShard) {
+  auto store = BuildSharded(0.02, 4);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  const ShardRouter router(store->get());
+
+  auto route = router.Route("/site/regions//item");
+  ASSERT_TRUE(route.ok()) << route.status().ToString();
+  EXPECT_FALSE(route->unrouted);
+  ASSERT_EQ(route->width(), 1u);
+  const auto owner = (*store)->OwnerOf("regions");
+  ASSERT_TRUE(owner.has_value());
+  EXPECT_EQ(route->participants[0], *owner);
+  EXPECT_EQ(route->root_dup, 0u);
+  EXPECT_FALSE(route->root_in_result);
+}
+
+TEST(ShardRouterTest, DescendantQueryFansOut) {
+  auto store = BuildSharded(0.02, 4);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  const ShardRouter router(store->get());
+
+  auto route = router.Route("count(/site//description)");
+  ASSERT_TRUE(route.ok()) << route.status().ToString();
+  EXPECT_FALSE(route->unrouted);
+  EXPECT_GT(route->width(), 1u);
+  EXPECT_EQ(route->root_dup, 0u);
+  for (const std::size_t k : route->participants) {
+    EXPECT_FALSE(route->per_shard[k].paths.empty()) << "shard " << k;
+  }
+}
+
+TEST(ShardRouterTest, RootQueryReportsReplicationOvercount) {
+  auto store = BuildSharded(0.02, 4);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  const ShardRouter router(store->get());
+
+  // "/site" selects the root element, which every shard replicates.
+  auto route = router.Route("count(/site)");
+  ASSERT_TRUE(route.ok()) << route.status().ToString();
+  EXPECT_FALSE(route->unrouted);
+  EXPECT_EQ(route->width(), 4u);
+  EXPECT_TRUE(route->root_in_result);
+  EXPECT_EQ(route->root_dup, 3u);
+}
+
+TEST(ShardRouterTest, OutOfDomainQueriesFallBackToHome) {
+  auto store = BuildSharded(0.02, 2);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  const ShardRouter router(store->get());
+
+  for (const char* query : {
+           "/site/regions/..",            // upward axis
+           "/site//keyword/ancestor::*",  // upward axis, closure form
+           "/site[regions]",              // predicate over the root
+       }) {
+    auto route = router.Route(query);
+    ASSERT_TRUE(route.ok()) << query << ": " << route.status().ToString();
+    EXPECT_TRUE(route->unrouted) << query;
+    EXPECT_FALSE(route->reason.empty()) << query;
+    ASSERT_EQ(route->width(), 1u) << query;
+    EXPECT_EQ(route->participants[0], (*store)->home_shard()) << query;
+  }
+}
+
+// --- Single-query oracle identity -----------------------------------------
+
+// Every query must produce byte-identical results (count and document
+// order) to the unsharded executor, at every shard count.
+TEST(ShardExecuteQueryTest, MatchesUnshardedOracleAcrossShardCounts) {
+  auto fixture = XMarkFixture::Create(0.02);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+
+  const std::vector<std::string> queries = {
+      kQ6Prime,
+      kQ7,
+      kQ15,
+      "/site/regions//item",
+      "/site/people/person/email",
+      "/site//keyword",
+      "/site",
+      "//site",
+      "count(/site)",
+      "exists(/site/catgraph/edge)",
+      "exists(/site/regions/nosuchtag)",
+      "//item[mailbox/mail]",
+      "/site/people/person[profile]",
+      "//item[mailbox/mail]/@id",
+  };
+
+  std::vector<QueryRunResult> oracle;
+  for (const std::string& q : queries) {
+    auto result = (*fixture)->Run(q, PaperPlan(PlanKind::kXSchedule));
+    ASSERT_TRUE(result.ok()) << q << ": " << result.status().ToString();
+    oracle.push_back(*std::move(result));
+  }
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}}) {
+    auto store = BuildSharded(0.02, shards);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      ExecuteOptions exec;
+      exec.plan = PaperPlan(PlanKind::kXSchedule);
+      exec.collect_nodes = true;
+      exec.cold_start = true;
+      auto sharded = ShardedExecuteQuery(store->get(), queries[i], exec);
+      ASSERT_TRUE(sharded.ok())
+          << "K=" << shards << " " << queries[i] << ": "
+          << sharded.status().ToString();
+      EXPECT_EQ(sharded->count, oracle[i].count)
+          << "K=" << shards << " " << queries[i];
+      EXPECT_EQ(OrdersOf(sharded->nodes), OrdersOf(oracle[i].nodes))
+          << "K=" << shards << " " << queries[i];
+    }
+  }
+}
+
+// --- Workload execution ---------------------------------------------------
+
+struct WorkloadTrace {
+  WorkloadResult result;
+  std::vector<std::pair<std::size_t, std::size_t>> pulls;
+};
+
+Result<WorkloadTrace> RunUnsharded(XMarkFixture* fixture,
+                                   WorkloadOptions options) {
+  WorkloadTrace trace;
+  options.stats = &fixture->stats();
+  options.on_pull = [&trace](std::size_t job, std::size_t active) {
+    trace.pulls.emplace_back(job, active);
+  };
+  WorkloadExecutor executor(fixture->db(), fixture->doc(), options);
+  for (const char* q : kShardQueries) {
+    NAVPATH_RETURN_NOT_OK(
+        executor.Add(q, PaperPlan(PlanKind::kXSchedule)));
+  }
+  NAVPATH_ASSIGN_OR_RETURN(trace.result, executor.Run());
+  return trace;
+}
+
+struct ShardTrace {
+  ShardWorkloadResult result;
+  std::vector<std::tuple<std::size_t, std::size_t, std::size_t>> pulls;
+};
+
+Result<ShardTrace> RunSharded(ShardedStore* store, WorkloadOptions options) {
+  ShardTrace trace;
+  ShardedWorkloadExecutor executor(store, options);
+  executor.on_shard_pull = [&trace](std::size_t shard, std::size_t job,
+                                    std::size_t active) {
+    trace.pulls.emplace_back(shard, job, active);
+  };
+  for (const char* q : kShardQueries) {
+    NAVPATH_RETURN_NOT_OK(
+        executor.Add(q, PaperPlan(PlanKind::kXSchedule)));
+  }
+  NAVPATH_ASSIGN_OR_RETURN(trace.result, executor.Run());
+  return trace;
+}
+
+// The K=1 identity the subsystem is gated on: one shard, same options =>
+// the exact run a plain WorkloadExecutor produces, down to the pull
+// schedule, simulated times, and I/O metrics.
+TEST(ShardedWorkloadTest, SingleShardByteIdenticalToUnsharded) {
+  auto fixture = XMarkFixture::Create(0.02);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  auto store = BuildSharded(0.02, 1);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  WorkloadOptions options;
+  options.policy = WorkloadPolicy::kHybrid;
+  options.collect_nodes = true;
+
+  auto plain = RunUnsharded(fixture->get(), options);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  options.stats = nullptr;  // the sharded executor injects per-shard stats
+  auto sharded = RunSharded(store->get(), options);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+  // Pull-for-pull identical schedule, all on shard 0.
+  ASSERT_EQ(sharded->pulls.size(), plain->pulls.size());
+  for (std::size_t i = 0; i < plain->pulls.size(); ++i) {
+    EXPECT_EQ(std::get<0>(sharded->pulls[i]), 0u);
+    EXPECT_EQ(std::get<1>(sharded->pulls[i]), plain->pulls[i].first);
+    EXPECT_EQ(std::get<2>(sharded->pulls[i]), plain->pulls[i].second);
+  }
+
+  const WorkloadResult& a = plain->result;
+  const ShardWorkloadResult& b = sharded->result;
+  EXPECT_EQ(b.total_time, a.total_time);
+  EXPECT_EQ(b.cpu_time, a.cpu_time);
+  EXPECT_EQ(b.metrics.disk_reads, a.metrics.disk_reads);
+  EXPECT_EQ(b.metrics.disk_seq_reads, a.metrics.disk_seq_reads);
+  EXPECT_EQ(b.metrics.disk_seek_pages, a.metrics.disk_seek_pages);
+  EXPECT_EQ(b.metrics.buffer_hits, a.metrics.buffer_hits);
+  EXPECT_EQ(b.metrics.buffer_misses, a.metrics.buffer_misses);
+  EXPECT_EQ(b.metrics.node_tests, a.metrics.node_tests);
+  EXPECT_EQ(b.metrics.clusters_visited, a.metrics.clusters_visited);
+  EXPECT_EQ(b.metrics.requests_merged, a.metrics.requests_merged);
+
+  ASSERT_EQ(b.queries.size(), a.queries.size());
+  for (std::size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(b.queries[i].count, a.queries[i].count) << kShardQueries[i];
+    EXPECT_EQ(b.queries[i].pulls, a.queries[i].pulls) << kShardQueries[i];
+    EXPECT_EQ(b.queries[i].finished_at, a.queries[i].finished_at)
+        << kShardQueries[i];
+    ASSERT_EQ(b.queries[i].nodes.size(), a.queries[i].nodes.size())
+        << kShardQueries[i];
+    for (std::size_t n = 0; n < a.queries[i].nodes.size(); ++n) {
+      EXPECT_EQ(b.queries[i].nodes[n].id, a.queries[i].nodes[n].id);
+      EXPECT_EQ(b.queries[i].nodes[n].order, a.queries[i].nodes[n].order);
+    }
+  }
+}
+
+// Fan-out runs must still merge back to the oracle's counts and document
+// order at every K.
+TEST(ShardedWorkloadTest, FanOutMatchesUnshardedResults) {
+  auto fixture = XMarkFixture::Create(0.02);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  WorkloadOptions options;
+  options.collect_nodes = true;
+  auto plain = RunUnsharded(fixture->get(), options);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+    auto store = BuildSharded(0.02, shards);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    WorkloadOptions shard_options;
+    shard_options.collect_nodes = true;
+    auto sharded = RunSharded(store->get(), shard_options);
+    ASSERT_TRUE(sharded.ok())
+        << "K=" << shards << ": " << sharded.status().ToString();
+
+    ASSERT_EQ(sharded->result.queries.size(), plain->result.queries.size());
+    for (std::size_t i = 0; i < plain->result.queries.size(); ++i) {
+      EXPECT_EQ(sharded->result.queries[i].count,
+                plain->result.queries[i].count)
+          << "K=" << shards << " " << kShardQueries[i];
+      EXPECT_EQ(OrdersOf(sharded->result.queries[i].nodes),
+                OrdersOf(plain->result.queries[i].nodes))
+          << "K=" << shards << " " << kShardQueries[i];
+    }
+  }
+}
+
+TEST(ShardedWorkloadTest, DeterministicAcrossRebuilds) {
+  WorkloadOptions options;
+  options.collect_nodes = true;
+
+  auto store_a = BuildSharded(0.02, 2);
+  ASSERT_TRUE(store_a.ok()) << store_a.status().ToString();
+  auto run_a = RunSharded(store_a->get(), options);
+  ASSERT_TRUE(run_a.ok()) << run_a.status().ToString();
+
+  auto store_b = BuildSharded(0.02, 2);
+  ASSERT_TRUE(store_b.ok()) << store_b.status().ToString();
+  auto run_b = RunSharded(store_b->get(), options);
+  ASSERT_TRUE(run_b.ok()) << run_b.status().ToString();
+
+  EXPECT_EQ(run_a->pulls, run_b->pulls);
+  EXPECT_EQ(run_a->result.total_time, run_b->result.total_time);
+  EXPECT_EQ(run_a->result.metrics.disk_reads,
+            run_b->result.metrics.disk_reads);
+  ASSERT_EQ(run_a->result.queries.size(), run_b->result.queries.size());
+  for (std::size_t i = 0; i < run_a->result.queries.size(); ++i) {
+    EXPECT_EQ(run_a->result.queries[i].count,
+              run_b->result.queries[i].count);
+    EXPECT_EQ(OrdersOf(run_a->result.queries[i].nodes),
+              OrdersOf(run_b->result.queries[i].nodes));
+  }
+}
+
+TEST(ShardedWorkloadTest, ExposesShardObservability) {
+  auto store = BuildSharded(0.02, 2);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  WorkloadOptions options;
+  options.collect_nodes = true;
+  auto run = RunSharded(store->get(), options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  const RegistrySnapshot& snapshot = run->result.scheduler;
+  // kShardQueries has fan-out, single-shard, and root queries.
+  EXPECT_GT(snapshot.CounterOr("shard.fanout"), 0u);
+  EXPECT_GT(snapshot.CounterOr("shard.routed.single"), 0u);
+  // "/site" ran on both shards; its duplicate root was merged away.
+  EXPECT_GT(snapshot.CounterOr("shard.merge.duplicates"), 0u);
+  const HistogramSummary* width =
+      snapshot.FindHistogram("shard.fanout.width");
+  ASSERT_NE(width, nullptr);
+  EXPECT_EQ(width->count, std::size(kShardQueries));
+
+  ASSERT_EQ(run->result.utilization.size(), 2u);
+  bool some_busy = false;
+  for (std::size_t k = 0; k < 2; ++k) {
+    const std::string prefix = "disk.shard." + std::to_string(k) + ".";
+    double utilization = -1.0;
+    for (const auto& [name, value] : snapshot.gauges) {
+      if (name == prefix + "utilization") utilization = value;
+    }
+    EXPECT_GE(utilization, 0.0) << "missing gauge for shard " << k;
+    EXPECT_LE(utilization, 1.0);
+    EXPECT_EQ(utilization, run->result.utilization[k]);
+    some_busy |= utilization > 0.0;
+  }
+  EXPECT_TRUE(some_busy);
+}
+
+// --- Fault seeding --------------------------------------------------------
+
+TEST(ShardedWorkloadTest, FaultStreamsAreDeterministicPerShard) {
+  FixtureOptions options;
+  options.db.faults.seed = 42;
+  options.db.faults.transient_read_error_rate = 0.02;
+  options.db.faults.latency_spike_rate = 0.02;
+
+  WorkloadOptions workload;
+  workload.collect_nodes = true;
+
+  // Same build + same run => the same injected faults, twice.
+  auto store_a = BuildSharded(0.02, 2, options);
+  ASSERT_TRUE(store_a.ok()) << store_a.status().ToString();
+  auto run_a = RunSharded(store_a->get(), workload);
+  ASSERT_TRUE(run_a.ok()) << run_a.status().ToString();
+
+  auto store_b = BuildSharded(0.02, 2, options);
+  ASSERT_TRUE(store_b.ok()) << store_b.status().ToString();
+  auto run_b = RunSharded(store_b->get(), workload);
+  ASSERT_TRUE(run_b.ok()) << run_b.status().ToString();
+
+  EXPECT_GT(run_a->result.metrics.faults_injected, 0u);
+  EXPECT_EQ(run_a->result.metrics.faults_injected,
+            run_b->result.metrics.faults_injected);
+  EXPECT_EQ(run_a->result.metrics.fault_retries,
+            run_b->result.metrics.fault_retries);
+  EXPECT_EQ(run_a->result.total_time, run_b->result.total_time);
+  for (std::size_t i = 0; i < run_a->result.queries.size(); ++i) {
+    EXPECT_EQ(run_a->result.queries[i].count,
+              run_b->result.queries[i].count);
+  }
+
+  // K=1 replays the unsharded fault stream exactly (base seed kept).
+  auto fixture = XMarkFixture::Create(0.02, options);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  auto plain = RunUnsharded(fixture->get(), workload);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  auto store_one = BuildSharded(0.02, 1, options);
+  ASSERT_TRUE(store_one.ok()) << store_one.status().ToString();
+  workload.stats = nullptr;
+  auto run_one = RunSharded(store_one->get(), workload);
+  ASSERT_TRUE(run_one.ok()) << run_one.status().ToString();
+  EXPECT_EQ(run_one->result.metrics.faults_injected,
+            plain->result.metrics.faults_injected);
+  EXPECT_EQ(run_one->result.metrics.fault_retries,
+            plain->result.metrics.fault_retries);
+  EXPECT_EQ(run_one->result.total_time, plain->result.total_time);
+}
+
+// --- Validation and entry-point rejection ---------------------------------
+
+TEST(ShardValidationTest, RejectsShardsCombinedWithTransactions) {
+  auto fixture = XMarkFixture::Create(0.01);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  auto store = BuildSharded(0.01, 1);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  TxnManager txn((*fixture)->db(), (*fixture)->mutable_doc());
+
+  WorkloadOptions options;
+  options.shards = store->get();
+  options.txn = &txn;
+  const Status status = ValidateWorkloadOptions(options);
+  ASSERT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_NE(status.ToString().find("transactions"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(ShardValidationTest, RejectsShardsCombinedWithSharing) {
+  auto store = BuildSharded(0.01, 1);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  WorkloadOptions options;
+  options.shards = store->get();
+  options.enable_sharing = true;
+  const Status status = ValidateWorkloadOptions(options);
+  ASSERT_TRUE(status.IsInvalidArgument()) << status.ToString();
+}
+
+TEST(ShardValidationTest, PlainExecutorRefusesShardedOptions) {
+  auto fixture = XMarkFixture::Create(0.01);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  auto store = BuildSharded(0.01, 1);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  WorkloadOptions options;
+  options.shards = store->get();
+  WorkloadExecutor executor((*fixture)->db(), (*fixture)->doc(), options);
+  ASSERT_TRUE(executor.Add("/site//keyword",
+                           PaperPlan(PlanKind::kXSchedule)).ok());
+  auto run = executor.Run();
+  ASSERT_FALSE(run.ok());
+  EXPECT_TRUE(run.status().IsInvalidArgument()) << run.status().ToString();
+  EXPECT_NE(run.status().ToString().find("ShardedWorkloadExecutor"),
+            std::string::npos)
+      << run.status().ToString();
+}
+
+TEST(ShardValidationTest, ServeEntryPointRejectsShardKnobs) {
+  auto fixture = XMarkFixture::Create(0.01);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  auto store = BuildSharded(0.01, 1);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  TxnManager txn((*fixture)->db(), (*fixture)->mutable_doc());
+
+  ServeOptions serve;
+  serve.tenants.push_back(TenantSpec{});
+  serve.tenants.back().name = "tenant";
+
+  // shards + txn gets the combination-specific message.
+  serve.workload.shards = store->get();
+  serve.workload.txn = &txn;
+  Status status = ValidateServeOptions(serve);
+  ASSERT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_NE(status.ToString().find("transactions"), std::string::npos)
+      << status.ToString();
+
+  // shards alone is rejected too: serving drives one unsharded executor.
+  serve.workload.txn = nullptr;
+  status = ValidateServeOptions(serve);
+  ASSERT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_NE(status.ToString().find("sharded"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(ShardedWorkloadTest, RejectsOutOfDomainQueriesAtMultiShard) {
+  auto store = BuildSharded(0.02, 2);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  WorkloadOptions options;
+  ShardedWorkloadExecutor executor(store->get(), options);
+  const Status status =
+      executor.Add("/site/regions/..", PaperPlan(PlanKind::kXSchedule));
+  ASSERT_TRUE(status.IsInvalidArgument()) << status.ToString();
+
+  // The same query is fine at K=1 (the home shard holds everything) and
+  // matches the unsharded oracle.
+  auto fixture = XMarkFixture::Create(0.02);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  auto oracle = (*fixture)->Run("/site/regions/..",
+                                PaperPlan(PlanKind::kXSchedule));
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+
+  auto one = BuildSharded(0.02, 1);
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  ExecuteOptions exec;
+  exec.plan = PaperPlan(PlanKind::kXSchedule);
+  exec.collect_nodes = true;
+  exec.cold_start = true;
+  auto sharded = ShardedExecuteQuery(one->get(), "/site/regions/..", exec);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_EQ(sharded->count, oracle->count);
+  EXPECT_EQ(OrdersOf(sharded->nodes), OrdersOf(oracle->nodes));
+}
+
+}  // namespace
+}  // namespace navpath
